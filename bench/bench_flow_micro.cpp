@@ -1,0 +1,120 @@
+// Microbenchmarks for the flow substrate (google-benchmark): SPFA vs
+// Bellman–Ford shortest paths, Dinic vs Edmonds–Karp max flow, min-cost
+// max-flow throughput, and multidimensional augmentation. Not a paper
+// figure; this pins the solver costs the scheduling-level latency numbers
+// (Fig. 12) are built on.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "flow/max_flow.h"
+#include "flow/min_cost_flow.h"
+#include "flow/multidim.h"
+#include "flow/shortest_path.h"
+
+using namespace aladdin;
+
+namespace {
+
+// Layered random DAG shaped like a scheduling graph: source -> T -> N ->
+// sink, with `width` vertices per layer and `degree` arcs per task vertex.
+flow::Graph MakeLayeredGraph(std::int64_t width, std::int64_t degree,
+                             VertexId& source, VertexId& sink,
+                             std::uint64_t seed) {
+  flow::Graph graph;
+  source = graph.AddVertex();
+  sink = graph.AddVertex();
+  const VertexId tasks = graph.AddVertices(static_cast<std::size_t>(width));
+  const VertexId machines =
+      graph.AddVertices(static_cast<std::size_t>(width));
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < width; ++i) {
+    const VertexId t(tasks.value() + static_cast<std::int32_t>(i));
+    graph.AddArc(source, t, rng.UniformInt(1, 8), 0);
+    for (std::int64_t d = 0; d < degree; ++d) {
+      const VertexId n(machines.value() +
+                       static_cast<std::int32_t>(rng.UniformInt(0, width - 1)));
+      graph.AddArc(t, n, rng.UniformInt(1, 8), rng.UniformInt(0, 63));
+    }
+  }
+  for (std::int64_t i = 0; i < width; ++i) {
+    const VertexId n(machines.value() + static_cast<std::int32_t>(i));
+    graph.AddArc(n, sink, rng.UniformInt(4, 32), 0);
+  }
+  return graph;
+}
+
+void BM_Spfa(benchmark::State& state) {
+  VertexId s, t;
+  flow::Graph graph = MakeLayeredGraph(state.range(0), 8, s, t, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::Spfa(graph, s));
+  }
+}
+BENCHMARK(BM_Spfa)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BellmanFord(benchmark::State& state) {
+  VertexId s, t;
+  flow::Graph graph = MakeLayeredGraph(state.range(0), 8, s, t, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::BellmanFord(graph, s));
+  }
+}
+BENCHMARK(BM_BellmanFord)->Arg(256)->Arg(1024);
+
+void BM_Dinic(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    VertexId s, t;
+    flow::Graph graph = MakeLayeredGraph(state.range(0), 8, s, t, 1);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(flow::Dinic(graph, s, t));
+  }
+}
+BENCHMARK(BM_Dinic)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EdmondsKarp(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    VertexId s, t;
+    flow::Graph graph = MakeLayeredGraph(state.range(0), 8, s, t, 1);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(flow::EdmondsKarp(graph, s, t));
+  }
+}
+BENCHMARK(BM_EdmondsKarp)->Arg(256)->Arg(1024);
+
+void BM_MinCostMaxFlow(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    VertexId s, t;
+    flow::Graph graph = MakeLayeredGraph(state.range(0), 8, s, t, 1);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(flow::MinCostMaxFlow(graph, s, t));
+  }
+}
+BENCHMARK(BM_MinCostMaxFlow)->Arg(256)->Arg(1024);
+
+void BM_MultiDimMaxFlow(benchmark::State& state) {
+  const auto width = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    flow::MultiDimGraph graph(2);
+    const VertexId s = graph.AddVertex();
+    const VertexId t = graph.AddVertex();
+    Rng rng(3);
+    std::vector<VertexId> mids;
+    for (std::int64_t i = 0; i < width; ++i) {
+      const VertexId v = graph.AddVertex();
+      graph.AddArc(s, v, {rng.UniformInt(1, 8), rng.UniformInt(1, 16)});
+      graph.AddArc(v, t, {rng.UniformInt(1, 8), rng.UniformInt(1, 16)});
+      mids.push_back(v);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(graph.MaxFlow(s, t));
+  }
+}
+BENCHMARK(BM_MultiDimMaxFlow)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

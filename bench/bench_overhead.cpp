@@ -1,0 +1,79 @@
+// Reproduces Fig. 13 (algorithm overhead), §V.D: the Aladdin+IL+DL policy
+// swept over cluster sizes for the four container arrival characteristics.
+//
+//   Fig. 13(a) — total algorithm runtime vs machines for CHP / CLP / CLA /
+//                CSA (paper: linear growth; ~15 min worst case (CSA) at 10k
+//                machines / 100k containers; CLA ~30 % cheaper).
+//   Fig. 13(b) — migration + preemption cost (paper: worst case ~1,700
+//                migrations for CSA = ~1.7 % of containers; CHP lowest).
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/scheduler.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+
+using namespace aladdin;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  auto& max_scale =
+      flags.Double("scale", 0.04, "largest sweep point (1.0 = paper's 10k)");
+  auto& steps = flags.Int64("steps", 4, "sweep points");
+  auto& seed = flags.Int64("seed", 42, "trace seed");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  sim::PrintExperimentHeader(
+      "Fig. 13(a)", "Aladdin+IL+DL total runtime (ms) vs cluster size per "
+                    "arrival order");
+  Table runtime({"machines", "containers", "CHP", "CLP", "CLA", "CSA"});
+  sim::PrintExperimentHeader(
+      "Fig. 13(b)", "migrations + preemptions vs cluster size per arrival "
+                    "order (printed after the runtime table)");
+  Table cost({"machines", "containers", "CHP migr+pre", "CLP migr+pre",
+              "CLA migr+pre", "CSA migr+pre", "worst-case % of containers"});
+
+  for (std::int64_t step = 1; step <= steps; ++step) {
+    // Sweep from 0.4x to 1x of --scale: points below ~0.016 produce
+    // degenerate replicas (giant apps comparable to the machine count).
+    const double lo = 0.4;
+    const double scale =
+        max_scale * (lo + (1.0 - lo) * static_cast<double>(step) /
+                              static_cast<double>(steps));
+    const trace::Workload workload =
+        sim::MakeBenchWorkload(scale, static_cast<std::uint64_t>(seed));
+    sim::ExperimentConfig config;
+    config.machines = sim::BenchMachineCount(scale);
+
+    runtime.Cell(static_cast<std::int64_t>(config.machines))
+        .Cell(static_cast<std::int64_t>(workload.container_count()));
+    cost.Cell(static_cast<std::int64_t>(config.machines))
+        .Cell(static_cast<std::int64_t>(workload.container_count()));
+
+    std::int64_t worst_cost = 0;
+    for (trace::ArrivalOrder order : trace::kCharacteristicOrders) {
+      config.order = order;
+      core::AladdinScheduler aladdin;
+      const sim::RunMetrics m =
+          sim::RunExperiment(aladdin, workload, config);
+      runtime.Cell(m.wall_seconds * 1e3, 1);
+      const std::int64_t moves = m.migrations + m.preemptions;
+      worst_cost = std::max(worst_cost, moves);
+      cost.Cell(moves);
+    }
+    cost.Cell(100.0 * static_cast<double>(worst_cost) /
+                  static_cast<double>(workload.container_count()),
+              2);
+    runtime.EndRow();
+    cost.EndRow();
+  }
+  runtime.Print();
+  cost.Print();
+  std::printf(
+      "paper: runtime grows linearly with cluster size; CSA is the worst "
+      "case and CLA ~30%% cheaper; migrations stay below ~1.7%% of "
+      "containers.\n");
+  return 0;
+}

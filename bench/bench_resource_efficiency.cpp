@@ -1,0 +1,97 @@
+// Reproduces Fig. 10 (machines used per arrival order) and Fig. 11
+// (per-machine utilisation ranges), §V.C.
+//
+// Paper setup: Go-Kube, Firmament-QUINCY(8), Medea(1,1,0) and Aladdin(16)
+// — each with its optimal parameters from §V.B — schedule the full trace
+// under four arrival orders (CHP, CLP, CLA, CSA). Machines are provisioned
+// generously (the paper reports Go-Kube using 14,211 > 10,000) so "machines
+// used" measures each scheduler's true appetite.
+//
+// Paper shape targets: Aladdin lowest and constant (9,242); Firmament-QUINCY
+// constant (10,477); Medea near-constant (~10,262); Go-Kube highest and
+// order-sensitive (12,157–14,211 = up to 1.54× Aladdin). Fig. 11: flow-based
+// schedulers show tight utilisation ranges; Go-Kube wide.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/firmament/scheduler.h"
+#include "baselines/gokube/scheduler.h"
+#include "baselines/medea/scheduler.h"
+#include "common/flags.h"
+#include "core/scheduler.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+
+using namespace aladdin;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  auto& scale = flags.Double("scale", 0.04, "workload scale (1.0 = paper)");
+  auto& seed = flags.Int64("seed", 42, "trace seed");
+  auto& headroom = flags.Double(
+      "headroom", 1.6, "machine pool size as a multiple of the paper ratio");
+  auto& csv = flags.String("csv", "", "append machine-readable rows here");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  const trace::Workload workload =
+      sim::MakeBenchWorkload(scale, static_cast<std::uint64_t>(seed));
+  sim::ExperimentConfig config;
+  config.machines = static_cast<std::size_t>(
+      static_cast<double>(sim::BenchMachineCount(scale)) * headroom);
+
+  std::printf("workload: %zu containers; machine pool: %zu\n",
+              workload.container_count(), config.machines);
+
+  for (trace::ArrivalOrder order : trace::kCharacteristicOrders) {
+    config.order = order;
+    sim::PrintExperimentHeader(
+        "Fig. 10 / Fig. 11", std::string("arrival order: ") +
+                                 trace::ArrivalOrderName(order));
+
+    std::vector<sim::RunMetrics> rows;
+    {
+      baselines::GoKubeScheduler gokube;
+      rows.push_back(sim::RunExperiment(gokube, workload, config));
+    }
+    {
+      baselines::FirmamentOptions fo;
+      fo.cost_model = baselines::FirmamentCostModel::kQuincy;
+      fo.reschd = 8;
+      baselines::FirmamentScheduler firmament(fo);
+      rows.push_back(sim::RunExperiment(firmament, workload, config));
+    }
+    {
+      baselines::MedeaOptions mo;
+      mo.weights = {1.0, 1.0, 0.0};
+      baselines::MedeaScheduler medea(mo);
+      rows.push_back(sim::RunExperiment(medea, workload, config));
+    }
+    {
+      core::AladdinScheduler aladdin;
+      rows.push_back(sim::RunExperiment(aladdin, workload, config));
+    }
+
+    // Fig. 10: machines used (paper: Go-Kube 12,157–14,211; QUINCY 10,477;
+    // Medea ~10,262; Aladdin 9,242 — all at scale 1.0).
+    sim::PrintEfficiencyTable(rows);
+    if (!csv.empty()) {
+      sim::AppendMetricsCsv(csv, "fig10", trace::ArrivalOrderName(order),
+                            rows);
+    }
+
+    // Fig. 11: utilisation ranges across used machines.
+    Table util({"scheduler", "min util%", "avg util%", "max util%",
+                "placed", "unplaced"});
+    for (const auto& m : rows) {
+      util.Cell(m.scheduler)
+          .Cell(m.util.min_share * 100.0, 1)
+          .Cell(m.util.avg_share * 100.0, 1)
+          .Cell(m.util.max_share * 100.0, 1)
+          .Cell(static_cast<std::int64_t>(m.audit.placed))
+          .Cell(static_cast<std::int64_t>(m.audit.unplaced))
+          .EndRow();
+    }
+    util.Print();
+  }
+  return 0;
+}

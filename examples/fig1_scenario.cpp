@@ -1,0 +1,96 @@
+// The paper's Figure 1, executable: "Three containers, one S0 and two S1,
+// arrive at the same time. Each container of S1 has a higher priority, and
+// it is not recommended to be deployed with S0 on the same machine because
+// of anti-affinity constraints."
+//
+//   (b) Firmament: S0 ends up unscheduled to avoid the anti-affinity
+//       constraint, despite being rescheduled many times.
+//   (c) Medea (violation-tolerant weights): minimises machines by running
+//       S0 and S1 together — violating the anti-affinity constraint.
+//   Aladdin: places everything with zero violations by spreading exactly
+//       as far as necessary.
+//
+// Run:  build/examples/fig1_scenario
+#include <cstdio>
+
+#include "baselines/firmament/scheduler.h"
+#include "baselines/medea/scheduler.h"
+#include "cluster/audit.h"
+#include "common/table.h"
+#include "core/scheduler.h"
+#include "sim/experiment.h"
+
+using namespace aladdin;
+
+int main() {
+  // Two machines, sized so that the three containers only fit if some pair
+  // shares a machine — the tension Fig. 1 is about.
+  cluster::Topology topo;
+  const auto g = topo.AddSubCluster();
+  const auto r = topo.AddRack(g);
+  topo.AddMachine(r, cluster::ResourceVector::Cores(10, 20));
+  topo.AddMachine(r, cluster::ResourceVector::Cores(10, 20));
+
+  trace::Workload wl;
+  // S0: one 4-core container, low priority.
+  const auto s0 = wl.AddApplication("S0", 1,
+                                    cluster::ResourceVector::Cores(4, 8), 0);
+  // S1: two 3-core containers, higher priority. Only the S0 <-> S1
+  // anti-affinity exists (the figure's caption); S1's replicas may share.
+  const auto s1 = wl.AddApplication("S1", 2,
+                                    cluster::ResourceVector::Cores(3, 6), 2);
+  wl.AddAntiAffinity(s0, s1);  // S0 must not share a machine with S1
+  // All three containers fit on ONE machine if the constraint is violated
+  // (4+3+3 = 10 cores) — that is Medea's temptation. The clean assignment
+  // needs two machines: both S1 on one, S0 on the other.
+
+  const auto arrival = trace::MakeArrivalSequence(wl, trace::ArrivalOrder::kFifo);
+
+  Table table({"scheduler", "S0 placement", "S1 placements", "violations",
+               "unscheduled"});
+  auto report = [&](sim::Scheduler& scheduler) {
+    auto state = wl.MakeState(topo);
+    sim::ScheduleRequest request{&wl, &arrival};
+    const auto outcome = scheduler.Schedule(request, state);
+    auto where = [&](cluster::ContainerId c) -> std::string {
+      if (!state.IsPlaced(c)) return "UNSCHEDULED";
+      return "M" + std::to_string(state.PlacementOf(c).value());
+    };
+    const auto audit = cluster::Audit(state);
+    table.Cell(scheduler.name())
+        .Cell(where(wl.application(s0).containers[0]))
+        .Cell(where(wl.application(s1).containers[0]) + " / " +
+              where(wl.application(s1).containers[1]))
+        .Cell(static_cast<std::int64_t>(audit.colocation_violations))
+        .Cell(static_cast<std::int64_t>(outcome.unplaced.size()))
+        .EndRow();
+  };
+
+  {
+    baselines::FirmamentOptions fo;
+    fo.cost_model = baselines::FirmamentCostModel::kTrivial;  // packs hard
+    fo.reschd = 1;
+    baselines::FirmamentScheduler firmament(fo);
+    report(firmament);
+  }
+  {
+    baselines::MedeaOptions mo;
+    mo.weights = {1, 1, 1};  // fully violation-tolerant: packs
+    baselines::MedeaScheduler medea(mo);
+    report(medea);
+  }
+  {
+    core::AladdinScheduler aladdin;
+    report(aladdin);
+  }
+  table.Print();
+  std::printf(
+      "\nFig. 1's trade-off, executable: violation-tolerant Medea saves a "
+      "machine by co-locating S0 with S1 (the paper's 1c); Aladdin places "
+      "both S1 replicas together and gives S0 the other machine — all "
+      "deployed, zero violations. Our Firmament repairs this toy conflict "
+      "successfully (its relocation attempt finds the free machine); the "
+      "stranding of 1b emerges at trace scale, where relocation targets "
+      "are themselves conflicted — see bench_placement_quality.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Trace replay CLI: generate (or load) a workload file, replay it through
+// any of the four schedulers, and print the audited metrics — the smallest
+// end-to-end harness for experimenting with your own traces.
+//
+// Run:
+//   build/examples/trace_replay --scheduler=aladdin --scale=0.05
+//   build/examples/trace_replay --save=/tmp/trace.csv            # export
+//   build/examples/trace_replay --load=/tmp/trace.csv --scheduler=medea
+#include <cstdio>
+#include <memory>
+
+#include "baselines/firmament/scheduler.h"
+#include "baselines/gokube/scheduler.h"
+#include "baselines/medea/scheduler.h"
+#include "common/flags.h"
+#include "core/scheduler.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "trace/serialize.h"
+
+using namespace aladdin;
+
+namespace {
+
+std::unique_ptr<sim::Scheduler> MakeScheduler(const std::string& name,
+                                              std::int64_t reschd,
+                                              double medea_c) {
+  if (name == "aladdin") return std::make_unique<core::AladdinScheduler>();
+  if (name == "gokube") return std::make_unique<baselines::GoKubeScheduler>();
+  if (name == "medea") {
+    baselines::MedeaOptions options;
+    options.weights = {1.0, 1.0, medea_c};
+    return std::make_unique<baselines::MedeaScheduler>(options);
+  }
+  if (name == "firmament" || name == "quincy" || name == "trivial" ||
+      name == "octopus") {
+    baselines::FirmamentOptions options;
+    options.reschd = static_cast<int>(reschd);
+    if (name == "trivial") {
+      options.cost_model = baselines::FirmamentCostModel::kTrivial;
+    } else if (name == "octopus") {
+      options.cost_model = baselines::FirmamentCostModel::kOctopus;
+    }
+    return std::make_unique<baselines::FirmamentScheduler>(options);
+  }
+  return nullptr;
+}
+
+trace::ArrivalOrder ParseOrder(const std::string& name) {
+  if (name == "fifo") return trace::ArrivalOrder::kFifo;
+  if (name == "chp") return trace::ArrivalOrder::kHighPriorityFirst;
+  if (name == "clp") return trace::ArrivalOrder::kLowPriorityFirst;
+  if (name == "cla") return trace::ArrivalOrder::kManyConflictsFirst;
+  if (name == "csa") return trace::ArrivalOrder::kFewConflictsFirst;
+  return trace::ArrivalOrder::kRandom;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  auto& scheduler_name = flags.String(
+      "scheduler", "aladdin",
+      "aladdin | quincy | trivial | octopus | medea | gokube");
+  auto& scale = flags.Double("scale", 0.05, "generated workload scale");
+  auto& seed = flags.Int64("seed", 42, "trace seed");
+  auto& machines = flags.Int64("machines", 0, "cluster size (0 = scaled)");
+  auto& order_name = flags.String(
+      "order", "random", "fifo | random | chp | clp | cla | csa");
+  auto& reschd = flags.Int64("reschd", 8, "Firmament reschd(i)");
+  auto& medea_c = flags.Double("medea_c", 0.0, "Medea violation tolerance");
+  auto& save = flags.String("save", "", "write the workload to a file, exit");
+  auto& load = flags.String("load", "", "load a workload file instead");
+  auto& cluster_file = flags.String(
+      "cluster", "", "load a topology file (see SaveTopology) instead of the "
+                     "scaled homogeneous cluster");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  trace::Workload workload;
+  if (!load.empty()) {
+    if (!trace::LoadWorkloadFromFile(load, workload)) {
+      std::fprintf(stderr, "failed to load %s\n", load.c_str());
+      return 1;
+    }
+  } else {
+    workload = sim::MakeBenchWorkload(scale, static_cast<std::uint64_t>(seed));
+  }
+  if (!save.empty()) {
+    if (!trace::SaveWorkloadToFile(workload, save)) return 1;
+    std::printf("wrote %zu applications / %zu containers to %s\n",
+                workload.application_count(), workload.container_count(),
+                save.c_str());
+    return 0;
+  }
+
+  auto scheduler = MakeScheduler(scheduler_name, reschd, medea_c);
+  if (!scheduler) {
+    std::fprintf(stderr, "unknown scheduler: %s\n", scheduler_name.c_str());
+    return 1;
+  }
+
+  const trace::ArrivalOrder order = ParseOrder(order_name);
+  cluster::Topology topology;
+  if (!cluster_file.empty()) {
+    if (!trace::LoadTopologyFromFile(cluster_file, topology)) {
+      std::fprintf(stderr, "failed to load cluster %s\n",
+                   cluster_file.c_str());
+      return 1;
+    }
+  } else {
+    topology = trace::MakeAlibabaCluster(
+        machines > 0 ? static_cast<std::size_t>(machines)
+                     : sim::BenchMachineCount(scale));
+  }
+
+  std::printf("replaying %zu containers (%zu apps) onto %zu machines with "
+              "%s, order %s\n",
+              workload.container_count(), workload.application_count(),
+              topology.machine_count(), scheduler->name().c_str(),
+              trace::ArrivalOrderName(order));
+  const sim::RunMetrics metrics =
+      sim::RunExperimentOn(*scheduler, workload, topology, order, 1);
+  sim::PrintRunTable({metrics});
+  return 0;
+}

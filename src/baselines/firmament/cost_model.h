@@ -1,0 +1,41 @@
+// Firmament cost models (the three most-used policies per §V.A, Table I).
+//
+// Firmament decides placements by solving min-cost max-flow over a
+// scheduling graph whose arc costs come from a pluggable cost model:
+//  * TRIVIAL — "containers always scheduled if resources are idle"; §V.B
+//    adds that it "always tries to deploy a container to the most packed
+//    machines", so the arc cost rewards low residual capacity.
+//  * QUINCY — the original Quincy model: data-locality preferences plus an
+//    unscheduled penalty. Containers have no input data in the LLA setting,
+//    so locality is modelled as a deterministic per-(application, rack)
+//    affinity — same structure, synthetic preference table.
+//  * OCTOPUS — "simple load balancing based on container counts": arc cost
+//    is the number of containers already on the machine.
+// All models are anti-affinity- and priority-oblivious — exactly the
+// property the paper's multi-round conflict repair has to compensate for.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/state.h"
+#include "flow/graph.h"
+
+namespace aladdin::baselines {
+
+enum class FirmamentCostModel { kTrivial, kQuincy, kOctopus };
+
+const char* CostModelName(FirmamentCostModel model);
+
+// Cost of routing container c's unit of flow to machine m under the model.
+flow::Cost PlacementArcCost(FirmamentCostModel model,
+                            const cluster::ClusterState& state,
+                            cluster::ContainerId c, cluster::MachineId m,
+                            std::uint64_t locality_salt);
+
+// Cost of routing it to the unscheduled aggregator instead (always large:
+// leaving work pending is the last resort).
+flow::Cost UnscheduledArcCost(FirmamentCostModel model,
+                              const cluster::ClusterState& state,
+                              cluster::ContainerId c);
+
+}  // namespace aladdin::baselines

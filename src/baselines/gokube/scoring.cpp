@@ -1,0 +1,53 @@
+#include "baselines/gokube/scoring.h"
+
+#include <cmath>
+
+namespace aladdin::baselines {
+
+double LeastRequestedScore(const cluster::ResourceVector& free_after,
+                           const cluster::ResourceVector& capacity) {
+  // k8s: sum over resources of (free / capacity) * 10, averaged.
+  double total = 0.0;
+  int dims = 0;
+  for (std::size_t i = 0; i < cluster::kResourceDims; ++i) {
+    if (capacity.dim(i) <= 0) continue;
+    total += 10.0 * static_cast<double>(free_after.dim(i)) /
+             static_cast<double>(capacity.dim(i));
+    ++dims;
+  }
+  return dims > 0 ? total / dims : 0.0;
+}
+
+double BalancedAllocationScore(const cluster::ResourceVector& used_after,
+                               const cluster::ResourceVector& capacity) {
+  // k8s: 10 - |cpu_fraction - mem_fraction| * 10. With a single active
+  // dimension (CPU-only mode) the variance is zero and the score is 10.
+  double fractions[cluster::kResourceDims];
+  int dims = 0;
+  for (std::size_t i = 0; i < cluster::kResourceDims; ++i) {
+    if (capacity.dim(i) <= 0) continue;
+    fractions[dims++] = static_cast<double>(used_after.dim(i)) /
+                        static_cast<double>(capacity.dim(i));
+  }
+  if (dims < 2) return 10.0;
+  double lo = fractions[0];
+  double hi = fractions[0];
+  for (int i = 1; i < dims; ++i) {
+    lo = std::min(lo, fractions[i]);
+    hi = std::max(hi, fractions[i]);
+  }
+  return 10.0 - (hi - lo) * 10.0;
+}
+
+double GoKubeScore(const cluster::ClusterState& state, cluster::ContainerId c,
+                   cluster::MachineId m) {
+  const auto& request =
+      state.containers()[static_cast<std::size_t>(c.value())].request;
+  const auto& capacity = state.topology().machine(m).capacity;
+  const cluster::ResourceVector free_after = state.Free(m) - request;
+  const cluster::ResourceVector used_after = capacity - free_after;
+  return LeastRequestedScore(free_after, capacity) +
+         BalancedAllocationScore(used_after, capacity);
+}
+
+}  // namespace aladdin::baselines

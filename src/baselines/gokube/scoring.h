@@ -1,0 +1,23 @@
+// Go-Kube node scoring — "a similar node scoring algorithm [to] Kubernetes
+// 1.11" (§V.A): the default priority functions of that release,
+// LeastRequestedPriority and BalancedResourceAllocation, each mapping to
+// [0, 10], summed. LeastRequested *spreads* load (emptier machines score
+// higher) — the root cause of Go-Kube's machine bloat in Fig. 10.
+#pragma once
+
+#include "cluster/state.h"
+
+namespace aladdin::baselines {
+
+// Score of placing container c on machine m; higher is better. Assumes the
+// request fits (callers filter first).
+double GoKubeScore(const cluster::ClusterState& state, cluster::ContainerId c,
+                   cluster::MachineId m);
+
+// The two k8s-1.11 priority functions, exposed for tests.
+double LeastRequestedScore(const cluster::ResourceVector& free_after,
+                           const cluster::ResourceVector& capacity);
+double BalancedAllocationScore(const cluster::ResourceVector& used_after,
+                               const cluster::ResourceVector& capacity);
+
+}  // namespace aladdin::baselines

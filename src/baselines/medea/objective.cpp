@@ -1,0 +1,75 @@
+#include "baselines/medea/objective.h"
+
+#include <sstream>
+
+namespace aladdin::baselines {
+
+std::string MedeaWeights::ToString() const {
+  std::ostringstream os;
+  os << "(" << a << "," << b << "," << c << ")";
+  return os.str();
+}
+
+double ViolationUnitCost(const MedeaWeights& weights) {
+  if (weights.c <= 0.0) return kViolationForbidden;
+  // Full tolerance (c = 1) makes a violation almost free — cheaper than any
+  // alternative except a clean already-open machine — so Medea packs hard
+  // and accumulates violations (the paper's 12.9 % case). Partial tolerance
+  // prices a violation above opening a machine but below stranding.
+  if (weights.c >= 1.0) return 0.05;
+  return 1.25 - weights.c;
+}
+
+std::size_t ViolationsIfPlaced(const cluster::ClusterState& state,
+                               cluster::ContainerId c, cluster::MachineId m) {
+  const auto app =
+      state.containers()[static_cast<std::size_t>(c.value())].app;
+  std::size_t violations = 0;
+  for (const auto& [other_raw, count] : state.AppsOn(m)) {
+    if (state.constraints().Conflicts(app,
+                                      cluster::ApplicationId(other_raw))) {
+      violations += static_cast<std::size_t>(count);
+    }
+  }
+  return violations;
+}
+
+double PlacementCost(const cluster::ClusterState& state,
+                     cluster::ContainerId c, cluster::MachineId m,
+                     const MedeaWeights& weights) {
+  double cost = ViolationUnitCost(weights) *
+                static_cast<double>(ViolationsIfPlaced(state, c, m));
+  if (state.DeployedOn(m).empty()) {
+    cost += weights.b * kMachineOpenScale;  // opens a machine
+  }
+  return cost;
+}
+
+double SolutionObjective(const cluster::ClusterState& state,
+                         std::size_t unplaced_count,
+                         const MedeaWeights& weights) {
+  // Violations counted as conflicting co-located pairs, matching the sum of
+  // the incremental PlacementCost terms over a construction sequence.
+  std::size_t pair_violations = 0;
+  const auto& containers = state.containers();
+  const auto& constraints = state.constraints();
+  for (std::size_t mi = 0; mi < state.topology().machine_count(); ++mi) {
+    const auto tenants =
+        state.DeployedOn(cluster::MachineId(static_cast<std::int32_t>(mi)));
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      for (std::size_t j = i + 1; j < tenants.size(); ++j) {
+        const auto app_i =
+            containers[static_cast<std::size_t>(tenants[i].value())].app;
+        const auto app_j =
+            containers[static_cast<std::size_t>(tenants[j].value())].app;
+        if (constraints.Conflicts(app_i, app_j)) ++pair_violations;
+      }
+    }
+  }
+  return UnplacedCost(weights) * static_cast<double>(unplaced_count) +
+         ViolationUnitCost(weights) * static_cast<double>(pair_violations) +
+         weights.b * kMachineOpenScale *
+             static_cast<double>(state.UsedMachineCount());
+}
+
+}  // namespace aladdin::baselines

@@ -1,0 +1,72 @@
+// Medea's weighted objective (Garefalakis et al., EuroSys'18; §V.A–B here).
+//
+// Medea places long-running applications by an ILP that balances deployed
+// containers, resource fragmentation and (soft) constraint violations via
+// an operator-chosen tuple weights(a, b, c):
+//   a — weight on deploying containers (leaving one unplaced costs a);
+//   b — weight on avoiding fragmentation (opening a fresh machine costs b);
+//   c — violation *tolerance*: with c = 0 "Medea cannot tolerate violated
+//       constraints" (§V.B) — violations are forbidden outright; larger c
+//       makes violating a constraint progressively cheaper than opening
+//       another machine, which is how Medea trades violations for packing.
+// The paper sweeps (1,1,1), (1,1,0.5), (1,1,0), (1,0.5,0.5).
+//
+// Our solver is greedy construction + bounded local search over the same
+// objective — the paper itself calls Medea's ILP "essentially an
+// approximation algorithm" (§V.C), and the weights drive identical
+// trade-offs here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/state.h"
+
+namespace aladdin::baselines {
+
+struct MedeaWeights {
+  double a = 1.0;  // deployment weight (unplaced penalty scale)
+  double b = 1.0;  // fragmentation weight (new-machine penalty scale)
+  double c = 0.0;  // violation tolerance (0 = hard constraints)
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+// Calibration of the three weight axes onto one cost scale:
+//  * unplaced container:            a · kUnplacedScale (always the worst)
+//  * opening a fresh machine:       b · kMachineOpenScale
+//  * violating against one tenant:  ∞ when c ≤ 0; 1.25 − c for partial
+//    tolerance; ~0 (0.05) at full tolerance c ≥ 1.
+// With c = 1 a violation undercuts a machine-open: Medea packs and
+// violates. With c = 0.5 it is the other way round. With c = 0 violations
+// are forbidden. Exactly the §V.B spectrum.
+inline constexpr double kUnplacedScale = 2.0;
+inline constexpr double kMachineOpenScale = 0.5;
+inline constexpr double kViolationForbidden = 1e18;
+
+double ViolationUnitCost(const MedeaWeights& weights);
+
+// Number of already-deployed containers on `m` that conflict with `c`'s
+// application (each is one violation if we place here).
+std::size_t ViolationsIfPlaced(const cluster::ClusterState& state,
+                               cluster::ContainerId c, cluster::MachineId m);
+
+// Incremental objective cost of placing c on m (resource fit is a
+// precondition, not priced). Lower is better.
+double PlacementCost(const cluster::ClusterState& state,
+                     cluster::ContainerId c, cluster::MachineId m,
+                     const MedeaWeights& weights);
+
+// Cost of leaving c unplaced.
+inline double UnplacedCost(const MedeaWeights& weights) {
+  return weights.a * kUnplacedScale;
+}
+
+// Full-solution objective, consistent with summing the incremental costs of
+// a construction sequence. Used by the local-search acceptance test and by
+// tests as the oracle for the incremental deltas.
+double SolutionObjective(const cluster::ClusterState& state,
+                         std::size_t unplaced_count,
+                         const MedeaWeights& weights);
+
+}  // namespace aladdin::baselines

@@ -1,0 +1,4 @@
+#include "cluster/application.h"
+
+// Aggregates only; TU anchors the header in the cluster library.
+namespace aladdin::cluster {}

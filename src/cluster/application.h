@@ -1,0 +1,46 @@
+// Long-lived applications (LLAs) and their containers.
+//
+// An LLA comprises one or more isomorphic containers (same resource request —
+// the property Aladdin's isomorphism-limiting optimisation exploits, §IV.A)
+// plus constraint attributes: an optional within-application anti-affinity
+// flag and a priority class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/resources.h"
+#include "common/ids.h"
+
+namespace aladdin::cluster {
+
+// Priority classes. Higher value = more important. The trace uses four
+// classes; weights per Eq. 4–5 map onto these (1 for kBatch, then 16/32/64/
+// 128 style multipliers upward in the evaluation, §V.B).
+using Priority = std::int32_t;
+inline constexpr Priority kLowestPriority = 0;
+inline constexpr Priority kPriorityClasses = 4;
+
+struct Container {
+  ContainerId id;
+  ApplicationId app;
+  ResourceVector request;
+  Priority priority = kLowestPriority;
+};
+
+struct Application {
+  ApplicationId id;
+  std::string name;
+  // Ids of this application's containers (isomorphic requests).
+  std::vector<ContainerId> containers;
+  ResourceVector request;  // per-container request (all containers equal)
+  Priority priority = kLowestPriority;
+  // Anti-affinity *within* the application: its containers must land on
+  // pairwise-distinct machines (hardware-failure isolation, §II.A).
+  bool anti_affinity_within = false;
+
+  [[nodiscard]] std::size_t size() const { return containers.size(); }
+};
+
+}  // namespace aladdin::cluster

@@ -1,0 +1,76 @@
+// Placement constraints: anti-affinity (within and across applications) and
+// priority ordering.
+//
+// The paper models an anti-affinity rule as p = {T_a, T_b, 0} — a pair that
+// must not share a machine (§III.C). We store rules at application
+// granularity (the trace expresses them that way: "several LLAs cannot be
+// co-located with at least other 5,000 containers"): a rule (A, B) means no
+// container of A may share a machine with a container of B. A == B encodes
+// within-application anti-affinity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/application.h"
+#include "common/ids.h"
+
+namespace aladdin::cluster {
+
+struct AntiAffinityRule {
+  ApplicationId a;
+  ApplicationId b;
+  friend bool operator==(const AntiAffinityRule&,
+                         const AntiAffinityRule&) = default;
+};
+
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+  explicit ConstraintSet(std::size_t application_count);
+
+  // Declare how many applications exist (adjacency is per-application).
+  void Resize(std::size_t application_count);
+
+  // Add a rule; symmetric, idempotent. a == b marks within-app anti-affinity.
+  void AddAntiAffinity(ApplicationId a, ApplicationId b);
+
+  [[nodiscard]] std::size_t application_count() const {
+    return adjacency_.size();
+  }
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+  [[nodiscard]] const std::vector<AntiAffinityRule>& rules() const {
+    return rules_;
+  }
+
+  // True if containers of `a` and `b` must not share a machine. For a == b
+  // this asks about within-application anti-affinity.
+  [[nodiscard]] bool Conflicts(ApplicationId a, ApplicationId b) const;
+
+  [[nodiscard]] bool HasWithinAntiAffinity(ApplicationId a) const {
+    return Conflicts(a, a);
+  }
+
+  // All applications that conflict with `a` (excluding `a` itself).
+  [[nodiscard]] std::span<const ApplicationId> ConflictsOf(
+      ApplicationId a) const;
+
+  // Number of *containers* that may not co-locate with application `a` —
+  // needs the application table to weigh each conflicting app by its size.
+  // This drives the CLA/CSA arrival orders (§V.C).
+  [[nodiscard]] std::int64_t ConflictingContainerCount(
+      ApplicationId a, const std::vector<Application>& apps) const;
+
+ private:
+  std::vector<AntiAffinityRule> rules_;
+  // adjacency_[a] holds conflicting apps != a; within_[a] holds the self rule.
+  std::vector<std::vector<ApplicationId>> adjacency_;
+  std::vector<bool> within_;
+  // Fast duplicate check: (a << 32) | b with a <= b.
+  std::unordered_set<std::uint64_t> rule_keys_;
+  static std::uint64_t Key(ApplicationId a, ApplicationId b);
+};
+
+}  // namespace aladdin::cluster

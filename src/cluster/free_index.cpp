@@ -1,0 +1,51 @@
+#include "cluster/free_index.h"
+
+#include <cassert>
+
+namespace aladdin::cluster {
+
+void FreeIndex::Attach(const ClusterState& state) {
+  state_ = &state;
+  by_free_.clear();
+  const auto& machines = state.topology().machines();
+  indexed_free_.assign(machines.size(), 0);
+  for (const Machine& m : machines) {
+    const std::int64_t free = state.Free(m.id).cpu_millis();
+    indexed_free_[static_cast<std::size_t>(m.id.value())] = free;
+    by_free_.insert({free, m.id.value()});
+  }
+}
+
+void FreeIndex::OnChanged(MachineId m) {
+  assert(state_ != nullptr);
+  const auto mi = static_cast<std::size_t>(m.value());
+  const std::int64_t now = state_->Free(m).cpu_millis();
+  if (now == indexed_free_[mi]) return;
+  by_free_.erase({indexed_free_[mi], m.value()});
+  by_free_.insert({now, m.value()});
+  indexed_free_[mi] = now;
+}
+
+bool FreeIndex::ScanAscending(std::int64_t min_free_cpu,
+                              const std::function<bool(MachineId)>& fn) const {
+  for (auto it = by_free_.lower_bound({min_free_cpu, -1}); it != by_free_.end();
+       ++it) {
+    if (fn(MachineId(it->second))) return true;
+  }
+  return false;
+}
+
+bool FreeIndex::ScanDescending(const std::function<bool(MachineId)>& fn) const {
+  for (auto it = by_free_.rbegin(); it != by_free_.rend(); ++it) {
+    if (fn(MachineId(it->second))) return true;
+  }
+  return false;
+}
+
+MachineId FreeIndex::TightestWithAtLeast(std::int64_t need) const {
+  const auto it = by_free_.lower_bound({need, -1});
+  if (it == by_free_.end()) return MachineId::Invalid();
+  return MachineId(it->second);
+}
+
+}  // namespace aladdin::cluster

@@ -1,0 +1,44 @@
+// Sorted index of machines by free CPU, shared by the baseline schedulers
+// (best-fit scans for Medea, worst-fit scans for Go-Kube, candidate
+// generation for Firmament). The Aladdin core keeps its own richer index
+// (core/network.h) with rack/sub-cluster aggregates.
+//
+// The index mirrors a ClusterState it is attached to; callers must invoke
+// OnChanged(m) after any deploy/evict that touches machine m.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "cluster/state.h"
+
+namespace aladdin::cluster {
+
+class FreeIndex {
+ public:
+  void Attach(const ClusterState& state);
+
+  // Re-key machine m after its free resources changed.
+  void OnChanged(MachineId m);
+
+  // Visit machines with free CPU >= min_free_cpu in ascending free order
+  // (best-fit first) until fn returns true. Returns whether fn accepted one.
+  bool ScanAscending(std::int64_t min_free_cpu,
+                     const std::function<bool(MachineId)>& fn) const;
+
+  // Visit machines in descending free order (emptiest first).
+  bool ScanDescending(const std::function<bool(MachineId)>& fn) const;
+
+  // The single tightest machine with free CPU >= need, or Invalid.
+  [[nodiscard]] MachineId TightestWithAtLeast(std::int64_t need) const;
+
+ private:
+  using Key = std::pair<std::int64_t, std::int32_t>;
+  const ClusterState* state_ = nullptr;
+  std::set<Key> by_free_;
+  std::vector<std::int64_t> indexed_free_;
+};
+
+}  // namespace aladdin::cluster

@@ -1,0 +1,5 @@
+#include "cluster/machine.h"
+
+// Machine is a plain aggregate; this TU exists so the target always has a
+// symbol for the header and to host future out-of-line helpers.
+namespace aladdin::cluster {}

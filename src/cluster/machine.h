@@ -1,0 +1,16 @@
+// A machine and its position in the cluster topology.
+#pragma once
+
+#include "cluster/resources.h"
+#include "common/ids.h"
+
+namespace aladdin::cluster {
+
+struct Machine {
+  MachineId id;
+  RackId rack;
+  SubClusterId subcluster;
+  ResourceVector capacity;
+};
+
+}  // namespace aladdin::cluster

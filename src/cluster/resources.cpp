@@ -1,0 +1,50 @@
+#include "cluster/resources.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aladdin::cluster {
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& o) {
+  for (std::size_t i = 0; i < kResourceDims; ++i) v_[i] += o.v_[i];
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator-=(const ResourceVector& o) {
+  for (std::size_t i = 0; i < kResourceDims; ++i) v_[i] -= o.v_[i];
+  return *this;
+}
+
+double ResourceVector::DominantShareOf(const ResourceVector& capacity) const {
+  double share = 0.0;
+  for (std::size_t i = 0; i < kResourceDims; ++i) {
+    if (capacity.v_[i] <= 0) continue;
+    share = std::max(share, static_cast<double>(v_[i]) /
+                                static_cast<double>(capacity.v_[i]));
+  }
+  return share;
+}
+
+std::string ResourceVector::ToString() const {
+  std::ostringstream os;
+  os << "{cpu=" << v_[0] << "m, mem=" << v_[1] << "MiB}";
+  return os.str();
+}
+
+ResourceVector Max(const ResourceVector& a, const ResourceVector& b) {
+  ResourceVector out;
+  for (std::size_t i = 0; i < kResourceDims; ++i) {
+    out.set_dim(i, std::max(a.dim(i), b.dim(i)));
+  }
+  return out;
+}
+
+ResourceVector Min(const ResourceVector& a, const ResourceVector& b) {
+  ResourceVector out;
+  for (std::size_t i = 0; i < kResourceDims; ++i) {
+    out.set_dim(i, std::min(a.dim(i), b.dim(i)));
+  }
+  return out;
+}
+
+}  // namespace aladdin::cluster

@@ -1,0 +1,143 @@
+#include "cluster/state.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aladdin::cluster {
+
+ClusterState::ClusterState(const Topology& topology,
+                           const std::vector<Container>& containers,
+                           const std::vector<Application>& applications,
+                           const ConstraintSet& constraints)
+    : topology_(&topology),
+      containers_(&containers),
+      applications_(&applications),
+      constraints_(&constraints) {
+  free_.reserve(topology.machine_count());
+  for (const Machine& m : topology.machines()) free_.push_back(m.capacity);
+  deployed_.resize(topology.machine_count());
+  apps_on_.resize(topology.machine_count());
+  placement_.assign(containers.size(), MachineId::Invalid());
+}
+
+bool ClusterState::Fits(ContainerId c, MachineId m) const {
+  return (*containers_)[Idx(c)].request.FitsIn(free_[Idx(m)]);
+}
+
+bool ClusterState::Blacklisted(ContainerId c, MachineId m) const {
+  const ApplicationId app = (*containers_)[Idx(c)].app;
+  // Iterate the (few) applications present on the machine and test each
+  // against the constraint set — Eq. 7 materialised lazily.
+  for (const auto& [other_raw, count] : apps_on_[Idx(m)]) {
+    if (count <= 0) continue;
+    if (constraints_->Conflicts(app, ApplicationId(other_raw))) return true;
+  }
+  return false;
+}
+
+bool ClusterState::CanPlace(ContainerId c, MachineId m) const {
+  return Fits(c, m) && !Blacklisted(c, m);
+}
+
+void ClusterState::Deploy(ContainerId c, MachineId m) {
+  assert(!IsPlaced(c));
+  assert(Fits(c, m));
+  const Container& container = (*containers_)[Idx(c)];
+  free_[Idx(m)] -= container.request;
+  assert(!free_[Idx(m)].AnyNegative());
+  deployed_[Idx(m)].push_back(c);
+  ++apps_on_[Idx(m)][container.app.value()];
+  placement_[Idx(c)] = m;
+  ++placed_count_;
+}
+
+void ClusterState::Evict(ContainerId c) {
+  assert(IsPlaced(c));
+  const MachineId m = placement_[Idx(c)];
+  const Container& container = (*containers_)[Idx(c)];
+  free_[Idx(m)] += container.request;
+  auto& list = deployed_[Idx(m)];
+  list.erase(std::find(list.begin(), list.end(), c));
+  auto it = apps_on_[Idx(m)].find(container.app.value());
+  assert(it != apps_on_[Idx(m)].end());
+  if (--it->second == 0) apps_on_[Idx(m)].erase(it);
+  placement_[Idx(c)] = MachineId::Invalid();
+  --placed_count_;
+}
+
+void ClusterState::Migrate(ContainerId c, MachineId to) {
+  assert(IsPlaced(c));
+  assert(PlacementOf(c) != to);
+  Evict(c);
+  Deploy(c, to);
+  ++migrations_;
+}
+
+void ClusterState::Preempt(ContainerId c) {
+  Evict(c);
+  ++preemptions_;
+}
+
+std::size_t ClusterState::UsedMachineCount() const {
+  std::size_t used = 0;
+  for (const auto& list : deployed_) {
+    if (!list.empty()) ++used;
+  }
+  return used;
+}
+
+UtilizationSummary ClusterState::Utilization() const {
+  UtilizationSummary s;
+  double total = 0.0;
+  for (std::size_t mi = 0; mi < deployed_.size(); ++mi) {
+    if (deployed_[mi].empty()) continue;
+    const Machine& machine = topology_->machines()[mi];
+    const ResourceVector used = machine.capacity - free_[mi];
+    const double share = used.DominantShareOf(machine.capacity);
+    if (s.used_machines == 0) {
+      s.min_share = s.max_share = share;
+    } else {
+      s.min_share = std::min(s.min_share, share);
+      s.max_share = std::max(s.max_share, share);
+    }
+    ++s.used_machines;
+    total += share;
+  }
+  if (s.used_machines > 0) {
+    s.avg_share = total / static_cast<double>(s.used_machines);
+  }
+  return s;
+}
+
+bool ClusterState::VerifyResourceInvariant() const {
+  std::vector<ResourceVector> recomputed;
+  recomputed.reserve(free_.size());
+  for (const Machine& m : topology_->machines()) {
+    recomputed.push_back(m.capacity);
+  }
+  std::size_t placed = 0;
+  for (std::size_t ci = 0; ci < placement_.size(); ++ci) {
+    if (!placement_[ci].valid()) continue;
+    ++placed;
+    recomputed[Idx(placement_[ci])] -= (*containers_)[ci].request;
+    if (recomputed[Idx(placement_[ci])].AnyNegative()) return false;
+  }
+  if (placed != placed_count_) return false;
+  for (std::size_t mi = 0; mi < free_.size(); ++mi) {
+    if (!(recomputed[mi] == free_[mi])) return false;
+  }
+  return true;
+}
+
+void ClusterState::Clear() {
+  free_.clear();
+  for (const Machine& m : topology_->machines()) free_.push_back(m.capacity);
+  for (auto& list : deployed_) list.clear();
+  for (auto& map : apps_on_) map.clear();
+  std::fill(placement_.begin(), placement_.end(), MachineId::Invalid());
+  placed_count_ = 0;
+  migrations_ = 0;
+  preemptions_ = 0;
+}
+
+}  // namespace aladdin::cluster

@@ -1,0 +1,135 @@
+// Mutable cluster state: which container runs where, what is free, and the
+// anti-affinity blacklist view derived from deployments (Eq. 7–8).
+//
+// Every scheduler mutates one of these through Deploy / Evict / Migrate /
+// Preempt. Resource fit is enforced physically (a machine can never be
+// over-committed); anti-affinity is policy and deliberately *not* enforced
+// here — Medea knowingly places violating containers, and the independent
+// auditor (audit.h) recounts violations from raw placements afterwards.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/application.h"
+#include "cluster/constraints.h"
+#include "cluster/topology.h"
+
+namespace aladdin::cluster {
+
+struct UtilizationSummary {
+  std::size_t used_machines = 0;
+  double min_share = 0.0;  // lowest dominant share among used machines
+  double max_share = 0.0;
+  double avg_share = 0.0;
+};
+
+class ClusterState {
+ public:
+  // References must outlive the state; the tables are owned by the workload.
+  ClusterState(const Topology& topology,
+               const std::vector<Container>& containers,
+               const std::vector<Application>& applications,
+               const ConstraintSet& constraints);
+
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+  [[nodiscard]] const std::vector<Container>& containers() const {
+    return *containers_;
+  }
+  [[nodiscard]] const std::vector<Application>& applications() const {
+    return *applications_;
+  }
+  [[nodiscard]] const ConstraintSet& constraints() const {
+    return *constraints_;
+  }
+
+  [[nodiscard]] const ResourceVector& Free(MachineId m) const {
+    return free_[Idx(m)];
+  }
+
+  // Resource feasibility only (Eq. 6).
+  [[nodiscard]] bool Fits(ContainerId c, MachineId m) const;
+
+  // Anti-affinity blacklist membership (Eq. 7–8): true if some container
+  // already deployed on `m` belongs to an application that conflicts with
+  // `c`'s application (including within-app anti-affinity).
+  [[nodiscard]] bool Blacklisted(ContainerId c, MachineId m) const;
+
+  // Fits && !Blacklisted — a constraint-respecting scheduler's predicate.
+  [[nodiscard]] bool CanPlace(ContainerId c, MachineId m) const;
+
+  // Places `c` on `m`. Requires Fits (asserts); does NOT require the
+  // blacklist check — see class comment. Requires `c` currently unplaced.
+  void Deploy(ContainerId c, MachineId m);
+
+  // Removes `c` from its machine. Requires `c` placed.
+  void Evict(ContainerId c);
+
+  // Evict + Deploy to `to`, counted as one migration (Fig. 13b metric).
+  void Migrate(ContainerId c, MachineId to);
+
+  // Evict recorded as a preemption (the victim is expected to be
+  // re-queued or dropped by the caller).
+  void Preempt(ContainerId c);
+
+  // Counter adjustments for engines that stage moves as Evict+Deploy and
+  // only commit the accounting once a whole repair transaction succeeds
+  // (rolled-back transactions must not inflate Fig. 13(b)).
+  void RecordMigrations(std::int64_t n) { migrations_ += n; }
+  void RecordPreemptions(std::int64_t n) { preemptions_ += n; }
+
+  [[nodiscard]] MachineId PlacementOf(ContainerId c) const {
+    return placement_[Idx(c)];
+  }
+  [[nodiscard]] bool IsPlaced(ContainerId c) const {
+    return placement_[Idx(c)].valid();
+  }
+  [[nodiscard]] std::span<const ContainerId> DeployedOn(MachineId m) const {
+    return deployed_[Idx(m)];
+  }
+  // Distinct applications with at least one container on `m`, with counts.
+  [[nodiscard]] const std::unordered_map<std::int32_t, std::int32_t>& AppsOn(
+      MachineId m) const {
+    return apps_on_[Idx(m)];
+  }
+
+  [[nodiscard]] std::size_t placed_count() const { return placed_count_; }
+  [[nodiscard]] std::int64_t migrations() const { return migrations_; }
+  [[nodiscard]] std::int64_t preemptions() const { return preemptions_; }
+
+  [[nodiscard]] std::size_t UsedMachineCount() const;
+  // Dominant-share statistics over used machines (Fig. 11).
+  [[nodiscard]] UtilizationSummary Utilization() const;
+
+  // Recomputes free resources from placements and compares; false indicates
+  // state corruption (used by tests and debug assertions).
+  [[nodiscard]] bool VerifyResourceInvariant() const;
+
+  // Evict everything; counters reset.
+  void Clear();
+
+ private:
+  template <typename T>
+  static std::size_t Idx(T id) {
+    return static_cast<std::size_t>(id.value());
+  }
+
+  const Topology* topology_;
+  const std::vector<Container>* containers_;
+  const std::vector<Application>* applications_;
+  const ConstraintSet* constraints_;
+
+  std::vector<ResourceVector> free_;                // per machine
+  std::vector<std::vector<ContainerId>> deployed_;  // per machine
+  // per machine: app id -> container count (small maps; machines host few
+  // distinct apps, so blacklist checks iterate these).
+  std::vector<std::unordered_map<std::int32_t, std::int32_t>> apps_on_;
+  std::vector<MachineId> placement_;  // per container
+  std::size_t placed_count_ = 0;
+  std::int64_t migrations_ = 0;
+  std::int64_t preemptions_ = 0;
+};
+
+}  // namespace aladdin::cluster

@@ -1,0 +1,58 @@
+#include "cluster/topology.h"
+
+#include <cassert>
+
+namespace aladdin::cluster {
+
+Topology Topology::Uniform(std::size_t machines, ResourceVector capacity,
+                           std::size_t machines_per_rack,
+                           std::size_t racks_per_subcluster) {
+  assert(machines_per_rack > 0);
+  assert(racks_per_subcluster > 0);
+  Topology topo;
+  RackId rack = RackId::Invalid();
+  SubClusterId sub = SubClusterId::Invalid();
+  for (std::size_t i = 0; i < machines; ++i) {
+    if (i % (machines_per_rack * racks_per_subcluster) == 0) {
+      sub = topo.AddSubCluster();
+    }
+    if (i % machines_per_rack == 0) {
+      rack = topo.AddRack(sub);
+    }
+    topo.AddMachine(rack, capacity);
+  }
+  return topo;
+}
+
+SubClusterId Topology::AddSubCluster() {
+  subcluster_racks_.emplace_back();
+  return SubClusterId(static_cast<std::int32_t>(subcluster_racks_.size() - 1));
+}
+
+RackId Topology::AddRack(SubClusterId g) {
+  assert(g.valid() &&
+         static_cast<std::size_t>(g.value()) < subcluster_racks_.size());
+  rack_subcluster_.push_back(g);
+  rack_machines_.emplace_back();
+  const RackId r(static_cast<std::int32_t>(rack_subcluster_.size() - 1));
+  subcluster_racks_[static_cast<std::size_t>(g.value())].push_back(r);
+  return r;
+}
+
+MachineId Topology::AddMachine(RackId r, ResourceVector capacity) {
+  assert(r.valid() &&
+         static_cast<std::size_t>(r.value()) < rack_machines_.size());
+  const MachineId m(static_cast<std::int32_t>(machines_.size()));
+  machines_.push_back(
+      Machine{m, r, RackSubCluster(r), capacity});
+  rack_machines_[static_cast<std::size_t>(r.value())].push_back(m);
+  return m;
+}
+
+ResourceVector Topology::TotalCapacity() const {
+  ResourceVector total;
+  for (const Machine& m : machines_) total += m.capacity;
+  return total;
+}
+
+}  // namespace aladdin::cluster

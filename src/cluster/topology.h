@@ -1,0 +1,67 @@
+// Cluster topology: machines grouped into racks grouped into sub-clusters.
+//
+// Aladdin's flow network inserts rack vertices R_x and (sub-)cluster vertices
+// G_k between applications and machines to cut the edge count from
+// O(|T|·|N|) to O(|T| + |A|·|R| + |N|) (§III.A). The topology object owns
+// the machine inventory and the grouping maps those vertices are built from.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "common/ids.h"
+
+namespace aladdin::cluster {
+
+class Topology {
+ public:
+  // Uniform builder: `machines` homogeneous machines of `capacity` packed
+  // into racks of `machines_per_rack`, racks packed into sub-clusters of
+  // `racks_per_subcluster`. The trace's cluster is homogeneous
+  // (32 CPU / 64 GB, §V.A); heterogeneous clusters use AddMachine directly.
+  static Topology Uniform(std::size_t machines, ResourceVector capacity,
+                          std::size_t machines_per_rack = 40,
+                          std::size_t racks_per_subcluster = 10);
+
+  Topology() = default;
+
+  // Incremental construction for heterogeneous set-ups.
+  SubClusterId AddSubCluster();
+  RackId AddRack(SubClusterId g);
+  MachineId AddMachine(RackId r, ResourceVector capacity);
+
+  [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
+  [[nodiscard]] std::size_t rack_count() const { return rack_subcluster_.size(); }
+  [[nodiscard]] std::size_t subcluster_count() const {
+    return subcluster_racks_.size();
+  }
+
+  [[nodiscard]] const Machine& machine(MachineId m) const {
+    return machines_[static_cast<std::size_t>(m.value())];
+  }
+  [[nodiscard]] const std::vector<Machine>& machines() const {
+    return machines_;
+  }
+
+  [[nodiscard]] SubClusterId RackSubCluster(RackId r) const {
+    return rack_subcluster_[static_cast<std::size_t>(r.value())];
+  }
+  [[nodiscard]] std::span<const MachineId> RackMachines(RackId r) const {
+    return rack_machines_[static_cast<std::size_t>(r.value())];
+  }
+  [[nodiscard]] std::span<const RackId> SubClusterRacks(SubClusterId g) const {
+    return subcluster_racks_[static_cast<std::size_t>(g.value())];
+  }
+
+  // Total capacity over all machines.
+  [[nodiscard]] ResourceVector TotalCapacity() const;
+
+ private:
+  std::vector<Machine> machines_;
+  std::vector<SubClusterId> rack_subcluster_;
+  std::vector<std::vector<MachineId>> rack_machines_;
+  std::vector<std::vector<RackId>> subcluster_racks_;
+};
+
+}  // namespace aladdin::cluster

@@ -1,0 +1,144 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace aladdin {
+
+std::int64_t& Flags::Int64(std::string name, std::int64_t def,
+                           std::string help) {
+  Flag f;
+  f.name = std::move(name);
+  f.help = std::move(help);
+  f.kind = Kind::kInt64;
+  f.i64 = std::make_unique<std::int64_t>(def);
+  f.default_repr = std::to_string(def);
+  flags_.push_back(std::move(f));
+  return *flags_.back().i64;
+}
+
+double& Flags::Double(std::string name, double def, std::string help) {
+  Flag f;
+  f.name = std::move(name);
+  f.help = std::move(help);
+  f.kind = Kind::kDouble;
+  f.dbl = std::make_unique<double>(def);
+  f.default_repr = FormatFixed(def, 4);
+  flags_.push_back(std::move(f));
+  return *flags_.back().dbl;
+}
+
+bool& Flags::Bool(std::string name, bool def, std::string help) {
+  Flag f;
+  f.name = std::move(name);
+  f.help = std::move(help);
+  f.kind = Kind::kBool;
+  f.bl = std::make_unique<bool>(def);
+  f.default_repr = def ? "true" : "false";
+  flags_.push_back(std::move(f));
+  return *flags_.back().bl;
+}
+
+std::string& Flags::String(std::string name, std::string def,
+                           std::string help) {
+  Flag f;
+  f.name = std::move(name);
+  f.help = std::move(help);
+  f.kind = Kind::kString;
+  f.str = std::make_unique<std::string>(std::move(def));
+  f.default_repr = *f.str;
+  flags_.push_back(std::move(f));
+  return *flags_.back().str;
+}
+
+Flags::Flag* Flags::Find(std::string_view name) {
+  for (auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool Flags::Assign(Flag& f, std::string_view value) {
+  switch (f.kind) {
+    case Kind::kInt64:
+      return ParseInt64(value, *f.i64);
+    case Kind::kDouble:
+      return ParseDouble(value, *f.dbl);
+    case Kind::kBool:
+      if (value == "true" || value == "1") {
+        *f.bl = true;
+        return true;
+      }
+      if (value == "false" || value == "0") {
+        *f.bl = false;
+        return true;
+      }
+      return false;
+    case Kind::kString:
+      *f.str = std::string(value);
+      return true;
+  }
+  return false;
+}
+
+bool Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "%s", Usage().c_str());
+      return false;
+    }
+    if (!StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n",
+                   std::string(arg).c_str());
+      return false;
+    }
+    arg.remove_prefix(2);
+    std::string_view name = arg;
+    std::string_view value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    Flag* f = Find(name);
+    if (f == nullptr) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s",
+                   std::string(name).c_str(), Usage().c_str());
+      return false;
+    }
+    if (!has_value) {
+      if (f->kind == Kind::kBool) {
+        *f->bl = true;  // bare --flag turns a bool on
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n",
+                     std::string(name).c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!Assign(*f, value)) {
+      std::fprintf(stderr, "bad value for --%s: '%s'\n",
+                   std::string(name).c_str(), std::string(value).c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Flags::Usage() const {
+  std::ostringstream os;
+  os << "flags:\n";
+  for (const auto& f : flags_) {
+    os << "  --" << f.name << " (default " << f.default_repr << ")  "
+       << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aladdin

@@ -1,0 +1,50 @@
+// Tiny command-line flag registry for bench and example binaries.
+//
+// Usage:
+//   Flags flags;
+//   auto& machines = flags.Int64("machines", 2000, "cluster size");
+//   auto& seed     = flags.Int64("seed", 42, "trace seed");
+//   if (!flags.Parse(argc, argv)) return 1;   // prints usage on --help
+//
+// Accepted syntaxes: --name=value, --name value, and bare --name for bools.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace aladdin {
+
+class Flags {
+ public:
+  std::int64_t& Int64(std::string name, std::int64_t def, std::string help);
+  double& Double(std::string name, double def, std::string help);
+  bool& Bool(std::string name, bool def, std::string help);
+  std::string& String(std::string name, std::string def, std::string help);
+
+  // Returns false (after printing a message to stderr) on unknown flags,
+  // malformed values, or --help.
+  bool Parse(int argc, char** argv);
+
+  [[nodiscard]] std::string Usage() const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    // Own the storage so references handed to callers stay stable.
+    std::unique_ptr<std::int64_t> i64;
+    std::unique_ptr<double> dbl;
+    std::unique_ptr<bool> bl;
+    std::unique_ptr<std::string> str;
+    std::string default_repr;
+  };
+  std::vector<Flag> flags_;
+  Flag* Find(std::string_view name);
+  bool Assign(Flag& f, std::string_view value);
+};
+
+}  // namespace aladdin

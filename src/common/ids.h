@@ -1,0 +1,82 @@
+// Strong integer identifiers.
+//
+// The simulator juggles several index spaces (containers, applications,
+// machines, racks, flow-graph vertices...). Mixing them up compiles fine with
+// plain `int` and produces silently wrong schedules, so every index space
+// gets its own vocabulary type. An Id is a thin wrapper over int32_t with
+// value semantics, ordering, hashing, and an explicit `value()` escape hatch
+// for array indexing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace aladdin {
+
+// `Tag` is an empty struct unique to each index space; it never gets
+// instantiated and only serves to make distinct template instantiations.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::int32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  // Sentinel for "no such object". All default-constructed Ids are invalid.
+  static constexpr Id Invalid() { return Id(-1); }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+ private:
+  underlying_type value_ = -1;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+struct ContainerTag {};
+struct ApplicationTag {};
+struct MachineTag {};
+struct RackTag {};
+struct SubClusterTag {};
+struct VertexTag {};
+struct ArcTag {};
+
+using ContainerId = Id<ContainerTag>;
+using ApplicationId = Id<ApplicationTag>;
+using MachineId = Id<MachineTag>;
+using RackId = Id<RackTag>;
+using SubClusterId = Id<SubClusterTag>;
+using VertexId = Id<VertexTag>;
+using ArcId = Id<ArcTag>;
+
+}  // namespace aladdin
+
+// The id types are used pervasively under aladdin::cluster (and re-exported
+// to the layers above it); make the qualified spellings work too.
+namespace aladdin::cluster {
+using aladdin::ApplicationId;
+using aladdin::ArcId;
+using aladdin::ContainerId;
+using aladdin::MachineId;
+using aladdin::RackId;
+using aladdin::SubClusterId;
+using aladdin::VertexId;
+}  // namespace aladdin::cluster
+
+namespace std {
+template <typename Tag>
+struct hash<aladdin::Id<Tag>> {
+  size_t operator()(aladdin::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+}  // namespace std

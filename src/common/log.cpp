@@ -1,0 +1,39 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace aladdin {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_emit_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+}  // namespace internal
+
+}  // namespace aladdin

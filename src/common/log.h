@@ -1,0 +1,49 @@
+// Leveled logging to stderr. Intentionally tiny: benches print their results
+// on stdout; everything diagnostic goes through here so it can be silenced
+// globally (tests run with level = kWarn by default).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aladdin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace internal
+
+}  // namespace aladdin
+
+#define ALADDIN_LOG(level)                                       \
+  if (static_cast<int>(::aladdin::LogLevel::level) <             \
+      static_cast<int>(::aladdin::GetLogLevel())) {              \
+  } else                                                         \
+    ::aladdin::internal::LogLine(::aladdin::LogLevel::level)
+
+#define LOG_DEBUG ALADDIN_LOG(kDebug)
+#define LOG_INFO ALADDIN_LOG(kInfo)
+#define LOG_WARN ALADDIN_LOG(kWarn)
+#define LOG_ERROR ALADDIN_LOG(kError)

@@ -1,0 +1,97 @@
+// Descriptive statistics used by the metrics pipeline and the trace
+// generator's self-checks: streaming moments, exact percentiles over stored
+// samples, fixed-width histograms and empirical CDFs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aladdin {
+
+// Streaming mean / variance / extrema (Welford). O(1) memory; suitable for
+// metrics that never need percentiles.
+class OnlineStats {
+ public:
+  void Add(double x);
+  void Merge(const OnlineStats& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  // Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores every sample; supports exact order statistics. Used for latency
+// distributions where p99 matters and sample counts are modest.
+class Sample {
+ public:
+  void Add(double x);
+  void Reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  // Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double Percentile(double p) const;
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  // Kept sorted lazily: sorted_upto_ tracks how much of the prefix is known
+  // sorted so repeated Percentile calls don't re-sort.
+  mutable std::vector<double> values_;
+  mutable bool dirty_ = false;
+  void EnsureSorted() const;
+};
+
+// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+// first/last bin so totals always match the number of Add calls.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  // Inclusive lower edge of a bin.
+  [[nodiscard]] double BinLow(std::size_t bin) const;
+  [[nodiscard]] double BinHigh(std::size_t bin) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Point on an empirical CDF: `fraction` of samples are <= `value`.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;
+};
+
+// Builds an empirical CDF reduced to at most `max_points` evenly spaced
+// quantile knots — exactly what Fig. 8(a) plots (CDF of containers per app).
+std::vector<CdfPoint> BuildCdf(std::vector<double> samples,
+                               std::size_t max_points = 64);
+
+// Render a CDF as an aligned two-column ASCII block for bench output.
+std::string FormatCdf(const std::vector<CdfPoint>& cdf,
+                      const std::string& value_label,
+                      const std::string& fraction_label);
+
+}  // namespace aladdin

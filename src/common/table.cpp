@@ -1,0 +1,78 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace aladdin {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::Cell(std::string value) {
+  pending_.push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::Cell(std::int64_t value) {
+  pending_.push_back(WithThousands(value));
+  return *this;
+}
+
+Table& Table::Cell(double value, int digits) {
+  pending_.push_back(FormatFixed(value, digits));
+  return *this;
+}
+
+Table& Table::EndRow() {
+  AddRow(std::move(pending_));
+  pending_.clear();
+  return *this;
+}
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto print_sep = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(Render().c_str(), stdout); }
+
+}  // namespace aladdin

@@ -1,0 +1,33 @@
+// ASCII table rendering shared by every bench binary so paper-vs-measured
+// comparisons print in one consistent format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aladdin {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Variadic convenience: each cell is stringified.
+  Table& AddRow(std::vector<std::string> cells);
+
+  Table& Cell(std::string value);
+  Table& Cell(std::int64_t value);
+  Table& Cell(double value, int digits = 2);
+  // Close the row built cell-by-cell; missing cells become "".
+  Table& EndRow();
+
+  [[nodiscard]] std::string Render() const;
+  void Print() const;  // Render() to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace aladdin

@@ -1,0 +1,61 @@
+// Fixed-size worker pool with a blocking task queue plus a ParallelFor
+// convenience built on top of it.
+//
+// Experiment sweeps (bench_latency, bench_overhead) run independent
+// scheduler instances per configuration; ParallelFor partitions those sweeps
+// deterministically so results are identical regardless of worker count —
+// only wall-clock changes. On single-core hosts the pool degrades gracefully
+// to serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aladdin {
+
+class ThreadPool {
+ public:
+  // threads == 0 means std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  // Enqueue a task; the future resolves when it has run.
+  std::future<void> Submit(std::function<void()> task);
+
+  // Block until every task submitted so far has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+// Invokes fn(i) for i in [begin, end) across the pool, in contiguous chunks.
+// Blocks until all iterations are done. fn must be safe to call concurrently
+// for distinct i.
+void ParallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn);
+
+// Serial fallback variant usable without constructing a pool.
+void SerialFor(std::size_t begin, std::size_t end,
+               const std::function<void(std::size_t)>& fn);
+
+}  // namespace aladdin

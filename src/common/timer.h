@@ -1,0 +1,44 @@
+// Wall-clock timing helpers for latency metrics (Fig. 12 / Fig. 13a).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace aladdin {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  [[nodiscard]] std::int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Adds elapsed seconds to `*sink` on destruction; for accumulating time spent
+// inside a phase across many calls.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedSeconds(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace aladdin

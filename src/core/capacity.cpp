@@ -1,0 +1,4 @@
+#include "core/capacity.h"
+
+// Header-only logic; TU anchors the header in the core library.
+namespace aladdin::core {}

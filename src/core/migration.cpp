@@ -1,0 +1,299 @@
+#include "core/migration.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+namespace aladdin::core {
+
+namespace {
+template <typename T>
+std::size_t Idx(T id) {
+  return static_cast<std::size_t>(id.value());
+}
+}  // namespace
+
+RepairEngine::RepairEngine(AggregatedNetwork& network,
+                           const PriorityWeights& weights,
+                           const RepairOptions& options)
+    : network_(network), weights_(weights), options_(options) {}
+
+bool RepairEngine::RepairOnMachine(cluster::ContainerId c,
+                                   cluster::MachineId m,
+                                   const SearchOptions& search,
+                                   SearchCounters& counters,
+                                   std::vector<cluster::ContainerId>& requeue) {
+  cluster::ClusterState& state = *network_.state();
+  const cluster::Container& cont = state.containers()[Idx(c)];
+  const std::int64_t c_flow = weights_.WeightedFlow(cont);
+
+  // Blockers that must leave: anti-affinity conflicts with c's application.
+  std::vector<cluster::ContainerId> victims;
+  for (cluster::ContainerId v : state.DeployedOn(m)) {
+    const auto& vc = state.containers()[Idx(v)];
+    if (state.constraints().Conflicts(cont.app, vc.app)) victims.push_back(v);
+  }
+  if (victims.size() > static_cast<std::size_t>(options_.max_victims)) {
+    return false;
+  }
+
+  // Filler victims to cover the resource deficit, cheapest weighted flow
+  // first (those are the legal preemption targets if no alternative exists).
+  cluster::ResourceVector available = state.Free(m);
+  for (cluster::ContainerId v : victims) {
+    available += state.containers()[Idx(v)].request;
+  }
+  if (!cont.request.FitsIn(available)) {
+    std::vector<cluster::ContainerId> fillers;
+    for (cluster::ContainerId v : state.DeployedOn(m)) {
+      if (std::find(victims.begin(), victims.end(), v) == victims.end()) {
+        fillers.push_back(v);
+      }
+    }
+    std::sort(fillers.begin(), fillers.end(),
+              [&](cluster::ContainerId a, cluster::ContainerId b) {
+                return weights_.WeightedFlow(state.containers()[Idx(a)]) <
+                       weights_.WeightedFlow(state.containers()[Idx(b)]);
+              });
+    for (cluster::ContainerId v : fillers) {
+      if (cont.request.FitsIn(available)) break;
+      if (victims.size() >= static_cast<std::size_t>(options_.max_victims)) {
+        return false;
+      }
+      victims.push_back(v);
+      available += state.containers()[Idx(v)].request;
+    }
+    if (!cont.request.FitsIn(available)) return false;
+  }
+
+  // --- Transaction: evict victims, place c, relocate victims. -----------
+  for (cluster::ContainerId v : victims) network_.Evict(v);
+
+  auto rollback = [&](const std::vector<
+                          std::pair<cluster::ContainerId, cluster::MachineId>>&
+                          moved,
+                      bool c_deployed) {
+    for (const auto& [v, m2] : moved) {
+      (void)m2;
+      network_.Evict(v);
+    }
+    if (c_deployed) network_.Evict(c);
+    for (cluster::ContainerId v : victims) network_.Deploy(v, m);
+  };
+
+  // Victims covered both the resource deficit and every conflicting tenant,
+  // so this holds unless the capacity function changed under us.
+  if (!state.CanPlace(c, m)) {
+    rollback({}, false);
+    return false;
+  }
+  network_.Deploy(c, m);
+
+  // Relocate victims, highest weighted flow first (they get first pick of
+  // alternative machines — migration must not degrade high-priority work).
+  std::sort(victims.begin(), victims.end(),
+            [&](cluster::ContainerId a, cluster::ContainerId b) {
+              return weights_.WeightedFlow(state.containers()[Idx(a)]) >
+                     weights_.WeightedFlow(state.containers()[Idx(b)]);
+            });
+  std::vector<std::pair<cluster::ContainerId, cluster::MachineId>> moved;
+  std::vector<cluster::ContainerId> preempted;
+  std::int64_t preempted_flow = 0;
+  for (cluster::ContainerId v : victims) {
+    cluster::MachineId m2;
+    if (options_.allow_migration) {
+      m2 = network_.FindMachine(v, search, counters, /*exclude=*/m);
+    }
+    if (m2.valid()) {
+      network_.Deploy(v, m2);  // migration, counted on commit
+      moved.emplace_back(v, m2);
+      continue;
+    }
+    const std::int64_t v_flow =
+        weights_.WeightedFlow(state.containers()[Idx(v)]);
+    // Priority safety (each victim strictly below c) AND Eq. 9
+    // monotonicity: the transaction must not displace more weighted flow
+    // than it admits, or the "repair" would shrink the objective the
+    // network maximises.
+    if (options_.allow_preemption && v_flow < c_flow &&
+        preempted_flow + v_flow < c_flow) {
+      preempted.push_back(v);
+      preempted_flow += v_flow;
+      continue;
+    }
+    rollback(moved, /*c_deployed=*/true);
+    return false;
+  }
+
+  state.RecordMigrations(static_cast<std::int64_t>(moved.size()));
+  state.RecordPreemptions(static_cast<std::int64_t>(preempted.size()));
+  requeue.insert(requeue.end(), preempted.begin(), preempted.end());
+  return true;
+}
+
+bool RepairEngine::TryPlace(cluster::ContainerId c,
+                            const SearchOptions& search,
+                            SearchCounters& counters,
+                            std::vector<cluster::ContainerId>& requeue) {
+  const cluster::MachineId direct =
+      network_.FindMachine(c, search, counters);
+  if (direct.valid()) {
+    network_.Deploy(c, direct);
+    return true;
+  }
+  if (!options_.allow_migration && !options_.allow_preemption) return false;
+
+  // Two-tier scan, emptiest machines first. Tier 1 spends the main budget
+  // on machines whose conflicting tenants all have strictly lower weighted
+  // flow than c — those blockers are preemptable as a last resort, so the
+  // repair usually lands. Machines pinned by an equal-or-higher-weight
+  // blocker are deferred to a smaller tier-2 budget: such a blocker can
+  // still *migrate* (Fig. 3b — migration is priority-blind because nobody
+  // loses a placement), but when it cannot, the attempt is expensive and
+  // hopeless, so we bound how many of those we try.
+  const cluster::ClusterState& state = *network_.state();
+  const cluster::Container& cont = state.containers()[Idx(c)];
+  const std::int64_t c_flow = weights_.WeightedFlow(cont);
+  auto has_heavy_blocker = [&](cluster::MachineId m) {
+    for (cluster::ContainerId v : state.DeployedOn(m)) {
+      const auto& vc = state.containers()[Idx(v)];
+      if (weights_.WeightedFlow(vc) >= c_flow &&
+          state.constraints().Conflicts(cont.app, vc.app)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  bool placed = false;
+  int budget = options_.candidate_machines;
+  network_.ScanDescending(
+      static_cast<int>(state.topology().machine_count()),
+      [&](cluster::MachineId m) {
+        if (budget <= 0) return true;
+        if (has_heavy_blocker(m)) return false;  // tier 2 handles these
+        --budget;
+        placed = RepairOnMachine(c, m, search, counters, requeue);
+        return placed;
+      });
+  if (placed) return true;
+  int heavy_budget = std::max(4, options_.candidate_machines / 4);
+  network_.ScanDescending(
+      static_cast<int>(state.topology().machine_count()),
+      [&](cluster::MachineId m) {
+        if (heavy_budget <= 0) return true;
+        if (!has_heavy_blocker(m)) return false;  // tier 1 already tried
+        --heavy_budget;
+        placed = RepairOnMachine(c, m, search, counters, requeue);
+        return placed;
+      });
+  return placed;
+}
+
+std::vector<cluster::ContainerId> RepairEngine::Repair(
+    std::vector<cluster::ContainerId> pending, const SearchOptions& search,
+    SearchCounters& counters) {
+  cluster::ClusterState& state = *network_.state();
+  // Highest weighted flow first (Eq. 9: those flows contribute most).
+  std::sort(pending.begin(), pending.end(),
+            [&](cluster::ContainerId a, cluster::ContainerId b) {
+              const auto wa = weights_.WeightedFlow(state.containers()[Idx(a)]);
+              const auto wb = weights_.WeightedFlow(state.containers()[Idx(b)]);
+              if (wa != wb) return wa > wb;
+              return a < b;
+            });
+
+  std::deque<cluster::ContainerId> queue(pending.begin(), pending.end());
+  std::unordered_map<std::int32_t, int> attempts;
+  std::vector<cluster::ContainerId> unplaced;
+  while (!queue.empty()) {
+    const cluster::ContainerId c = queue.front();
+    queue.pop_front();
+    if (attempts[c.value()]++ >= options_.max_attempts_per_container) {
+      unplaced.push_back(c);
+      continue;
+    }
+    std::vector<cluster::ContainerId> requeue;
+    if (TryPlace(c, search, counters, requeue)) {
+      // Preempted victims re-enter the queue; their weighted flow is
+      // strictly below c's, so preemption chains terminate.
+      for (cluster::ContainerId v : requeue) queue.push_back(v);
+    } else {
+      unplaced.push_back(c);
+    }
+  }
+  return unplaced;
+}
+
+int RepairEngine::Compact(const SearchOptions& search,
+                          SearchCounters& counters, int max_passes,
+                          std::int64_t migration_budget) {
+  cluster::ClusterState& state = *network_.state();
+  int freed_total = 0;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    // Snapshot used machines, least-loaded first — cheapest to drain.
+    std::vector<std::pair<std::int64_t, cluster::MachineId>> used;
+    for (const auto& machine : state.topology().machines()) {
+      const auto tenants = state.DeployedOn(machine.id);
+      if (tenants.empty()) continue;
+      const std::int64_t used_cpu =
+          machine.capacity.cpu_millis() - state.Free(machine.id).cpu_millis();
+      used.emplace_back(used_cpu, machine.id);
+    }
+    std::sort(used.begin(), used.end());
+
+    int freed_this_pass = 0;
+    for (const auto& [used_cpu, m] : used) {
+      (void)used_cpu;
+      if (migration_budget <= 0) return freed_total;
+      const auto tenants_span = state.DeployedOn(m);
+      if (tenants_span.empty()) continue;  // drained by an earlier move
+      if (tenants_span.size() >
+          static_cast<std::size_t>(options_.max_victims) * 2) {
+        continue;  // too expensive to drain
+      }
+      if (static_cast<std::int64_t>(tenants_span.size()) > migration_budget) {
+        continue;
+      }
+      std::vector<cluster::ContainerId> tenants(tenants_span.begin(),
+                                                tenants_span.end());
+      std::sort(tenants.begin(), tenants.end(),
+                [&](cluster::ContainerId a, cluster::ContainerId b) {
+                  return weights_.WeightedFlow(state.containers()[Idx(a)]) >
+                         weights_.WeightedFlow(state.containers()[Idx(b)]);
+                });
+      std::vector<std::pair<cluster::ContainerId, cluster::MachineId>> moved;
+      bool ok = true;
+      for (cluster::ContainerId v : tenants) {
+        network_.Evict(v);
+        const cluster::MachineId m2 =
+            network_.FindMachine(v, search, counters, /*exclude=*/m);
+        // Moving into an empty machine trades one used machine for another;
+        // only accept destinations that are already in use.
+        if (m2.valid() && !state.DeployedOn(m2).empty()) {
+          network_.Deploy(v, m2);
+          moved.emplace_back(v, m2);
+        } else {
+          ok = false;
+          network_.Deploy(v, m);  // put the failed tenant back first
+          break;
+        }
+      }
+      if (!ok) {
+        for (auto it = moved.rbegin(); it != moved.rend(); ++it) {
+          network_.Evict(it->first);
+          network_.Deploy(it->first, m);
+        }
+        continue;
+      }
+      state.RecordMigrations(static_cast<std::int64_t>(moved.size()));
+      migration_budget -= static_cast<std::int64_t>(moved.size());
+      ++freed_this_pass;
+    }
+    freed_total += freed_this_pass;
+    if (freed_this_pass == 0) break;
+  }
+  return freed_total;
+}
+
+}  // namespace aladdin::core

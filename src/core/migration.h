@@ -1,0 +1,76 @@
+// Migration and preemption (§III.B, Fig. 3; cost discussion §IV.D, Fig. 7).
+//
+// When the path search cannot admit a container, Aladdin increases the flow
+// by restructuring existing placements:
+//  * Migration (Fig. 3b): a blocker — any priority — moves to an alternative
+//    machine; nobody loses their placement.
+//  * Preemption (Fig. 3a, made priority-safe by weighted flows): a blocker
+//    with strictly lower weighted flow is evicted and re-queued; Eq. 5
+//    guarantees a high-priority container can never be displaced by a
+//    lower-priority one, because preemption chains strictly decrease
+//    weighted flow and therefore terminate.
+//
+// The engine also hosts the compaction pass: emptying lightly-loaded
+// machines by migrating their containers into existing gaps, which is how
+// rescheduling recovers packing quality for adversarial arrival orders
+// (Fig. 7c) at a bounded migration cost (Fig. 13b).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/network.h"
+#include "core/weights.h"
+
+namespace aladdin::core {
+
+struct RepairOptions {
+  int max_attempts_per_container = 3;
+  // Machines examined (descending free CPU) per repair attempt.
+  int candidate_machines = 64;
+  // Victims displaced per repair (paper's bound: cost stays within
+  // O(V·E²·c), §IV.D).
+  int max_victims = 4;
+  bool allow_migration = true;
+  bool allow_preemption = true;
+};
+
+class RepairEngine {
+ public:
+  RepairEngine(AggregatedNetwork& network, const PriorityWeights& weights,
+               const RepairOptions& options);
+
+  // Attempts to place every container in `pending`, highest weighted flow
+  // first. Preempted victims join the queue (always at strictly lower
+  // weighted flow). Returns the containers that remain unplaced.
+  std::vector<cluster::ContainerId> Repair(
+      std::vector<cluster::ContainerId> pending, const SearchOptions& search,
+      SearchCounters& counters);
+
+  // Compaction: tries to fully drain the least-utilised machines into other
+  // used machines without creating violations. Stops after `max_passes`
+  // sweeps, when a sweep frees no machine, or when `migration_budget` moves
+  // have been spent. Returns machines freed.
+  int Compact(const SearchOptions& search, SearchCounters& counters,
+              int max_passes, std::int64_t migration_budget);
+
+ private:
+  // One placement attempt for `c` including restructuring. Returns true if
+  // `c` ends up deployed. Preempted victims are appended to `requeue`.
+  bool TryPlace(cluster::ContainerId c, const SearchOptions& search,
+                SearchCounters& counters,
+                std::vector<cluster::ContainerId>& requeue);
+
+  // Attempt to clear space for `c` on machine `m` by migrating/preempting
+  // at most max_victims blockers. Returns true (and deploys c) on success;
+  // restores the exact prior placement on failure.
+  bool RepairOnMachine(cluster::ContainerId c, cluster::MachineId m,
+                       const SearchOptions& search, SearchCounters& counters,
+                       std::vector<cluster::ContainerId>& requeue);
+
+  AggregatedNetwork& network_;
+  const PriorityWeights& weights_;
+  RepairOptions options_;
+};
+
+}  // namespace aladdin::core

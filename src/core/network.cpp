@@ -1,0 +1,229 @@
+#include "core/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aladdin::core {
+
+namespace {
+template <typename T>
+std::size_t Idx(T id) {
+  return static_cast<std::size_t>(id.value());
+}
+}  // namespace
+
+AggregatedNetwork::AggregatedNetwork(const cluster::Topology& topology)
+    : topology_(&topology) {}
+
+void AggregatedNetwork::Attach(cluster::ClusterState* state) {
+  assert(state != nullptr);
+  assert(&state->topology() == topology_);
+  state_ = state;
+
+  const std::size_t machines = topology_->machine_count();
+  by_free_.clear();
+  indexed_free_.assign(machines, 0);
+  epoch_.assign(machines, 0);
+  rack_free_.assign(topology_->rack_count(), {});
+  subcluster_free_.assign(topology_->subcluster_count(), {});
+  rack_max_.assign(topology_->rack_count(), 0);
+  il_memo_.assign(state->applications().size(), {});
+  il_bitset_.assign(state->applications().size(), {});
+
+  // Build rack multisets first, then seed sub-cluster maxima.
+  for (const auto& machine : topology_->machines()) {
+    const std::int64_t free = state_->Free(machine.id).cpu_millis();
+    indexed_free_[Idx(machine.id)] = free;
+    by_free_.insert({free, machine.id.value()});
+    rack_free_[Idx(machine.rack)].insert(free);
+  }
+  for (std::size_t r = 0; r < rack_free_.size(); ++r) {
+    const auto& set = rack_free_[r];
+    rack_max_[r] = set.empty() ? 0 : *set.rbegin();
+    const auto g = topology_->RackSubCluster(
+        cluster::RackId(static_cast<std::int32_t>(r)));
+    subcluster_free_[Idx(g)].insert(rack_max_[r]);
+  }
+}
+
+std::int64_t AggregatedNetwork::FreeCpu(cluster::MachineId m) const {
+  return state_->Free(m).cpu_millis();
+}
+
+void AggregatedNetwork::Reindex(cluster::MachineId m) {
+  const std::int64_t old_free = indexed_free_[Idx(m)];
+  const std::int64_t new_free = FreeCpu(m);
+  ++epoch_[Idx(m)];
+  if (old_free == new_free) return;
+
+  by_free_.erase({old_free, m.value()});
+  by_free_.insert({new_free, m.value()});
+  indexed_free_[Idx(m)] = new_free;
+
+  const cluster::RackId rack = topology_->machine(m).rack;
+  auto& rset = rack_free_[Idx(rack)];
+  rset.erase(rset.find(old_free));
+  rset.insert(new_free);
+  const std::int64_t new_rack_max = rset.empty() ? 0 : *rset.rbegin();
+  if (new_rack_max != rack_max_[Idx(rack)]) {
+    const auto g = topology_->RackSubCluster(rack);
+    auto& gset = subcluster_free_[Idx(g)];
+    gset.erase(gset.find(rack_max_[Idx(rack)]));
+    gset.insert(new_rack_max);
+    rack_max_[Idx(rack)] = new_rack_max;
+  }
+}
+
+void AggregatedNetwork::Deploy(cluster::ContainerId c, cluster::MachineId m) {
+  state_->Deploy(c, m);
+  Reindex(m);
+}
+
+void AggregatedNetwork::Evict(cluster::ContainerId c) {
+  const cluster::MachineId m = state_->PlacementOf(c);
+  state_->Evict(c);
+  Reindex(m);
+}
+
+void AggregatedNetwork::Migrate(cluster::ContainerId c, cluster::MachineId to) {
+  const cluster::MachineId from = state_->PlacementOf(c);
+  state_->Migrate(c, to);
+  Reindex(from);
+  Reindex(to);
+}
+
+void AggregatedNetwork::Preempt(cluster::ContainerId c) {
+  const cluster::MachineId m = state_->PlacementOf(c);
+  state_->Preempt(c);
+  Reindex(m);
+}
+
+bool AggregatedNetwork::IlPruned(cluster::ApplicationId app,
+                                 cluster::MachineId m) const {
+  const auto& bits = il_bitset_[Idx(app)];
+  if (bits.empty() || !bits[Idx(m)]) return false;  // cheap common case
+  const auto& memo = il_memo_[Idx(app)];
+  const auto it = memo.find(m.value());
+  return it != memo.end() && it->second == epoch_[Idx(m)];
+}
+
+void AggregatedNetwork::RecordIlFailure(cluster::ApplicationId app,
+                                        cluster::MachineId m) {
+  auto& bits = il_bitset_[Idx(app)];
+  if (bits.empty()) bits.assign(topology_->machine_count(), false);
+  bits[Idx(m)] = true;
+  il_memo_[Idx(app)][m.value()] = epoch_[Idx(m)];
+}
+
+cluster::MachineId AggregatedNetwork::FindMachine(cluster::ContainerId c,
+                                                  const SearchOptions& options,
+                                                  SearchCounters& counters,
+                                                  cluster::MachineId exclude) {
+  assert(state_ != nullptr);
+  // DL changes the traversal (first saturating path wins); without it the
+  // search enumerates every candidate path through the aggregates. Both
+  // traversals return the same machine — the tightest admissible one.
+  return options.enable_dl
+             ? FindByBestFitWalk(c, options, counters, exclude)
+             : FindByEnumeration(c, options, counters, exclude);
+}
+
+cluster::MachineId AggregatedNetwork::FindByEnumeration(
+    cluster::ContainerId c, const SearchOptions& options,
+    SearchCounters& counters, cluster::MachineId exclude) {
+  const cluster::ApplicationId app = state_->containers()[Idx(c)].app;
+  const std::int64_t need = state_->containers()[Idx(c)].request.cpu_millis();
+  // IL exploits isomorphism between sibling containers; a single-container
+  // application has no siblings, so the memo would be pure overhead.
+  const bool use_il =
+      options.enable_il &&
+      state_->applications()[Idx(app)].containers.size() > 1;
+
+  cluster::MachineId best = cluster::MachineId::Invalid();
+  std::int64_t best_free = 0;
+  // Walk A → G_k → R_x → N_y, pruning aggregates whose residual cannot
+  // admit the request.
+  for (std::size_t g = 0; g < subcluster_free_.size(); ++g) {
+    ++counters.explored_paths;  // G vertex probe
+    const auto& gset = subcluster_free_[g];
+    if (gset.empty() || *gset.rbegin() < need) continue;
+    for (cluster::RackId rack : topology_->SubClusterRacks(
+             cluster::SubClusterId(static_cast<std::int32_t>(g)))) {
+      ++counters.explored_paths;  // R vertex probe
+      if (rack_max_[Idx(rack)] < need) continue;
+      for (cluster::MachineId m : topology_->RackMachines(rack)) {
+        if (m == exclude) continue;
+        if (use_il && IlPruned(app, m)) {
+          ++counters.il_prunes;
+          continue;
+        }
+        ++counters.explored_paths;  // N vertex probe
+        const CapacityCheck check = CapacityFunction::Evaluate(*state_, c, m);
+        if (!check.Admits()) {
+          // Memoise only blacklist rejections; fit rejections are cheaper
+          // to recompute than to look up.
+          if (use_il && check.blacklisted) RecordIlFailure(app, m);
+          continue;
+        }
+        const std::int64_t free = indexed_free_[Idx(m)];
+        if (!best.valid() || free < best_free ||
+            (free == best_free && m < best)) {
+          best = m;
+          best_free = free;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+cluster::MachineId AggregatedNetwork::FindByBestFitWalk(
+    cluster::ContainerId c, const SearchOptions& options,
+    SearchCounters& counters, cluster::MachineId exclude) {
+  const cluster::ApplicationId app = state_->containers()[Idx(c)].app;
+  const std::int64_t need = state_->containers()[Idx(c)].request.cpu_millis();
+  const bool use_il =
+      options.enable_il &&
+      state_->applications()[Idx(app)].containers.size() > 1;
+
+  for (auto it = by_free_.lower_bound({need, -1}); it != by_free_.end();
+       ++it) {
+    const cluster::MachineId m(it->second);
+    if (m == exclude) continue;
+    if (use_il && IlPruned(app, m)) {
+      ++counters.il_prunes;
+      continue;
+    }
+    ++counters.explored_paths;
+    const CapacityCheck check = CapacityFunction::Evaluate(*state_, c, m);
+    if (check.Admits()) {
+      // Depth limiting: this path saturates the container's s→T_i edge;
+      // no further path can increase its flow (§IV.A, Fig. 5b).
+      ++counters.dl_stops;
+      return m;
+    }
+    if (use_il) RecordIlFailure(app, m);
+  }
+  return cluster::MachineId::Invalid();
+}
+
+void AggregatedNetwork::ScanDescending(
+    int limit, const std::function<bool(cluster::MachineId)>& fn) const {
+  int seen = 0;
+  for (auto it = by_free_.rbegin(); it != by_free_.rend() && seen < limit;
+       ++it, ++seen) {
+    if (fn(cluster::MachineId(it->second))) return;
+  }
+}
+
+void AggregatedNetwork::ScanAscending(
+    std::int64_t min_free_cpu, int limit,
+    const std::function<bool(cluster::MachineId)>& fn) const {
+  int seen = 0;
+  for (auto it = by_free_.lower_bound({min_free_cpu, -1});
+       it != by_free_.end() && seen < limit; ++it, ++seen) {
+    if (fn(cluster::MachineId(it->second))) return;
+  }
+}
+
+}  // namespace aladdin::core

@@ -1,0 +1,136 @@
+// Aladdin's aggregated scheduling network (§III.A, Fig. 4) and the
+// shortest-path search over it (Algorithm 1).
+//
+// The network is s → T_i → A_j → G_k → R_x → N_y → t: containers feed their
+// application vertex, applications fan out over (sub-)cluster and rack
+// aggregation vertices to machines. The aggregation levels exist to cut the
+// edge count from O(|T|·|N|) to O(|T| + |A|·|R| + |N|); operationally they
+// carry *aggregate residual capacity* (the max free machine beneath them),
+// letting a path search skip an entire rack or sub-cluster whose best
+// machine cannot admit the container.
+//
+// "Shortest path" distance is remaining free CPU after placement — i.e. the
+// search returns the tightest admissible machine (best-fit), which is what
+// minimises used machines (Eq. 9 via §IV's objective discussion).
+//
+// The two latency optimisations of §IV.A are implemented here:
+//  * Isomorphism limiting (IL): containers of one application are identical,
+//    so a failed (application, machine) probe is memoised against the
+//    machine's change-epoch and siblings skip the probe while the machine
+//    is unchanged.
+//  * Depth limiting (DL): a container's s→T_i edge saturates after one
+//    placement, so the search stops at the *first* admissible machine in
+//    best-fit order instead of enumerating all alternatives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/state.h"
+#include "core/capacity.h"
+
+namespace aladdin::core {
+
+struct SearchOptions {
+  bool enable_il = true;
+  bool enable_dl = true;
+};
+
+struct SearchCounters {
+  std::int64_t explored_paths = 0;  // machine (and aggregate) probes
+  std::int64_t il_prunes = 0;
+  std::int64_t dl_stops = 0;
+
+  void Reset() { *this = SearchCounters{}; }
+};
+
+class AggregatedNetwork {
+ public:
+  explicit AggregatedNetwork(const cluster::Topology& topology);
+
+  // Binds to (and rebuilds indices from) a cluster state. All subsequent
+  // Deploy/Evict for that state must go through this object so aggregates
+  // stay coherent.
+  void Attach(cluster::ClusterState* state);
+
+  // Algorithm 1's getShortestPath for one container: returns the tightest
+  // machine admitted by the capacity function, or Invalid. The same machine
+  // is returned for every option combination; options only change how much
+  // of the network is explored (counted in `counters`).
+  // `exclude` (optional) removes one machine from consideration — the
+  // repair engine uses it to find an *alternative* machine for a victim.
+  cluster::MachineId FindMachine(
+      cluster::ContainerId c, const SearchOptions& options,
+      SearchCounters& counters,
+      cluster::MachineId exclude = cluster::MachineId::Invalid());
+
+  // State mutations, mirrored into the aggregate indices.
+  void Deploy(cluster::ContainerId c, cluster::MachineId m);
+  void Evict(cluster::ContainerId c);
+  void Migrate(cluster::ContainerId c, cluster::MachineId to);
+  void Preempt(cluster::ContainerId c);
+
+  // Repair-engine scan: visit machines in descending-free-CPU order (most
+  // headroom first) until `fn` returns true or `limit` machines seen.
+  void ScanDescending(int limit,
+                      const std::function<bool(cluster::MachineId)>& fn) const;
+
+  // Ascending-free (best-fit) scan from the first machine with free CPU >=
+  // `min_free_cpu`.
+  void ScanAscending(std::int64_t min_free_cpu, int limit,
+                     const std::function<bool(cluster::MachineId)>& fn) const;
+
+  [[nodiscard]] cluster::ClusterState* state() { return state_; }
+  [[nodiscard]] std::uint32_t MachineEpoch(cluster::MachineId m) const {
+    return epoch_[static_cast<std::size_t>(m.value())];
+  }
+
+ private:
+  using Key = std::pair<std::int64_t, std::int32_t>;  // (free cpu, machine)
+
+  void Reindex(cluster::MachineId m);
+  [[nodiscard]] std::int64_t FreeCpu(cluster::MachineId m) const;
+
+  // Full enumeration through the aggregation vertices (plain / +IL modes).
+  cluster::MachineId FindByEnumeration(cluster::ContainerId c,
+                                       const SearchOptions& options,
+                                       SearchCounters& counters,
+                                       cluster::MachineId exclude);
+  // Sorted best-fit walk with first-hit termination (+DL mode).
+  cluster::MachineId FindByBestFitWalk(cluster::ContainerId c,
+                                       const SearchOptions& options,
+                                       SearchCounters& counters,
+                                       cluster::MachineId exclude);
+
+  // IL memo: (app, machine) -> machine epoch at failure. A probe is skipped
+  // while the machine has not changed since the recorded failure. Only
+  // *blacklist* failures are memoised: a resource-fit failure is two integer
+  // compares — cheaper than any lookup — while a blacklist probe walks the
+  // machine's tenant map, which is exactly the cost isomorphic siblings
+  // should not pay twice. A per-app bitset gates the hash lookup so the
+  // common no-memo case costs one bit test.
+  [[nodiscard]] bool IlPruned(cluster::ApplicationId app,
+                              cluster::MachineId m) const;
+  void RecordIlFailure(cluster::ApplicationId app, cluster::MachineId m);
+
+  const cluster::Topology* topology_;
+  cluster::ClusterState* state_ = nullptr;
+
+  std::set<Key> by_free_;                     // N_y → t residuals, sorted
+  std::vector<std::int64_t> indexed_free_;    // key currently in by_free_
+  std::vector<std::uint32_t> epoch_;          // per-machine change counter
+  // Aggregate residuals for the R_x and G_k vertices.
+  std::vector<std::multiset<std::int64_t>> rack_free_;        // per rack
+  std::vector<std::multiset<std::int64_t>> subcluster_free_;  // rack maxima
+  std::vector<std::int64_t> rack_max_;  // cached current max per rack
+
+  mutable std::vector<std::unordered_map<std::int32_t, std::uint32_t>>
+      il_memo_;  // per app
+  // Lazily allocated per-app machine bitsets gating il_memo_ lookups.
+  mutable std::vector<std::vector<bool>> il_bitset_;
+};
+
+}  // namespace aladdin::core

@@ -1,0 +1,74 @@
+// The Aladdin scheduler: optimized maximum-flow scheduling of LLAs
+// (Algorithm 1) over the aggregated network, with priority weights,
+// the multidimensional nonlinear capacity function, and migration /
+// preemption repair.
+//
+// Pipeline per Schedule() call:
+//   1. Flow augmentation — containers are admitted in submission order;
+//      each is routed along its shortest (tightest-fit) admissible path
+//      s→T→A→G→R→N→t. IL and DL prune the search per §IV.A.
+//   2. Repair — containers the augmentation could not admit are retried
+//      with migration (Fig. 3b) and priority-safe preemption (Fig. 3a),
+//      highest weighted flow first (Eq. 9).
+//   3. Compaction — bounded rescheduling that drains lightly-used machines
+//      (Fig. 7c), recovering packing quality for adversarial arrival orders
+//      at a small migration cost (Fig. 13b).
+#pragma once
+
+#include <string>
+
+#include "core/migration.h"
+#include "core/network.h"
+#include "core/weights.h"
+#include "sim/scheduler.h"
+
+namespace aladdin::core {
+
+struct AladdinOptions {
+  // Latency optimisations (§IV.A). The evaluation's three policies:
+  //   Aladdin          -> il=false, dl=false
+  //   Aladdin+IL       -> il=true,  dl=false
+  //   Aladdin+IL+DL    -> il=true,  dl=true  (the default / production mode)
+  bool enable_il = true;
+  bool enable_dl = true;
+
+  // Weighted-flow knob from Fig. 9: geometric base for the per-class
+  // weights. 0 means "derive minimal weights per Eq. 4–5 from the workload".
+  std::int64_t weight_base = 16;
+
+  // Repair / rescheduling (§III.B, §IV.D). Repair passes iterate until a
+  // pass stops making progress or this budget is hit (the cost stays within
+  // the paper's O(V·E²·c) bound, §IV.D).
+  bool enable_repair = true;
+  int max_repair_passes = 4;
+  RepairOptions repair;
+
+  // Packing compaction (bounded; see RepairEngine::Compact).
+  bool enable_compaction = true;
+  int compaction_passes = 3;
+  // Ceiling on compaction migrations, as a fraction of total containers
+  // (keeps Fig. 13(b) in the paper's ~1.7 % regime).
+  double compaction_migration_fraction = 0.02;
+};
+
+class AladdinScheduler : public sim::Scheduler {
+ public:
+  explicit AladdinScheduler(AladdinOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  sim::ScheduleOutcome Schedule(const sim::ScheduleRequest& request,
+                                cluster::ClusterState& state) override;
+
+  [[nodiscard]] const AladdinOptions& options() const { return options_; }
+  // Weights used by the last Schedule() call (for tests/ablation).
+  [[nodiscard]] const PriorityWeights& last_weights() const {
+    return weights_;
+  }
+
+ private:
+  AladdinOptions options_;
+  PriorityWeights weights_;
+};
+
+}  // namespace aladdin::core

@@ -1,0 +1,81 @@
+#include "core/task_scheduler.h"
+
+namespace aladdin::core {
+
+const char* TaskPlacementPolicyName(TaskPlacementPolicy policy) {
+  switch (policy) {
+    case TaskPlacementPolicy::kBestFit:
+      return "best-fit";
+    case TaskPlacementPolicy::kWorstFit:
+      return "worst-fit";
+    case TaskPlacementPolicy::kFirstFit:
+      return "first-fit";
+  }
+  return "?";
+}
+
+TaskScheduler::TaskScheduler(TaskSchedulerOptions options)
+    : options_(options) {}
+
+std::string TaskScheduler::name() const {
+  return std::string("TaskScheduler(") +
+         TaskPlacementPolicyName(options_.policy) + ")";
+}
+
+cluster::MachineId TaskScheduler::PlaceOne(cluster::ClusterState& state,
+                                           cluster::FreeIndex& index,
+                                           cluster::ContainerId task,
+                                           TaskPlacementPolicy policy) {
+  const auto& request =
+      state.containers()[static_cast<std::size_t>(task.value())].request;
+  cluster::MachineId target = cluster::MachineId::Invalid();
+  switch (policy) {
+    case TaskPlacementPolicy::kBestFit:
+      index.ScanAscending(request.cpu_millis(), [&](cluster::MachineId m) {
+        if (!request.FitsIn(state.Free(m))) return false;
+        target = m;
+        return true;
+      });
+      break;
+    case TaskPlacementPolicy::kWorstFit:
+      index.ScanDescending([&](cluster::MachineId m) {
+        // The emptiest machine either fits or nothing does.
+        if (request.FitsIn(state.Free(m))) target = m;
+        return true;
+      });
+      break;
+    case TaskPlacementPolicy::kFirstFit: {
+      const auto machine_count = state.topology().machine_count();
+      for (std::size_t mi = 0; mi < machine_count; ++mi) {
+        const cluster::MachineId m(static_cast<std::int32_t>(mi));
+        if (request.FitsIn(state.Free(m))) {
+          target = m;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  if (target.valid()) {
+    state.Deploy(task, target);
+    index.OnChanged(target);
+  }
+  return target;
+}
+
+sim::ScheduleOutcome TaskScheduler::Schedule(
+    const sim::ScheduleRequest& request, cluster::ClusterState& state) {
+  sim::ScheduleOutcome outcome;
+  cluster::FreeIndex index;
+  index.Attach(state);
+  for (cluster::ContainerId task : *request.arrival) {
+    ++outcome.explored_paths;
+    if (!PlaceOne(state, index, task, options_.policy).valid()) {
+      outcome.unplaced.push_back(task);
+    }
+  }
+  outcome.rounds = 1;
+  return outcome;
+}
+
+}  // namespace aladdin::core

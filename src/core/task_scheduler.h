@@ -1,0 +1,52 @@
+// The "traditional task-based scheduler" for short-lived containers
+// (§IV.D: "Aladdin also uses a traditional task-based scheduler for
+// short-lived containers").
+//
+// Short-lived batch tasks have no LLA constraints and live for minutes, so
+// they skip the flow machinery entirely: a single pass in queue order,
+// placing each task by a simple packing policy over raw resources. The
+// scheduler implements sim::Scheduler (usable standalone for batch-only
+// clusters) and exposes PlaceOne for embedders that interleave task
+// placement with LLA scheduling (the k8s resolver).
+#pragma once
+
+#include <string>
+
+#include "cluster/free_index.h"
+#include "sim/scheduler.h"
+
+namespace aladdin::core {
+
+enum class TaskPlacementPolicy {
+  kBestFit,   // tightest machine that fits (packs; the default)
+  kWorstFit,  // emptiest machine (spreads, leaves big holes intact)
+  kFirstFit,  // lowest machine id that fits (classic queue scheduler)
+};
+
+const char* TaskPlacementPolicyName(TaskPlacementPolicy policy);
+
+struct TaskSchedulerOptions {
+  TaskPlacementPolicy policy = TaskPlacementPolicy::kBestFit;
+};
+
+class TaskScheduler : public sim::Scheduler {
+ public:
+  explicit TaskScheduler(TaskSchedulerOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  sim::ScheduleOutcome Schedule(const sim::ScheduleRequest& request,
+                                cluster::ClusterState& state) override;
+
+  // Places one task against an externally maintained index; returns the
+  // machine used (Invalid if nothing fits). Updates state and index.
+  static cluster::MachineId PlaceOne(cluster::ClusterState& state,
+                                     cluster::FreeIndex& index,
+                                     cluster::ContainerId task,
+                                     TaskPlacementPolicy policy);
+
+ private:
+  TaskSchedulerOptions options_;
+};
+
+}  // namespace aladdin::core

@@ -1,0 +1,78 @@
+#include "flow/graph.h"
+
+#include <cassert>
+
+namespace aladdin::flow {
+
+VertexId Graph::AddVertex() {
+  adjacency_.emplace_back();
+  return VertexId(static_cast<std::int32_t>(adjacency_.size() - 1));
+}
+
+VertexId Graph::AddVertices(std::size_t n) {
+  const VertexId first(static_cast<std::int32_t>(adjacency_.size()));
+  adjacency_.resize(adjacency_.size() + n);
+  return first;
+}
+
+ArcId Graph::AddArc(VertexId tail, VertexId head, Capacity capacity,
+                    Cost cost) {
+  assert(tail.valid() && static_cast<std::size_t>(tail.value()) < adjacency_.size());
+  assert(head.valid() && static_cast<std::size_t>(head.value()) < adjacency_.size());
+  assert(capacity >= 0);
+  const auto forward_index = static_cast<std::int32_t>(arcs_.size());
+  arcs_.push_back(Arc{head, capacity, 0, cost});
+  arcs_.push_back(Arc{tail, 0, 0, -cost});
+  adjacency_[static_cast<std::size_t>(tail.value())].push_back(forward_index);
+  adjacency_[static_cast<std::size_t>(head.value())].push_back(forward_index +
+                                                               1);
+  return ArcId(forward_index);
+}
+
+void Graph::Push(ArcId a, Capacity amount) {
+  assert(amount >= 0);
+  assert(amount <= Residual(a));
+  arcs_[Index(a)].flow += amount;
+  arcs_[Index(Reverse(a))].flow -= amount;
+}
+
+void Graph::ResetFlows() {
+  for (Arc& a : arcs_) a.flow = 0;
+}
+
+void Graph::SetCapacity(ArcId a, Capacity capacity) {
+  assert(capacity >= arcs_[Index(a)].flow);
+  arcs_[Index(a)].capacity = capacity;
+}
+
+Capacity Graph::NetOutflow(VertexId v) const {
+  Capacity net = 0;
+  for (std::int32_t raw : OutArcs(v)) {
+    const Arc& a = arcs_[static_cast<std::size_t>(raw)];
+    // Forward arcs (even index) carry positive flow out of v; residual twins
+    // carry the negation of their forward arc's flow.
+    net += a.flow;
+  }
+  return net;
+}
+
+bool Graph::CheckConsistency(std::span<const VertexId> exempt) const {
+  for (std::size_t i = 0; i < arcs_.size(); i += 2) {
+    const Arc& fwd = arcs_[i];
+    const Arc& rev = arcs_[i + 1];
+    if (fwd.flow < 0 || fwd.flow > fwd.capacity) return false;
+    if (rev.flow != -fwd.flow) return false;
+    if (rev.cost != -fwd.cost) return false;
+  }
+  std::vector<bool> is_exempt(vertex_count(), false);
+  for (VertexId v : exempt) {
+    is_exempt[static_cast<std::size_t>(v.value())] = true;
+  }
+  for (std::size_t v = 0; v < vertex_count(); ++v) {
+    if (is_exempt[v]) continue;
+    if (NetOutflow(VertexId(static_cast<std::int32_t>(v))) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace aladdin::flow

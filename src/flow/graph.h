@@ -1,0 +1,90 @@
+// Directed flow network with residual arcs.
+//
+// Storage follows the classic paired-arc layout: arc 2k is a forward arc and
+// arc 2k+1 is its residual twin, so the reverse of arc a is a ^ 1. Adjacency
+// is a per-vertex vector of arc indices. All capacities, flows and costs are
+// 64-bit integers — the scheduling layers express resources in exact
+// milli-units, so the flow substrate never touches floating point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace aladdin::flow {
+
+using Capacity = std::int64_t;
+using Cost = std::int64_t;
+
+inline constexpr Capacity kInfiniteCapacity =
+    std::int64_t{1} << 60;  // effectively unbounded, no overflow when summed
+
+struct Arc {
+  VertexId head;       // arc points at this vertex
+  Capacity capacity;   // upper bound (residual twin starts at 0)
+  Capacity flow;       // current flow; residual = capacity - flow
+  Cost cost;           // per-unit cost (twin carries -cost)
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t vertex_hint) { adjacency_.reserve(vertex_hint); }
+
+  VertexId AddVertex();
+  // Bulk variant; returns the id of the first vertex added.
+  VertexId AddVertices(std::size_t n);
+
+  // Adds forward arc tail->head plus a zero-capacity residual twin.
+  // Returns the forward arc's id; its twin is Reverse(id).
+  ArcId AddArc(VertexId tail, VertexId head, Capacity capacity, Cost cost = 0);
+
+  [[nodiscard]] static ArcId Reverse(ArcId a) {
+    return ArcId(a.value() ^ 1);
+  }
+
+  [[nodiscard]] std::size_t vertex_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t arc_count() const { return arcs_.size(); }
+
+  [[nodiscard]] const Arc& arc(ArcId a) const { return arcs_[Index(a)]; }
+  [[nodiscard]] VertexId Tail(ArcId a) const { return arcs_[Index(Reverse(a))].head; }
+
+  [[nodiscard]] Capacity Residual(ArcId a) const {
+    const Arc& x = arcs_[Index(a)];
+    return x.capacity - x.flow;
+  }
+
+  // Pushes `amount` along arc a (and -amount along its twin).
+  // Requires 0 <= amount <= Residual(a).
+  void Push(ArcId a, Capacity amount);
+
+  // Arc ids leaving vertex v (forward and residual twins both appear in the
+  // adjacency of their respective tails).
+  [[nodiscard]] std::span<const std::int32_t> OutArcs(VertexId v) const {
+    return adjacency_[static_cast<std::size_t>(v.value())];
+  }
+
+  // Zero all flows, keeping topology and capacities.
+  void ResetFlows();
+
+  // Replace the capacity of an existing arc. Requires new capacity >= flow.
+  void SetCapacity(ArcId a, Capacity capacity);
+
+  // Total flow out of v minus flow into v (positive at a source).
+  [[nodiscard]] Capacity NetOutflow(VertexId v) const;
+
+  // Debug invariant check: every arc within bounds, twins consistent,
+  // conservation at every vertex except the listed exemptions.
+  [[nodiscard]] bool CheckConsistency(std::span<const VertexId> exempt) const;
+
+ private:
+  static std::size_t Index(ArcId a) {
+    return static_cast<std::size_t>(a.value());
+  }
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::int32_t>> adjacency_;
+};
+
+}  // namespace aladdin::flow

@@ -1,0 +1,216 @@
+#include "flow/max_flow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace aladdin::flow {
+
+MaxFlowResult EdmondsKarp(Graph& graph, VertexId source, VertexId sink) {
+  assert(source != sink);
+  MaxFlowResult result;
+  const std::size_t n = graph.vertex_count();
+  std::vector<std::int32_t> parent_arc(n);
+
+  for (;;) {
+    std::fill(parent_arc.begin(), parent_arc.end(), -1);
+    std::deque<VertexId> queue{source};
+    parent_arc[static_cast<std::size_t>(source.value())] = -2;  // visited mark
+    bool found = false;
+    while (!queue.empty() && !found) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (std::int32_t raw : graph.OutArcs(u)) {
+        const ArcId a{raw};
+        if (graph.Residual(a) <= 0) continue;
+        const VertexId v = graph.arc(a).head;
+        auto& slot = parent_arc[static_cast<std::size_t>(v.value())];
+        if (slot != -1) continue;
+        slot = raw;
+        if (v == sink) {
+          found = true;
+          break;
+        }
+        queue.push_back(v);
+      }
+    }
+    if (!found) break;
+
+    // Walk back from sink to source to find the bottleneck, then push.
+    Capacity bottleneck = std::numeric_limits<Capacity>::max();
+    for (VertexId v = sink; v != source;) {
+      const ArcId a{parent_arc[static_cast<std::size_t>(v.value())]};
+      bottleneck = std::min(bottleneck, graph.Residual(a));
+      v = graph.Tail(a);
+    }
+    for (VertexId v = sink; v != source;) {
+      const ArcId a{parent_arc[static_cast<std::size_t>(v.value())]};
+      graph.Push(a, bottleneck);
+      v = graph.Tail(a);
+    }
+    result.value += bottleneck;
+    ++result.augmentations;
+  }
+  return result;
+}
+
+namespace {
+
+// Dinic state bundled to avoid reallocating across phases.
+class DinicSolver {
+ public:
+  DinicSolver(Graph& graph, VertexId source, VertexId sink)
+      : graph_(graph),
+        source_(source),
+        sink_(sink),
+        level_(graph.vertex_count()),
+        next_arc_(graph.vertex_count()) {}
+
+  MaxFlowResult Run() {
+    MaxFlowResult result;
+    while (BuildLevels()) {
+      std::fill(next_arc_.begin(), next_arc_.end(), 0);
+      for (;;) {
+        const Capacity pushed =
+            Push(source_, std::numeric_limits<Capacity>::max());
+        if (pushed == 0) break;
+        result.value += pushed;
+      }
+      ++result.augmentations;  // counts phases for Dinic
+    }
+    return result;
+  }
+
+ private:
+  bool BuildLevels() {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::deque<VertexId> queue{source_};
+    level_[Idx(source_)] = 0;
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (std::int32_t raw : graph_.OutArcs(u)) {
+        const ArcId a{raw};
+        if (graph_.Residual(a) <= 0) continue;
+        const VertexId v = graph_.arc(a).head;
+        if (level_[Idx(v)] != -1) continue;
+        level_[Idx(v)] = level_[Idx(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+    return level_[Idx(sink_)] != -1;
+  }
+
+  Capacity Push(VertexId u, Capacity limit) {
+    if (u == sink_) return limit;
+    const auto arcs = graph_.OutArcs(u);
+    for (auto& i = next_arc_[Idx(u)]; i < arcs.size(); ++i) {
+      const ArcId a{arcs[i]};
+      if (graph_.Residual(a) <= 0) continue;
+      const VertexId v = graph_.arc(a).head;
+      if (level_[Idx(v)] != level_[Idx(u)] + 1) continue;
+      const Capacity pushed =
+          Push(v, std::min(limit, graph_.Residual(a)));
+      if (pushed > 0) {
+        graph_.Push(a, pushed);
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  static std::size_t Idx(VertexId v) {
+    return static_cast<std::size_t>(v.value());
+  }
+
+  Graph& graph_;
+  VertexId source_;
+  VertexId sink_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::size_t> next_arc_;
+};
+
+}  // namespace
+
+MaxFlowResult Dinic(Graph& graph, VertexId source, VertexId sink) {
+  assert(source != sink);
+  return DinicSolver(graph, source, sink).Run();
+}
+
+std::vector<ArcId> MinCutArcs(const Graph& graph, VertexId source) {
+  const auto reachable = ResidualReachable(graph, source);
+  std::vector<ArcId> cut;
+  for (std::size_t v = 0; v < graph.vertex_count(); ++v) {
+    if (!reachable[v]) continue;
+    for (std::int32_t raw :
+         graph.OutArcs(VertexId(static_cast<std::int32_t>(v)))) {
+      if (raw % 2 != 0) continue;  // forward arcs only
+      const ArcId a{raw};
+      const VertexId head = graph.arc(a).head;
+      if (!reachable[static_cast<std::size_t>(head.value())]) {
+        cut.push_back(a);
+      }
+    }
+  }
+  return cut;
+}
+
+std::vector<FlowPath> DecomposePaths(Graph& graph, VertexId source,
+                                     VertexId sink) {
+  std::vector<FlowPath> paths;
+  const std::size_t n = graph.vertex_count();
+  for (;;) {
+    // Walk greedily along arcs with positive flow from the source.
+    FlowPath path;
+    VertexId at = source;
+    Capacity bottleneck = std::numeric_limits<Capacity>::max();
+    std::size_t hops = 0;
+    while (at != sink && hops++ <= n) {
+      ArcId next = ArcId::Invalid();
+      for (std::int32_t raw : graph.OutArcs(at)) {
+        if (raw % 2 != 0) continue;
+        const ArcId a{raw};
+        if (graph.arc(a).flow > 0) {
+          next = a;
+          break;
+        }
+      }
+      if (!next.valid()) break;
+      path.arcs.push_back(next);
+      bottleneck = std::min(bottleneck, graph.arc(next).flow);
+      at = graph.arc(next).head;
+    }
+    if (at != sink || path.arcs.empty()) break;  // no more s->t flow
+    path.amount = bottleneck;
+    for (ArcId a : path.arcs) {
+      // Remove the path's flow (push along the residual twin).
+      graph.Push(Graph::Reverse(a), bottleneck);
+    }
+    paths.push_back(std::move(path));
+  }
+  // Any remaining flow sits on cycles; drain it so the graph ends clean.
+  graph.ResetFlows();
+  return paths;
+}
+
+std::vector<bool> ResidualReachable(const Graph& graph, VertexId source) {
+  std::vector<bool> seen(graph.vertex_count(), false);
+  std::deque<VertexId> queue{source};
+  seen[static_cast<std::size_t>(source.value())] = true;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (std::int32_t raw : graph.OutArcs(u)) {
+      const ArcId a{raw};
+      if (graph.Residual(a) <= 0) continue;
+      const VertexId v = graph.arc(a).head;
+      if (seen[static_cast<std::size_t>(v.value())]) continue;
+      seen[static_cast<std::size_t>(v.value())] = true;
+      queue.push_back(v);
+    }
+  }
+  return seen;
+}
+
+}  // namespace aladdin::flow

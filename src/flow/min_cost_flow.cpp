@@ -1,0 +1,34 @@
+#include "flow/min_cost_flow.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aladdin::flow {
+
+MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
+                                 Capacity flow_limit) {
+  assert(source != sink);
+  MinCostFlowResult result;
+  while (result.flow < flow_limit) {
+    ShortestPathTree tree = Spfa(graph, source);
+    if (tree.negative_cycle) {
+      result.negative_cycle = true;
+      break;
+    }
+    const auto path = ExtractPath(graph, tree, source, sink);
+    if (path.empty()) break;  // sink unreachable: flow is maximum
+
+    Capacity bottleneck = flow_limit - result.flow;
+    for (ArcId a : path) bottleneck = std::min(bottleneck, graph.Residual(a));
+    assert(bottleneck > 0);
+    for (ArcId a : path) {
+      graph.Push(a, bottleneck);
+      result.cost += graph.arc(a).cost * bottleneck;
+    }
+    result.flow += bottleneck;
+    ++result.iterations;
+  }
+  return result;
+}
+
+}  // namespace aladdin::flow

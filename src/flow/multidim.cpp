@@ -1,0 +1,126 @@
+#include "flow/multidim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace aladdin::flow {
+
+bool DimLeq(const DimVector& a, const DimVector& b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+DimVector DimMin(const DimVector& a, const DimVector& b) {
+  assert(a.size() == b.size());
+  DimVector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::min(a[i], b[i]);
+  return out;
+}
+
+DimVector DimAdd(const DimVector& a, const DimVector& b) {
+  assert(a.size() == b.size());
+  DimVector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+DimVector DimSub(const DimVector& a, const DimVector& b) {
+  assert(a.size() == b.size());
+  DimVector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+bool DimPositive(const DimVector& v) {
+  for (std::int64_t x : v) {
+    if (x <= 0) return false;
+  }
+  return true;
+}
+
+MultiDimGraph::MultiDimGraph(std::size_t dimensions) : dims_(dimensions) {
+  assert(dimensions >= 1);
+}
+
+VertexId MultiDimGraph::AddVertex() {
+  adjacency_.emplace_back();
+  return VertexId(static_cast<std::int32_t>(adjacency_.size() - 1));
+}
+
+ArcId MultiDimGraph::AddArc(VertexId tail, VertexId head, DimVector capacity) {
+  assert(capacity.size() == dims_);
+  const auto index = static_cast<std::int32_t>(arcs_.size());
+  arcs_.push_back(MultiArc{head, std::move(capacity), DimVector(dims_, 0)});
+  adjacency_[static_cast<std::size_t>(tail.value())].push_back(index);
+  return ArcId(index);
+}
+
+DimVector MultiDimGraph::Residual(ArcId a) const {
+  const MultiArc& x = arcs_[static_cast<std::size_t>(a.value())];
+  return DimSub(x.capacity, x.flow);
+}
+
+DimVector MultiDimGraph::Augment(VertexId source, VertexId sink,
+                                 const ArcPredicate& predicate) {
+  const std::size_t n = vertex_count();
+  std::vector<std::int32_t> parent_arc(n, -1);
+  std::vector<std::int32_t> parent_vertex(n, -1);
+  std::deque<VertexId> queue{source};
+  parent_vertex[static_cast<std::size_t>(source.value())] = source.value();
+
+  bool found = false;
+  while (!queue.empty() && !found) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (std::int32_t raw : adjacency_[static_cast<std::size_t>(u.value())]) {
+      const ArcId a{raw};
+      if (!DimPositive(Residual(a))) continue;
+      const VertexId v = arcs_[static_cast<std::size_t>(raw)].head;
+      const auto vi = static_cast<std::size_t>(v.value());
+      if (parent_vertex[vi] != -1) continue;
+      if (predicate && !predicate(a, u, v)) continue;
+      parent_vertex[vi] = u.value();
+      parent_arc[vi] = raw;
+      if (v == sink) {
+        found = true;
+        break;
+      }
+      queue.push_back(v);
+    }
+  }
+  if (!found) return {};
+
+  // Bottleneck = componentwise min of residuals along the path.
+  DimVector bottleneck = Residual(
+      ArcId(parent_arc[static_cast<std::size_t>(sink.value())]));
+  for (VertexId v = sink; v != source;) {
+    const auto vi = static_cast<std::size_t>(v.value());
+    const ArcId a{parent_arc[vi]};
+    bottleneck = DimMin(bottleneck, Residual(a));
+    v = VertexId(parent_vertex[vi]);
+  }
+  for (VertexId v = sink; v != source;) {
+    const auto vi = static_cast<std::size_t>(v.value());
+    auto& arc = arcs_[static_cast<std::size_t>(parent_arc[vi])];
+    arc.flow = DimAdd(arc.flow, bottleneck);
+    v = VertexId(parent_vertex[vi]);
+  }
+  return bottleneck;
+}
+
+DimVector MultiDimGraph::MaxFlow(VertexId source, VertexId sink,
+                                 const ArcPredicate& predicate) {
+  DimVector total(dims_, 0);
+  for (;;) {
+    const DimVector pushed = Augment(source, sink, predicate);
+    if (pushed.empty()) break;
+    total = DimAdd(total, pushed);
+  }
+  return total;
+}
+
+}  // namespace aladdin::flow

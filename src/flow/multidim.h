@@ -1,0 +1,79 @@
+// Multidimensional flow networks.
+//
+// The paper (§III.C, citing Shai 2005 [22]) models capacities as N-tuples
+// (x1..xn): a path is augmentable only if it has positive residual in every
+// dimension simultaneously, and — the "nonlinear" extension — only if a
+// per-edge feasibility predicate admits it. This module is the generic
+// substrate: Aladdin's scheduling network specialises the predicate to the
+// anti-affinity blacklist test (Eq. 7–8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace aladdin::flow {
+
+// A point in N-dimensional capacity space. Dimension count is fixed at graph
+// construction; all vectors in one graph have the same size.
+using DimVector = std::vector<std::int64_t>;
+
+// a <= b componentwise.
+bool DimLeq(const DimVector& a, const DimVector& b);
+// Componentwise min.
+DimVector DimMin(const DimVector& a, const DimVector& b);
+// a + b / a - b componentwise.
+DimVector DimAdd(const DimVector& a, const DimVector& b);
+DimVector DimSub(const DimVector& a, const DimVector& b);
+// True if every component is > 0.
+bool DimPositive(const DimVector& v);
+
+struct MultiArc {
+  VertexId head;
+  DimVector capacity;
+  DimVector flow;  // same size as capacity
+};
+
+// Called before traversing an arc while searching for an augmenting path.
+// Returning false makes the arc unusable for that search even if capacity
+// remains: this is the set-theoretic / nonlinear part of the capacity
+// function (e.g. "container T2 is blacklisted on machine N1").
+using ArcPredicate =
+    std::function<bool(ArcId arc, VertexId tail, VertexId head)>;
+
+class MultiDimGraph {
+ public:
+  explicit MultiDimGraph(std::size_t dimensions);
+
+  VertexId AddVertex();
+  ArcId AddArc(VertexId tail, VertexId head, DimVector capacity);
+
+  [[nodiscard]] std::size_t dimensions() const { return dims_; }
+  [[nodiscard]] std::size_t vertex_count() const { return adjacency_.size(); }
+  [[nodiscard]] const MultiArc& arc(ArcId a) const {
+    return arcs_[static_cast<std::size_t>(a.value())];
+  }
+  [[nodiscard]] DimVector Residual(ArcId a) const;
+
+  // Finds one augmenting path (BFS) from source to sink whose residual is
+  // positive in all dimensions and admitted by `predicate` on every arc;
+  // pushes the bottleneck and returns it (empty vector if no path).
+  // Unlike the scalar case, multidimensional augmentation has no residual
+  // arcs — flow is monotone — which matches the scheduling use-case where
+  // placed containers are only undone via explicit migration.
+  DimVector Augment(VertexId source, VertexId sink,
+                    const ArcPredicate& predicate = nullptr);
+
+  // Repeated Augment until exhaustion; returns the dimension-wise total.
+  DimVector MaxFlow(VertexId source, VertexId sink,
+                    const ArcPredicate& predicate = nullptr);
+
+ private:
+  std::size_t dims_;
+  std::vector<MultiArc> arcs_;
+  std::vector<std::vector<std::int32_t>> adjacency_;
+};
+
+}  // namespace aladdin::flow

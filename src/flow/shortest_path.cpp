@@ -1,0 +1,114 @@
+#include "flow/shortest_path.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace aladdin::flow {
+
+namespace {
+std::size_t Idx(VertexId v) { return static_cast<std::size_t>(v.value()); }
+}  // namespace
+
+ShortestPathTree BellmanFord(const Graph& graph, VertexId source) {
+  const std::size_t n = graph.vertex_count();
+  ShortestPathTree tree;
+  tree.dist.assign(n, kUnreachable);
+  tree.parent_arc.assign(n, -1);
+  tree.dist[Idx(source)] = 0;
+
+  bool changed = true;
+  for (std::size_t round = 0; round < n && changed; ++round) {
+    changed = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (tree.dist[u] >= kUnreachable) continue;
+      for (std::int32_t raw :
+           graph.OutArcs(VertexId(static_cast<std::int32_t>(u)))) {
+        const ArcId a{raw};
+        if (graph.Residual(a) <= 0) continue;
+        const VertexId v = graph.arc(a).head;
+        const Cost candidate = tree.dist[u] + graph.arc(a).cost;
+        ++tree.relaxations;
+        if (candidate < tree.dist[Idx(v)]) {
+          tree.dist[Idx(v)] = candidate;
+          tree.parent_arc[Idx(v)] = raw;
+          changed = true;
+          // A relaxation succeeding on the n-th round proves a reachable
+          // negative cycle.
+          if (round + 1 == n) tree.negative_cycle = true;
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+ShortestPathTree Spfa(const Graph& graph, VertexId source) {
+  const std::size_t n = graph.vertex_count();
+  ShortestPathTree tree;
+  tree.dist.assign(n, kUnreachable);
+  tree.parent_arc.assign(n, -1);
+  tree.dist[Idx(source)] = 0;
+
+  std::deque<VertexId> queue{source};
+  std::vector<bool> in_queue(n, false);
+  std::vector<std::int64_t> dequeued(n, 0);
+  in_queue[Idx(source)] = true;
+
+  const std::int64_t cycle_bound = static_cast<std::int64_t>(n) + 1;
+
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    in_queue[Idx(u)] = false;
+    if (++dequeued[Idx(u)] >= cycle_bound) {
+      // A vertex processed more than V times implies a negative cycle.
+      tree.negative_cycle = true;
+      break;
+    }
+    const Cost du = tree.dist[Idx(u)];
+    for (std::int32_t raw : graph.OutArcs(u)) {
+      const ArcId a{raw};
+      if (graph.Residual(a) <= 0) continue;
+      const VertexId v = graph.arc(a).head;
+      const Cost candidate = du + graph.arc(a).cost;
+      ++tree.relaxations;
+      if (candidate < tree.dist[Idx(v)]) {
+        tree.dist[Idx(v)] = candidate;
+        tree.parent_arc[Idx(v)] = raw;
+        if (!in_queue[Idx(v)]) {
+          // SLF heuristic: promising vertices jump the queue.
+          if (!queue.empty() &&
+              candidate < tree.dist[Idx(queue.front())]) {
+            queue.push_front(v);
+          } else {
+            queue.push_back(v);
+          }
+          in_queue[Idx(v)] = true;
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<ArcId> ExtractPath(const Graph& graph,
+                               const ShortestPathTree& tree, VertexId source,
+                               VertexId target) {
+  std::vector<ArcId> path;
+  if (Idx(target) >= tree.dist.size() ||
+      tree.dist[Idx(target)] >= kUnreachable) {
+    return path;
+  }
+  for (VertexId v = target; v != source;) {
+    const std::int32_t raw = tree.parent_arc[Idx(v)];
+    assert(raw >= 0);
+    const ArcId a{raw};
+    path.push_back(a);
+    v = graph.Tail(a);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace aladdin::flow

@@ -1,0 +1,187 @@
+#include "k8s/adaptor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace aladdin::k8s {
+
+void ModelAdaptor::Attach(EventsHandlingCenter& ehc) {
+  ehc.Subscribe([this](const Event& event) { OnEvent(event); });
+}
+
+void ModelAdaptor::OnEvent(const Event& event) {
+  switch (event.type) {
+    case EventType::kPodAdded: {
+      Pod pod = event.pod;
+      if (pod.phase == PodPhase::kDeleted) break;
+      pods_[pod.uid] = std::move(pod);
+      MarkDirty();
+      break;
+    }
+    case EventType::kPodDeleted: {
+      pods_.erase(event.pod.uid);
+      MarkDirty();
+      break;
+    }
+    case EventType::kNodeAdded: {
+      nodes_[event.node.name] = event.node;
+      MarkDirty();
+      break;
+    }
+    case EventType::kNodeRemoved: {
+      nodes_.erase(event.node.name);
+      // Pods bound to the lost node fall back to Pending (the controller
+      // would recreate them; we keep the same uid for simplicity).
+      for (auto& [uid, pod] : pods_) {
+        (void)uid;
+        if (pod.phase == PodPhase::kBound && pod.node == event.node.name) {
+          pod.phase = PodPhase::kPending;
+          pod.node.clear();
+        }
+      }
+      MarkDirty();
+      break;
+    }
+  }
+}
+
+const Pod* ModelAdaptor::FindPod(PodUid uid) const {
+  const auto it = pods_.find(uid);
+  return it == pods_.end() ? nullptr : &it->second;
+}
+
+Pod* ModelAdaptor::MutablePod(PodUid uid) {
+  const auto it = pods_.find(uid);
+  return it == pods_.end() ? nullptr : &it->second;
+}
+
+std::vector<PodUid> ModelAdaptor::PendingPods() const {
+  std::vector<PodUid> out;
+  for (const auto& [uid, pod] : pods_) {
+    if (pod.phase == PodPhase::kPending) out.push_back(uid);
+  }
+  return out;
+}
+
+std::vector<PodUid> ModelAdaptor::BoundPods() const {
+  std::vector<PodUid> out;
+  for (const auto& [uid, pod] : pods_) {
+    if (pod.phase == PodPhase::kBound) out.push_back(uid);
+  }
+  return out;
+}
+
+const trace::Workload& ModelAdaptor::workload() {
+  RebuildIfDirty();
+  return workload_;
+}
+
+const cluster::Topology& ModelAdaptor::topology() {
+  RebuildIfDirty();
+  return topology_;
+}
+
+cluster::ContainerId ModelAdaptor::ContainerOf(PodUid uid) const {
+  const auto it = container_of_pod_.find(uid);
+  return it == container_of_pod_.end() ? cluster::ContainerId::Invalid()
+                                       : it->second;
+}
+
+PodUid ModelAdaptor::PodOfContainer(cluster::ContainerId c) const {
+  const auto idx = static_cast<std::size_t>(c.value());
+  return idx < pod_of_container_.size() ? pod_of_container_[idx] : -1;
+}
+
+cluster::MachineId ModelAdaptor::MachineOf(const std::string& node) const {
+  const auto it = machine_of_node_.find(node);
+  return it == machine_of_node_.end() ? cluster::MachineId::Invalid()
+                                      : it->second;
+}
+
+const std::string& ModelAdaptor::NodeOfMachine(cluster::MachineId m) const {
+  static const std::string kUnknown;
+  const auto idx = static_cast<std::size_t>(m.value());
+  return idx < node_of_machine_.size() ? node_of_machine_[idx] : kUnknown;
+}
+
+void ModelAdaptor::RebuildIfDirty() {
+  if (!dirty_) return;
+  dirty_ = false;
+  ++version_;
+
+  // ---- topology: zones -> sub-clusters, racks -> racks, by name order.
+  topology_ = cluster::Topology();
+  machine_of_node_.clear();
+  node_of_machine_.clear();
+  std::map<std::string, cluster::SubClusterId> zones;
+  std::map<std::pair<std::string, std::string>, cluster::RackId> racks;
+  for (const auto& [name, node] : nodes_) {
+    auto zit = zones.find(node.zone);
+    if (zit == zones.end()) {
+      zit = zones.emplace(node.zone, topology_.AddSubCluster()).first;
+    }
+    const auto rack_key = std::make_pair(node.zone, node.rack);
+    auto rit = racks.find(rack_key);
+    if (rit == racks.end()) {
+      rit = racks.emplace(rack_key, topology_.AddRack(zit->second)).first;
+    }
+    const cluster::MachineId m =
+        topology_.AddMachine(rit->second, node.capacity);
+    machine_of_node_[name] = m;
+    node_of_machine_.push_back(name);
+  }
+
+  // ---- workload: group pods by owner, first-seen (lowest uid) order.
+  workload_ = trace::Workload();
+  container_of_pod_.clear();
+  pod_of_container_.clear();
+  struct OwnerGroup {
+    std::vector<PodUid> members;  // uid order (map iteration)
+  };
+  std::vector<std::string> owner_order;
+  std::map<std::string, OwnerGroup> owners;
+  for (const auto& [uid, pod] : pods_) {
+    auto [it, inserted] = owners.try_emplace(pod.spec.app);
+    if (inserted) owner_order.push_back(pod.spec.app);
+    it->second.members.push_back(uid);
+  }
+  // owner_order is first-seen by uid because pods_ iterates by uid.
+  std::map<std::string, cluster::ApplicationId> app_ids;
+  for (const std::string& owner : owner_order) {
+    const OwnerGroup& group = owners.at(owner);
+    const Pod& prototype = pods_.at(group.members.front());
+    // Pods of one owner are isomorphic; the prototype's spec is canonical.
+    const auto app = workload_.AddApplication(
+        owner, group.members.size(), prototype.spec.requests,
+        prototype.spec.priority, prototype.spec.anti_affinity_within);
+    app_ids[owner] = app;
+    const auto& containers = workload_.application(app).containers;
+    for (std::size_t i = 0; i < group.members.size(); ++i) {
+      container_of_pod_[group.members[i]] = containers[i];
+      if (static_cast<std::size_t>(containers[i].value()) >=
+          pod_of_container_.size()) {
+        pod_of_container_.resize(
+            static_cast<std::size_t>(containers[i].value()) + 1, -1);
+      }
+      pod_of_container_[static_cast<std::size_t>(containers[i].value())] =
+          group.members[i];
+    }
+  }
+  // Cross-owner anti-affinity, resolvable only once all owners are known.
+  for (const std::string& owner : owner_order) {
+    const Pod& prototype = pods_.at(owners.at(owner).members.front());
+    for (const std::string& other : prototype.spec.anti_affinity_apps) {
+      const auto it = app_ids.find(other);
+      if (it == app_ids.end()) {
+        LOG_DEBUG << "anti-affinity target '" << other
+                  << "' has no pods yet; rule deferred to next rebuild";
+        continue;
+      }
+      workload_.AddAntiAffinity(app_ids.at(owner), it->second);
+    }
+  }
+}
+
+}  // namespace aladdin::k8s

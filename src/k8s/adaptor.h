@@ -1,0 +1,77 @@
+// Model Adaptor (MA) — §IV.C, Fig. 6: "decouples Kubernetes objects from
+// their scheduling implementation by delegating the watching and binding
+// APIs".
+//
+// The adaptor consumes the EHC's pre-processed event stream, maintains the
+// live object store (pods, nodes), and materialises the scheduling-side
+// view on demand: a trace::Workload (owners -> applications, pods ->
+// containers, anti-affinity specs -> constraint rules) and a
+// cluster::Topology (zone/rack labels -> sub-cluster/rack vertices), plus
+// the uid <-> ContainerId and node-name <-> MachineId translations the
+// resolver needs to turn placements back into Bindings.
+//
+// Snapshots are rebuilt lazily when the object set changed; ids are stable
+// within one snapshot version and deterministic across rebuilds (ordered
+// by uid / name).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "k8s/events.h"
+#include "k8s/objects.h"
+#include "trace/workload.h"
+
+namespace aladdin::k8s {
+
+class ModelAdaptor {
+ public:
+  // Wire into an EHC: the adaptor subscribes itself.
+  void Attach(EventsHandlingCenter& ehc);
+
+  // Direct event entry (used by Attach's subscription and by tests).
+  void OnEvent(const Event& event);
+
+  // --- live object store ---------------------------------------------
+  [[nodiscard]] const Pod* FindPod(PodUid uid) const;
+  Pod* MutablePod(PodUid uid);
+  [[nodiscard]] std::size_t pod_count() const { return pods_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::vector<PodUid> PendingPods() const;
+  [[nodiscard]] std::vector<PodUid> BoundPods() const;
+
+  // --- scheduling-side snapshot (lazily rebuilt) ----------------------
+  const trace::Workload& workload();
+  const cluster::Topology& topology();
+  // Snapshot version; bumps whenever a rebuild happened.
+  [[nodiscard]] std::int64_t snapshot_version() const { return version_; }
+
+  // Translations, valid for the current snapshot version.
+  [[nodiscard]] cluster::ContainerId ContainerOf(PodUid uid) const;
+  [[nodiscard]] PodUid PodOfContainer(cluster::ContainerId c) const;
+  [[nodiscard]] cluster::MachineId MachineOf(const std::string& node) const;
+  [[nodiscard]] const std::string& NodeOfMachine(cluster::MachineId m) const;
+
+ private:
+  void MarkDirty() { dirty_ = true; }
+  void RebuildIfDirty();
+
+  std::map<PodUid, Pod> pods_;          // ordered: deterministic rebuilds
+  std::map<std::string, Node> nodes_;
+
+  bool dirty_ = true;
+  std::int64_t version_ = 0;
+  trace::Workload workload_;
+  cluster::Topology topology_;
+  std::unordered_map<PodUid, cluster::ContainerId> container_of_pod_;
+  std::vector<PodUid> pod_of_container_;          // by container index
+  std::unordered_map<std::string, cluster::MachineId> machine_of_node_;
+  std::vector<std::string> node_of_machine_;      // by machine index
+};
+
+}  // namespace aladdin::k8s

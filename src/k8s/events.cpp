@@ -1,0 +1,93 @@
+#include "k8s/events.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aladdin::k8s {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kPodAdded:
+      return "PodAdded";
+    case EventType::kPodDeleted:
+      return "PodDeleted";
+    case EventType::kNodeAdded:
+      return "NodeAdded";
+    case EventType::kNodeRemoved:
+      return "NodeRemoved";
+  }
+  return "?";
+}
+
+void EventsHandlingCenter::Subscribe(Handler handler) {
+  handlers_.push_back(std::move(handler));
+}
+
+void EventsHandlingCenter::Submit(Event event) {
+  queue_.push_back(std::move(event));
+}
+
+std::size_t EventsHandlingCenter::DrainAndDispatch() {
+  // Coalescing pass: a pod both added and deleted inside this batch never
+  // existed as far as the scheduler is concerned; same for nodes. Keep one
+  // event per object, the latest state winning.
+  std::unordered_map<PodUid, int> pod_adds;       // uid -> count
+  std::unordered_set<PodUid> pod_deletes;
+  std::unordered_map<std::string, int> node_adds;
+  std::unordered_set<std::string> node_removes;
+  for (const Event& e : queue_) {
+    switch (e.type) {
+      case EventType::kPodAdded:
+        ++pod_adds[e.pod.uid];
+        break;
+      case EventType::kPodDeleted:
+        pod_deletes.insert(e.pod.uid);
+        break;
+      case EventType::kNodeAdded:
+        ++node_adds[e.node.name];
+        break;
+      case EventType::kNodeRemoved:
+        node_removes.insert(e.node.name);
+        break;
+    }
+  }
+
+  std::size_t dispatched = 0;
+  std::unordered_set<PodUid> pod_emitted;
+  std::unordered_set<std::string> node_emitted;
+  for (const Event& e : queue_) {
+    bool keep = true;
+    switch (e.type) {
+      case EventType::kPodAdded:
+        // Cancelled by a later delete in the same batch.
+        keep = !pod_deletes.contains(e.pod.uid) &&
+               pod_emitted.insert(e.pod.uid).second;
+        break;
+      case EventType::kPodDeleted:
+        // A delete for a pod added in this batch cancels silently; a
+        // delete for a pre-existing pod passes through once.
+        keep = !pod_adds.contains(e.pod.uid) &&
+               pod_emitted.insert(e.pod.uid).second;
+        break;
+      case EventType::kNodeAdded:
+        keep = !node_removes.contains(e.node.name) &&
+               node_emitted.insert(e.node.name).second;
+        break;
+      case EventType::kNodeRemoved:
+        keep = !node_adds.contains(e.node.name) &&
+               node_emitted.insert(e.node.name).second;
+        break;
+    }
+    if (!keep) {
+      ++coalesced_total_;
+      continue;
+    }
+    for (const Handler& handler : handlers_) handler(e);
+    ++dispatched;
+  }
+  dispatched_total_ += static_cast<std::int64_t>(dispatched);
+  queue_.clear();
+  return dispatched;
+}
+
+}  // namespace aladdin::k8s

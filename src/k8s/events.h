@@ -1,0 +1,67 @@
+// Events Handling Center (EHC) — §IV.C, Fig. 6: "EHC receives all kinds of
+// changes in the LLAs' life-cycles and resources. Then, it forwards
+// pre-processed events to [the model adaptor]".
+//
+// Pre-processing here means coalescing: an object added and deleted while
+// still queued cancels out, duplicate updates collapse to the latest, and
+// dispatch order is stable (FIFO over surviving events). Subscribers see a
+// clean, minimal stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "k8s/objects.h"
+
+namespace aladdin::k8s {
+
+enum class EventType {
+  kPodAdded,
+  kPodDeleted,     // user/controller deletion or completion
+  kNodeAdded,
+  kNodeRemoved,
+};
+
+const char* EventTypeName(EventType type);
+
+struct Event {
+  EventType type;
+  // One of the two payloads is meaningful depending on the type.
+  Pod pod;
+  Node node;
+};
+
+class EventsHandlingCenter {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  // Subscribers are invoked in registration order on every dispatched
+  // event (the model adaptor is the primary subscriber).
+  void Subscribe(Handler handler);
+
+  // Queue an event; no dispatch happens until DrainAndDispatch.
+  void Submit(Event event);
+
+  // Coalesce the queue, dispatch surviving events to subscribers, and
+  // return how many were dispatched.
+  std::size_t DrainAndDispatch();
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::int64_t dispatched_total() const {
+    return dispatched_total_;
+  }
+  [[nodiscard]] std::int64_t coalesced_total() const {
+    return coalesced_total_;
+  }
+
+ private:
+  std::deque<Event> queue_;
+  std::vector<Handler> handlers_;
+  std::int64_t dispatched_total_ = 0;
+  std::int64_t coalesced_total_ = 0;
+};
+
+}  // namespace aladdin::k8s

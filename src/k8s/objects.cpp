@@ -1,0 +1,21 @@
+#include "k8s/objects.h"
+
+namespace aladdin::k8s {
+
+const char* PodPhaseName(PodPhase phase) {
+  switch (phase) {
+    case PodPhase::kPending:
+      return "Pending";
+    case PodPhase::kBound:
+      return "Bound";
+    case PodPhase::kSucceeded:
+      return "Succeeded";
+    case PodPhase::kDeleted:
+      return "Deleted";
+    case PodPhase::kFailed:
+      return "Failed";
+  }
+  return "?";
+}
+
+}  // namespace aladdin::k8s

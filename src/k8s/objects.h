@@ -1,0 +1,75 @@
+// Minimal Kubernetes-style API objects for the co-design integration
+// (§IV.C, Fig. 6). The paper deploys Aladdin next to Kubernetes 1.11 by
+// "delegating the watching and binding APIs"; this module is the object
+// model those APIs exchange: pods (the container requests), nodes (the
+// machines), and bindings (the scheduler's decisions).
+//
+// Only the fields the scheduling path consumes are modelled; everything is
+// a plain value type so the event layer can copy/queue freely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/application.h"
+#include "cluster/resources.h"
+
+namespace aladdin::k8s {
+
+// Owner-level spec: maps onto one LLA / Deployment. Pods of the same owner
+// are isomorphic (same requests), matching the paper's IL assumption.
+struct PodSpec {
+  // Owner (application) name; pods of one owner share constraints.
+  std::string app;
+  cluster::ResourceVector requests;
+  cluster::Priority priority = 0;
+  // requiredDuringScheduling pod-anti-affinity against the own owner
+  // (spread replicas) ...
+  bool anti_affinity_within = false;
+  // ... and against other owners by name.
+  std::vector<std::string> anti_affinity_apps;
+  // Short-lived (batch) pods bypass the flow machinery and go through the
+  // "traditional task-based scheduler" (§IV.D). `lifetime_ticks` is their
+  // duration in simulator ticks; 0 = long-lived.
+  std::int64_t lifetime_ticks = 0;
+
+  [[nodiscard]] bool short_lived() const { return lifetime_ticks > 0; }
+};
+
+enum class PodPhase {
+  kPending,    // submitted, not yet placed
+  kBound,      // placed onto a node
+  kSucceeded,  // short-lived pod ran to completion
+  kDeleted,    // removed by the user / controller
+  kFailed,     // unschedulable after the resolver gave up
+};
+
+const char* PodPhaseName(PodPhase phase);
+
+using PodUid = std::int64_t;
+
+struct Pod {
+  PodUid uid = -1;
+  std::string name;
+  PodSpec spec;
+  PodPhase phase = PodPhase::kPending;
+  std::string node;               // bound node name, empty while pending
+  std::int64_t bound_at_tick = -1;
+};
+
+struct Node {
+  std::string name;
+  cluster::ResourceVector capacity;
+  // Topology labels (failure-domain.beta.kubernetes.io/... analogs).
+  std::string rack;
+  std::string zone;  // maps onto the sub-cluster vertex G_k
+};
+
+// The scheduler's output object: pod -> node, applied by the API server.
+struct Binding {
+  PodUid pod = -1;
+  std::string node;
+};
+
+}  // namespace aladdin::k8s

@@ -1,0 +1,109 @@
+#include "k8s/resolver.h"
+
+#include <unordered_map>
+
+#include "cluster/free_index.h"
+#include "common/log.h"
+#include "core/task_scheduler.h"
+#include "common/timer.h"
+
+namespace aladdin::k8s {
+
+Resolver::Resolver(ModelAdaptor& adaptor, core::AladdinOptions options)
+    : adaptor_(adaptor), options_(options) {}
+
+ResolveStats Resolver::Resolve(std::int64_t tick,
+                               std::vector<Binding>* bindings) {
+  WallTimer timer;
+  ResolveStats stats;
+  stats.tick = tick;
+
+  const trace::Workload& workload = adaptor_.workload();
+  const cluster::Topology& topology = adaptor_.topology();
+  cluster::ClusterState state = workload.MakeState(topology);
+
+  // Pre-deploy bound pods; remember where everything was.
+  std::unordered_map<PodUid, std::string> previous_node;
+  for (PodUid uid : adaptor_.BoundPods()) {
+    const Pod* pod = adaptor_.FindPod(uid);
+    const auto c = adaptor_.ContainerOf(uid);
+    const auto m = adaptor_.MachineOf(pod->node);
+    if (!c.valid() || !m.valid() || !state.Fits(c, m)) {
+      // Stale binding (node shrank or vanished between resolves).
+      adaptor_.MutablePod(uid)->phase = PodPhase::kPending;
+      adaptor_.MutablePod(uid)->node.clear();
+      continue;
+    }
+    state.Deploy(c, m);
+    previous_node[uid] = pod->node;
+  }
+
+  // Split the pending set.
+  std::vector<cluster::ContainerId> long_lived;
+  std::vector<PodUid> short_lived;
+  const auto pending = adaptor_.PendingPods();
+  stats.pending_before = pending.size();
+  for (PodUid uid : pending) {
+    const Pod* pod = adaptor_.FindPod(uid);
+    if (pod->spec.short_lived()) {
+      short_lived.push_back(uid);
+    } else {
+      long_lived.push_back(adaptor_.ContainerOf(uid));
+    }
+  }
+
+  // Long-lived pods: the Aladdin core (incremental — state is pre-loaded).
+  if (!long_lived.empty()) {
+    core::AladdinScheduler scheduler(options_);
+    sim::ScheduleRequest request{&workload, &long_lived};
+    scheduler.Schedule(request, state);
+  }
+
+  // Short-lived pods: the traditional task-based scheduler (§IV.D).
+  if (!short_lived.empty()) {
+    cluster::FreeIndex index;
+    index.Attach(state);
+    for (PodUid uid : short_lived) {
+      core::TaskScheduler::PlaceOne(state, index, adaptor_.ContainerOf(uid),
+                                    core::TaskPlacementPolicy::kBestFit);
+    }
+  }
+
+  // Reconcile placements back into the object store.
+  for (PodUid uid : pending) {
+    Pod* pod = adaptor_.MutablePod(uid);
+    const auto c = adaptor_.ContainerOf(uid);
+    if (state.IsPlaced(c)) {
+      pod->phase = PodPhase::kBound;
+      pod->node = adaptor_.NodeOfMachine(state.PlacementOf(c));
+      pod->bound_at_tick = tick;
+      ++stats.new_bindings;
+      if (bindings != nullptr) bindings->push_back(Binding{uid, pod->node});
+    } else {
+      ++stats.unschedulable;
+    }
+  }
+  for (const auto& [uid, old_node] : previous_node) {
+    Pod* pod = adaptor_.MutablePod(uid);
+    const auto c = adaptor_.ContainerOf(uid);
+    if (!state.IsPlaced(c)) {
+      // Preempted by a higher-weighted pending pod; back to the queue.
+      pod->phase = PodPhase::kPending;
+      pod->node.clear();
+      ++stats.preemptions;
+      continue;
+    }
+    const std::string& node = adaptor_.NodeOfMachine(state.PlacementOf(c));
+    if (node != old_node) {
+      pod->node = node;
+      pod->bound_at_tick = tick;
+      ++stats.migrations;
+      if (bindings != nullptr) bindings->push_back(Binding{uid, node});
+    }
+  }
+
+  stats.wall_seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace aladdin::k8s

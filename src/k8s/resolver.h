@@ -1,0 +1,57 @@
+// Resolver (RE) — §IV.C, Fig. 6: "RE integrates Aladdin to map containers
+// to resources."
+//
+// Each Resolve() builds the scheduling view from the model adaptor's
+// snapshot, pre-deploys every bound pod, and then:
+//   * long-lived pending pods go through the Aladdin core (which may also
+//     migrate or preempt bound pods — §III.B);
+//   * short-lived pending pods go through the "traditional task-based
+//     scheduler" (§IV.D): plain best-fit on resources, no constraint
+//     machinery.
+// The resulting placement diff is translated back into Bindings (new
+// placements and migrations) and pod-phase updates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "k8s/adaptor.h"
+
+namespace aladdin::k8s {
+
+struct ResolveStats {
+  std::int64_t tick = 0;
+  std::size_t pending_before = 0;
+  std::size_t new_bindings = 0;   // previously-pending pods now bound
+  std::size_t migrations = 0;     // bound pods moved to a different node
+  std::size_t preemptions = 0;    // bound pods returned to pending
+  std::size_t unschedulable = 0;  // pending pods the resolver gave up on
+  double wall_seconds = 0.0;
+};
+
+class Resolver {
+ public:
+  explicit Resolver(ModelAdaptor& adaptor,
+                    core::AladdinOptions options = DefaultOptions());
+
+  // One scheduling pass over the current snapshot. `tick` stamps bindings.
+  ResolveStats Resolve(std::int64_t tick, std::vector<Binding>* bindings =
+                                              nullptr);
+
+  // Resolver defaults: compaction off — in the live integration a
+  // "compaction" is a disruptive pod restart, so the resolver only
+  // migrates when a placement needs repair, mirroring Fig. 7's
+  // rescheduling rather than continuous defragmentation.
+  static core::AladdinOptions DefaultOptions() {
+    core::AladdinOptions options;
+    options.enable_compaction = false;
+    return options;
+  }
+
+ private:
+  ModelAdaptor& adaptor_;
+  core::AladdinOptions options_;
+};
+
+}  // namespace aladdin::k8s

@@ -1,0 +1,126 @@
+#include "k8s/simulator.h"
+
+#include <algorithm>
+
+namespace aladdin::k8s {
+
+ClusterSimulator::ClusterSimulator(core::AladdinOptions options)
+    : resolver_(adaptor_, options) {
+  adaptor_.Attach(ehc_);
+}
+
+std::vector<std::string> ClusterSimulator::AddNodes(
+    std::size_t count, cluster::ResourceVector capacity,
+    const std::string& prefix, std::size_t machines_per_rack,
+    std::size_t racks_per_zone) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int64_t index = node_counter_++;
+    Node node;
+    node.name = prefix + "-" + std::to_string(index);
+    node.capacity = capacity;
+    const auto rack_index =
+        static_cast<std::size_t>(index) / machines_per_rack;
+    node.rack = "rack-" + std::to_string(rack_index);
+    node.zone = "zone-" + std::to_string(rack_index / racks_per_zone);
+    names.push_back(node.name);
+    Event event;
+    event.type = EventType::kNodeAdded;
+    event.node = std::move(node);
+    ehc_.Submit(std::move(event));
+  }
+  return names;
+}
+
+void ClusterSimulator::RemoveNode(const std::string& name) {
+  Event event;
+  event.type = EventType::kNodeRemoved;
+  event.node.name = name;
+  ehc_.Submit(std::move(event));
+}
+
+std::vector<PodUid> ClusterSimulator::SubmitDeployment(const std::string& app,
+                                                       std::size_t replicas,
+                                                       const PodSpec& spec) {
+  std::vector<PodUid> uids;
+  uids.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    Pod pod;
+    pod.uid = NextUid();
+    pod.name = app + "-" + std::to_string(i);
+    pod.spec = spec;
+    pod.spec.app = app;
+    pod.spec.lifetime_ticks = 0;  // long-lived by definition
+    uids.push_back(pod.uid);
+    Event event;
+    event.type = EventType::kPodAdded;
+    event.pod = std::move(pod);
+    ehc_.Submit(std::move(event));
+  }
+  return uids;
+}
+
+std::vector<PodUid> ClusterSimulator::SubmitBatchJob(
+    const std::string& job, std::size_t tasks,
+    cluster::ResourceVector request, std::int64_t lifetime_ticks) {
+  std::vector<PodUid> uids;
+  uids.reserve(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    Pod pod;
+    pod.uid = NextUid();
+    pod.name = job + "-task-" + std::to_string(i);
+    pod.spec.app = job;
+    pod.spec.requests = request;
+    pod.spec.lifetime_ticks = std::max<std::int64_t>(1, lifetime_ticks);
+    uids.push_back(pod.uid);
+    Event event;
+    event.type = EventType::kPodAdded;
+    event.pod = std::move(pod);
+    ehc_.Submit(std::move(event));
+  }
+  return uids;
+}
+
+void ClusterSimulator::DeletePod(PodUid uid) {
+  Event event;
+  event.type = EventType::kPodDeleted;
+  event.pod.uid = uid;
+  ehc_.Submit(std::move(event));
+}
+
+std::size_t ClusterSimulator::ScaleDown(const std::string& app,
+                                        std::size_t count) {
+  // Collect the app's pods, newest (highest uid) first.
+  std::vector<PodUid> members;
+  for (PodUid uid : adaptor_.PendingPods()) {
+    if (adaptor_.FindPod(uid)->spec.app == app) members.push_back(uid);
+  }
+  for (PodUid uid : adaptor_.BoundPods()) {
+    if (adaptor_.FindPod(uid)->spec.app == app) members.push_back(uid);
+  }
+  std::sort(members.rbegin(), members.rend());
+  const std::size_t n = std::min(count, members.size());
+  for (std::size_t i = 0; i < n; ++i) DeletePod(members[i]);
+  return n;
+}
+
+ResolveStats ClusterSimulator::Tick(std::vector<Binding>* bindings) {
+  ++now_;
+  // Complete batch pods whose lifetime elapsed.
+  for (PodUid uid : adaptor_.BoundPods()) {
+    const Pod* pod = adaptor_.FindPod(uid);
+    if (!pod->spec.short_lived()) continue;
+    if (pod->bound_at_tick >= 0 &&
+        now_ >= pod->bound_at_tick + pod->spec.lifetime_ticks) {
+      ++completed_tasks_;
+      DeletePod(uid);
+    }
+  }
+  ehc_.DrainAndDispatch();
+  ResolveStats stats = resolver_.Resolve(now_, bindings);
+  history_.push_back(stats);
+  return stats;
+}
+
+}  // namespace aladdin::k8s

@@ -1,0 +1,65 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace aladdin::sim {
+
+RunMetrics RunExperiment(Scheduler& scheduler, const trace::Workload& workload,
+                         const ExperimentConfig& config) {
+  const cluster::Topology topology =
+      trace::MakeAlibabaCluster(config.machines);
+  return RunExperimentOn(scheduler, workload, topology, config.order,
+                         config.arrival_seed);
+}
+
+RunMetrics RunExperimentOn(Scheduler& scheduler,
+                           const trace::Workload& workload,
+                           const cluster::Topology& topology,
+                           trace::ArrivalOrder order,
+                           std::uint64_t arrival_seed) {
+  const auto arrival =
+      trace::MakeArrivalSequence(workload, order, arrival_seed);
+  cluster::ClusterState state = workload.MakeState(topology);
+
+  ScheduleRequest request;
+  request.workload = &workload;
+  request.arrival = &arrival;
+
+  WallTimer timer;
+  ScheduleOutcome outcome = scheduler.Schedule(request, state);
+  const double wall = timer.ElapsedSeconds();
+
+  if (!state.VerifyResourceInvariant()) {
+    LOG_ERROR << scheduler.name()
+              << " corrupted cluster state (resource invariant violated)";
+  }
+  return ComputeRunMetrics(scheduler.name(), state, std::move(outcome), wall);
+}
+
+trace::Workload MakeBenchWorkload(double scale, std::uint64_t seed) {
+  trace::AlibabaTraceOptions options;
+  options.scale = scale;
+  options.seed = seed;
+  return trace::GenerateAlibabaLike(options);
+}
+
+std::size_t BenchMachineCount(double scale) {
+  return std::max<std::size_t>(
+      16, static_cast<std::size_t>(std::llround(10000.0 * scale)));
+}
+
+std::vector<RunMetrics> RunSweep(std::vector<std::function<RunMetrics()>> jobs,
+                                 std::size_t threads) {
+  std::vector<RunMetrics> results(jobs.size());
+  ThreadPool pool(threads);
+  ParallelFor(pool, 0, jobs.size(),
+              [&](std::size_t i) { results[i] = jobs[i](); });
+  return results;
+}
+
+}  // namespace aladdin::sim

@@ -1,0 +1,35 @@
+#include "sim/metrics.h"
+
+namespace aladdin::sim {
+
+double RunMetrics::EfficiencyVs(std::size_t best_machines) const {
+  // Eq. 10: efficiency_i = num(i) / min{num(...)} - 1 (0 = best; higher =
+  // proportionally more machines than the best scheduler needed).
+  if (best_machines == 0 || used_machines == 0) return 0.0;
+  return static_cast<double>(used_machines) /
+             static_cast<double>(best_machines) -
+         1.0;
+}
+
+RunMetrics ComputeRunMetrics(const std::string& scheduler_name,
+                             const cluster::ClusterState& state,
+                             ScheduleOutcome outcome, double wall_seconds) {
+  RunMetrics m;
+  m.scheduler = scheduler_name;
+  m.audit = cluster::Audit(state);
+  m.util = state.Utilization();
+  m.used_machines = m.util.used_machines;
+  m.migrations = state.migrations();
+  m.preemptions = state.preemptions();
+  m.wall_seconds = wall_seconds;
+  const auto total = state.containers().size();
+  if (total > 0) {
+    // Eq. 11: average placement latency per container.
+    m.latency_ms_per_container =
+        wall_seconds * 1e3 / static_cast<double>(total);
+  }
+  m.outcome = std::move(outcome);
+  return m;
+}
+
+}  // namespace aladdin::sim

@@ -1,0 +1,33 @@
+// Derived metrics for one scheduling run — the quantities the paper's
+// figures plot.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/audit.h"
+#include "sim/scheduler.h"
+
+namespace aladdin::sim {
+
+struct RunMetrics {
+  std::string scheduler;
+  cluster::AuditReport audit;          // Fig. 9: violations / causes
+  cluster::UtilizationSummary util;    // Fig. 11: per-machine shares
+  std::size_t used_machines = 0;       // Fig. 10
+  std::int64_t migrations = 0;         // Fig. 13(b)
+  std::int64_t preemptions = 0;        // Fig. 13(b)
+  double wall_seconds = 0.0;           // Fig. 13(a): total algorithm overhead
+  double latency_ms_per_container = 0.0;  // Fig. 12 (Eq. 11)
+  ScheduleOutcome outcome;             // effort counters
+
+  // Eq. 10 needs the best machine count among compared schedulers; computed
+  // by the reporter across a set of RunMetrics.
+  [[nodiscard]] double EfficiencyVs(std::size_t best_machines) const;
+};
+
+// Audits `state` after `scheduler` ran and fills every derived field.
+RunMetrics ComputeRunMetrics(const std::string& scheduler_name,
+                             const cluster::ClusterState& state,
+                             ScheduleOutcome outcome, double wall_seconds);
+
+}  // namespace aladdin::sim

@@ -1,0 +1,106 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace aladdin::sim {
+
+void PrintExperimentHeader(const std::string& experiment_id,
+                           const std::string& description) {
+  std::printf("\n=== %s — %s ===\n", experiment_id.c_str(),
+              description.c_str());
+}
+
+Table BuildRunTable(const std::vector<RunMetrics>& metrics,
+                    const std::vector<std::string>& paper_notes) {
+  std::vector<std::string> headers = {
+      "scheduler",   "placed",  "unplaced", "violations%", "aa-share%",
+      "machines",    "util%",   "migr",     "preempt",     "ms/container"};
+  const bool with_notes = !paper_notes.empty();
+  if (with_notes) headers.push_back("paper");
+  Table table(headers);
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const RunMetrics& m = metrics[i];
+    table.Cell(m.scheduler)
+        .Cell(static_cast<std::int64_t>(m.audit.placed))
+        .Cell(static_cast<std::int64_t>(m.audit.unplaced))
+        .Cell(m.audit.ViolationPercent(), 1)
+        .Cell(m.audit.AntiAffinityShare(), 1)
+        .Cell(static_cast<std::int64_t>(m.used_machines))
+        .Cell(m.util.avg_share * 100.0, 1)
+        .Cell(m.migrations)
+        .Cell(m.preemptions)
+        .Cell(m.latency_ms_per_container, 3);
+    if (with_notes) {
+      table.Cell(i < paper_notes.size() ? paper_notes[i] : "");
+    }
+    table.EndRow();
+  }
+  return table;
+}
+
+void PrintRunTable(const std::vector<RunMetrics>& metrics,
+                   const std::vector<std::string>& paper_notes) {
+  BuildRunTable(metrics, paper_notes).Print();
+}
+
+Table BuildEfficiencyTable(const std::vector<RunMetrics>& metrics) {
+  std::size_t best = 0;
+  for (const auto& m : metrics) {
+    if (m.used_machines == 0) continue;
+    if (best == 0 || m.used_machines < best) best = m.used_machines;
+  }
+  Table table({"scheduler", "machines", "efficiency (Eq.10)"});
+  for (const auto& m : metrics) {
+    table.Cell(m.scheduler)
+        .Cell(static_cast<std::int64_t>(m.used_machines))
+        .Cell(m.EfficiencyVs(best), 3)
+        .EndRow();
+  }
+  return table;
+}
+
+void PrintEfficiencyTable(const std::vector<RunMetrics>& metrics) {
+  BuildEfficiencyTable(metrics).Print();
+}
+
+bool AppendMetricsCsv(const std::string& path, const std::string& experiment,
+                      const std::string& label,
+                      const std::vector<RunMetrics>& metrics) {
+  const bool fresh = !std::ifstream(path).good();
+  std::ofstream os(path, std::ios::app);
+  if (!os) return false;
+  CsvWriter writer(os);
+  if (fresh) {
+    for (const char* column :
+         {"experiment", "label", "scheduler", "placed", "unplaced",
+          "violations_pct", "aa_share_pct", "machines", "avg_util_pct",
+          "migrations", "preemptions", "wall_seconds", "ms_per_container"}) {
+      writer.Field(std::string_view(column));
+    }
+    writer.EndRow();
+  }
+  for (const RunMetrics& m : metrics) {
+    writer.Field(experiment)
+        .Field(label)
+        .Field(m.scheduler)
+        .Field(static_cast<std::int64_t>(m.audit.placed))
+        .Field(static_cast<std::int64_t>(m.audit.unplaced))
+        .Field(m.audit.ViolationPercent())
+        .Field(m.audit.AntiAffinityShare())
+        .Field(static_cast<std::int64_t>(m.used_machines))
+        .Field(m.util.avg_share * 100.0)
+        .Field(m.migrations)
+        .Field(m.preemptions)
+        .Field(m.wall_seconds)
+        .Field(m.latency_ms_per_container);
+    writer.EndRow();
+  }
+  return static_cast<bool>(os);
+}
+
+}  // namespace aladdin::sim

@@ -1,0 +1,39 @@
+// Bench-output helpers: consistent headers and paper-vs-measured tables so
+// EXPERIMENTS.md can be assembled straight from bench stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/metrics.h"
+
+namespace aladdin::sim {
+
+// Prints a banner naming the figure/table being reproduced.
+void PrintExperimentHeader(const std::string& experiment_id,
+                           const std::string& description);
+
+// Standard per-run row set: scheduler, placed/unplaced, violation %, AA
+// share, machines, util, migrations, latency. `paper_note` (optional, same
+// length as metrics) annotates each row with the paper's reported number.
+Table BuildRunTable(const std::vector<RunMetrics>& metrics,
+                    const std::vector<std::string>& paper_notes = {});
+void PrintRunTable(const std::vector<RunMetrics>& metrics,
+                   const std::vector<std::string>& paper_notes = {});
+
+// Eq. 10 efficiency table relative to the best machine count in the set.
+Table BuildEfficiencyTable(const std::vector<RunMetrics>& metrics);
+void PrintEfficiencyTable(const std::vector<RunMetrics>& metrics);
+
+// Machine-readable export for plotting: appends one row per run to `path`
+// (writing a header first if the file does not exist yet). Columns:
+// experiment,label,scheduler,placed,unplaced,violations_pct,aa_share_pct,
+// machines,avg_util_pct,migrations,preemptions,wall_seconds,
+// ms_per_container. Returns false on I/O failure. Benches expose this via
+// their --csv flag.
+bool AppendMetricsCsv(const std::string& path, const std::string& experiment,
+                      const std::string& label,
+                      const std::vector<RunMetrics>& metrics);
+
+}  // namespace aladdin::sim

@@ -1,0 +1,4 @@
+#include "sim/scheduler.h"
+
+// Interface anchor TU.
+namespace aladdin::sim {}

@@ -1,0 +1,88 @@
+#include "trace/arrival.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace aladdin::trace {
+
+const char* ArrivalOrderName(ArrivalOrder order) {
+  switch (order) {
+    case ArrivalOrder::kFifo:
+      return "FIFO";
+    case ArrivalOrder::kRandom:
+      return "random";
+    case ArrivalOrder::kHighPriorityFirst:
+      return "CHP (high priority first)";
+    case ArrivalOrder::kLowPriorityFirst:
+      return "CLP (low priority first)";
+    case ArrivalOrder::kManyConflictsFirst:
+      return "CLA (many anti-affinity first)";
+    case ArrivalOrder::kFewConflictsFirst:
+      return "CSA (few anti-affinity first)";
+  }
+  return "?";
+}
+
+std::vector<cluster::ContainerId> MakeArrivalSequence(const Workload& workload,
+                                                      ArrivalOrder order,
+                                                      std::uint64_t seed) {
+  std::vector<cluster::ContainerId> sequence;
+  sequence.reserve(workload.container_count());
+  for (const auto& c : workload.containers()) sequence.push_back(c.id);
+
+  Rng rng(seed);
+  if (order == ArrivalOrder::kFifo) return sequence;
+  // Shuffle first so equal keys land in seeded-random relative order under
+  // the stable sort below.
+  rng.Shuffle(sequence);
+  if (order == ArrivalOrder::kRandom) return sequence;
+
+  const auto& apps = workload.applications();
+  // Per-application sort keys, computed once.
+  std::vector<std::int64_t> conflict_mass(apps.size(), -1);
+  auto mass_of = [&](cluster::ApplicationId a) {
+    auto& slot = conflict_mass[static_cast<std::size_t>(a.value())];
+    if (slot < 0) {
+      slot = workload.constraints().ConflictingContainerCount(a, apps);
+    }
+    return slot;
+  };
+  auto priority_of = [&](cluster::ContainerId c) {
+    return workload.container(c).priority;
+  };
+  auto app_of = [&](cluster::ContainerId c) { return workload.container(c).app; };
+
+  switch (order) {
+    case ArrivalOrder::kHighPriorityFirst:
+      std::stable_sort(sequence.begin(), sequence.end(),
+                       [&](cluster::ContainerId a, cluster::ContainerId b) {
+                         return priority_of(a) > priority_of(b);
+                       });
+      break;
+    case ArrivalOrder::kLowPriorityFirst:
+      std::stable_sort(sequence.begin(), sequence.end(),
+                       [&](cluster::ContainerId a, cluster::ContainerId b) {
+                         return priority_of(a) < priority_of(b);
+                       });
+      break;
+    case ArrivalOrder::kManyConflictsFirst:
+      std::stable_sort(sequence.begin(), sequence.end(),
+                       [&](cluster::ContainerId a, cluster::ContainerId b) {
+                         return mass_of(app_of(a)) > mass_of(app_of(b));
+                       });
+      break;
+    case ArrivalOrder::kFewConflictsFirst:
+      std::stable_sort(sequence.begin(), sequence.end(),
+                       [&](cluster::ContainerId a, cluster::ContainerId b) {
+                         return mass_of(app_of(a)) < mass_of(app_of(b));
+                       });
+      break;
+    case ArrivalOrder::kFifo:
+    case ArrivalOrder::kRandom:
+      break;  // handled above
+  }
+  return sequence;
+}
+
+}  // namespace aladdin::trace

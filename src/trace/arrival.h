@@ -1,0 +1,39 @@
+// Container arrival orders.
+//
+// §V.C evaluates four characteristic submission orders; the acronyms are the
+// paper's (§V.D): CHP — high priority first, CLP — low priority first,
+// CLA — many anti-affinity constraints first, CSA — few anti-affinity
+// constraints first. Orders are deterministic: ties break by a seeded
+// shuffle so no scheduler can exploit id ordering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/workload.h"
+
+namespace aladdin::trace {
+
+enum class ArrivalOrder {
+  kFifo,              // generation order
+  kRandom,            // seeded shuffle
+  kHighPriorityFirst, // CHP
+  kLowPriorityFirst,  // CLP
+  kManyConflictsFirst,// CLA
+  kFewConflictsFirst, // CSA
+};
+
+const char* ArrivalOrderName(ArrivalOrder order);
+
+// All orders the resource-efficiency experiments sweep (Fig. 10/11/13).
+inline constexpr ArrivalOrder kCharacteristicOrders[] = {
+    ArrivalOrder::kHighPriorityFirst, ArrivalOrder::kLowPriorityFirst,
+    ArrivalOrder::kManyConflictsFirst, ArrivalOrder::kFewConflictsFirst};
+
+// Returns the container ids of `workload` permuted into the given order.
+std::vector<cluster::ContainerId> MakeArrivalSequence(const Workload& workload,
+                                                      ArrivalOrder order,
+                                                      std::uint64_t seed = 1);
+
+}  // namespace aladdin::trace

@@ -1,0 +1,38 @@
+#include "trace/trace_stats.h"
+
+#include <algorithm>
+
+namespace aladdin::trace {
+
+WorkloadStats ComputeWorkloadStats(const Workload& workload,
+                                   std::int64_t heavy_threshold) {
+  WorkloadStats stats;
+  stats.applications = workload.application_count();
+  stats.containers = workload.container_count();
+
+  std::vector<double> sizes;
+  sizes.reserve(stats.applications);
+  const auto& apps = workload.applications();
+  const auto& constraints = workload.constraints();
+  for (const auto& app : apps) {
+    const std::size_t size = app.containers.size();
+    sizes.push_back(static_cast<double>(size));
+    stats.max_app_size = std::max(stats.max_app_size, size);
+    if (size == 1) ++stats.single_instance_apps;
+    if (size < 50) ++stats.apps_below_50;
+    if (size > 2000) ++stats.apps_above_2000;
+    if (app.priority > 0) ++stats.apps_with_priority;
+    const bool has_aa = app.anti_affinity_within ||
+                        !constraints.ConflictsOf(app.id).empty();
+    if (has_aa) ++stats.apps_with_anti_affinity;
+    stats.max_request = cluster::Max(stats.max_request, app.request);
+    if (constraints.ConflictingContainerCount(app.id, apps) >=
+        heavy_threshold) {
+      ++stats.heavy_conflicter_apps;
+    }
+  }
+  stats.app_size_cdf = BuildCdf(std::move(sizes));
+  return stats;
+}
+
+}  // namespace aladdin::trace

@@ -1,0 +1,44 @@
+// Workload descriptive statistics — the data behind Fig. 8 and the
+// generator's self-checks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "trace/workload.h"
+
+namespace aladdin::trace {
+
+struct WorkloadStats {
+  std::size_t applications = 0;
+  std::size_t containers = 0;
+  std::size_t apps_with_anti_affinity = 0;  // Fig. 8(b), middle bar
+  std::size_t apps_with_priority = 0;       // Fig. 8(b), right bar
+  std::size_t single_instance_apps = 0;
+  std::size_t apps_below_50 = 0;
+  std::size_t max_app_size = 0;
+  std::size_t apps_above_2000 = 0;
+  // Largest per-container request observed.
+  cluster::ResourceVector max_request;
+  // Containers belonging to apps with >= `heavy` conflicting containers.
+  std::size_t heavy_conflicter_apps = 0;
+
+  // CDF of containers-per-application — Fig. 8(a).
+  std::vector<CdfPoint> app_size_cdf;
+
+  [[nodiscard]] double SingleInstanceFraction() const {
+    return applications ? static_cast<double>(single_instance_apps) /
+                              static_cast<double>(applications)
+                        : 0.0;
+  }
+  [[nodiscard]] double Below50Fraction() const {
+    return applications ? static_cast<double>(apps_below_50) /
+                              static_cast<double>(applications)
+                        : 0.0;
+  }
+};
+
+WorkloadStats ComputeWorkloadStats(const Workload& workload,
+                                   std::int64_t heavy_threshold = 5000);
+
+}  // namespace aladdin::trace

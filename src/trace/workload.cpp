@@ -1,0 +1,58 @@
+#include "trace/workload.h"
+
+#include <cassert>
+
+namespace aladdin::trace {
+
+cluster::ApplicationId Workload::AddApplication(
+    std::string name, std::size_t count, cluster::ResourceVector request,
+    cluster::Priority priority, bool anti_affinity_within) {
+  assert(count >= 1);
+  const cluster::ApplicationId id(
+      static_cast<std::int32_t>(applications_.size()));
+  cluster::Application app;
+  app.id = id;
+  app.name = std::move(name);
+  app.request = request;
+  app.priority = priority;
+  app.anti_affinity_within = anti_affinity_within;
+  app.containers.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const cluster::ContainerId cid(
+        static_cast<std::int32_t>(containers_.size()));
+    containers_.push_back(cluster::Container{cid, id, request, priority});
+    app.containers.push_back(cid);
+  }
+  applications_.push_back(std::move(app));
+  constraints_.Resize(applications_.size());
+  if (anti_affinity_within) constraints_.AddAntiAffinity(id, id);
+  return id;
+}
+
+void Workload::AddAntiAffinity(cluster::ApplicationId a,
+                               cluster::ApplicationId b) {
+  constraints_.AddAntiAffinity(a, b);
+  if (a == b) {
+    applications_[static_cast<std::size_t>(a.value())].anti_affinity_within =
+        true;
+  }
+}
+
+cluster::ResourceVector Workload::TotalDemand() const {
+  cluster::ResourceVector total;
+  for (const auto& c : containers_) total += c.request;
+  return total;
+}
+
+cluster::ClusterState Workload::MakeState(
+    const cluster::Topology& topology) const {
+  return cluster::ClusterState(topology, containers_, applications_,
+                               constraints_);
+}
+
+void Workload::ProjectCpuOnly() {
+  for (auto& c : containers_) c.request = c.request.CpuOnly();
+  for (auto& a : applications_) a.request = a.request.CpuOnly();
+}
+
+}  // namespace aladdin::trace

@@ -1,0 +1,519 @@
+// Tests for the Kubernetes co-design layer (§IV.C, Fig. 6): the events
+// handling center's coalescing, the model adaptor's object/scheduling
+// translation, the resolver's binding/migration/preemption reconciliation,
+// and the full simulator's mixed long-/short-lived lifecycle (§IV.D).
+#include <gtest/gtest.h>
+
+#include "cluster/audit.h"
+#include "k8s/adaptor.h"
+#include "k8s/events.h"
+#include "k8s/resolver.h"
+#include "common/rng.h"
+#include "k8s/simulator.h"
+
+namespace aladdin::k8s {
+namespace {
+
+using cluster::ResourceVector;
+
+Pod MakePod(PodUid uid, const std::string& app, ResourceVector req,
+            cluster::Priority priority = 0, bool anti_within = false) {
+  Pod pod;
+  pod.uid = uid;
+  pod.name = app + "-" + std::to_string(uid);
+  pod.spec.app = app;
+  pod.spec.requests = req;
+  pod.spec.priority = priority;
+  pod.spec.anti_affinity_within = anti_within;
+  return pod;
+}
+
+Event PodAdded(Pod pod) {
+  Event e;
+  e.type = EventType::kPodAdded;
+  e.pod = std::move(pod);
+  return e;
+}
+
+Event PodDeleted(PodUid uid) {
+  Event e;
+  e.type = EventType::kPodDeleted;
+  e.pod.uid = uid;
+  return e;
+}
+
+Event NodeAdded(const std::string& name, ResourceVector capacity,
+                const std::string& rack = "r0",
+                const std::string& zone = "z0") {
+  Event e;
+  e.type = EventType::kNodeAdded;
+  e.node = Node{name, capacity, rack, zone};
+  return e;
+}
+
+// ------------------------------------------------------------------ EHC ----
+
+TEST(Ehc, DispatchesToSubscribersInOrder) {
+  EventsHandlingCenter ehc;
+  std::vector<std::string> log;
+  ehc.Subscribe([&](const Event& e) { log.push_back(EventTypeName(e.type)); });
+  ehc.Submit(NodeAdded("n0", ResourceVector::Cores(32, 64)));
+  ehc.Submit(PodAdded(MakePod(1, "a", ResourceVector::Cores(1, 2))));
+  EXPECT_EQ(ehc.pending(), 2u);
+  EXPECT_EQ(ehc.DrainAndDispatch(), 2u);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "NodeAdded");
+  EXPECT_EQ(log[1], "PodAdded");
+  EXPECT_EQ(ehc.pending(), 0u);
+}
+
+TEST(Ehc, CoalescesAddThenDelete) {
+  // A pod created and deleted in the same batch never reaches subscribers.
+  EventsHandlingCenter ehc;
+  int seen = 0;
+  ehc.Subscribe([&](const Event&) { ++seen; });
+  ehc.Submit(PodAdded(MakePod(1, "a", ResourceVector::Cores(1, 2))));
+  ehc.Submit(PodDeleted(1));
+  EXPECT_EQ(ehc.DrainAndDispatch(), 0u);
+  EXPECT_EQ(seen, 0);
+  EXPECT_EQ(ehc.coalesced_total(), 2);
+}
+
+TEST(Ehc, DeleteOfPreexistingPodPassesThrough) {
+  EventsHandlingCenter ehc;
+  std::vector<EventType> seen;
+  ehc.Subscribe([&](const Event& e) { seen.push_back(e.type); });
+  ehc.Submit(PodDeleted(42));  // pod existed before this batch
+  EXPECT_EQ(ehc.DrainAndDispatch(), 1u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], EventType::kPodDeleted);
+}
+
+TEST(Ehc, DuplicateAddsCollapse) {
+  EventsHandlingCenter ehc;
+  int seen = 0;
+  ehc.Subscribe([&](const Event&) { ++seen; });
+  ehc.Submit(PodAdded(MakePod(1, "a", ResourceVector::Cores(1, 2))));
+  ehc.Submit(PodAdded(MakePod(1, "a", ResourceVector::Cores(1, 2))));
+  EXPECT_EQ(ehc.DrainAndDispatch(), 1u);
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(Ehc, NodeAddRemoveCancels) {
+  EventsHandlingCenter ehc;
+  int seen = 0;
+  ehc.Subscribe([&](const Event&) { ++seen; });
+  ehc.Submit(NodeAdded("n0", ResourceVector::Cores(32, 64)));
+  {
+    Event e;
+    e.type = EventType::kNodeRemoved;
+    e.node.name = "n0";
+    ehc.Submit(std::move(e));
+  }
+  EXPECT_EQ(ehc.DrainAndDispatch(), 0u);
+  EXPECT_EQ(seen, 0);
+}
+
+// ---------------------------------------------------------------- adaptor ----
+
+TEST(Adaptor, BuildsWorkloadFromOwners) {
+  ModelAdaptor ma;
+  ma.OnEvent(NodeAdded("n0", ResourceVector::Cores(32, 64)));
+  ma.OnEvent(PodAdded(MakePod(1, "web", ResourceVector::Cores(4, 8), 2, true)));
+  ma.OnEvent(PodAdded(MakePod(2, "web", ResourceVector::Cores(4, 8), 2, true)));
+  ma.OnEvent(PodAdded(MakePod(3, "db", ResourceVector::Cores(8, 16))));
+
+  const trace::Workload& wl = ma.workload();
+  ASSERT_EQ(wl.application_count(), 2u);
+  EXPECT_EQ(wl.applications()[0].name, "web");
+  EXPECT_EQ(wl.applications()[0].containers.size(), 2u);
+  EXPECT_TRUE(wl.applications()[0].anti_affinity_within);
+  EXPECT_EQ(wl.applications()[1].name, "db");
+
+  // uid <-> container translation is a bijection over live pods.
+  for (PodUid uid : {PodUid{1}, PodUid{2}, PodUid{3}}) {
+    const auto c = ma.ContainerOf(uid);
+    ASSERT_TRUE(c.valid());
+    EXPECT_EQ(ma.PodOfContainer(c), uid);
+  }
+}
+
+TEST(Adaptor, CrossOwnerAntiAffinityResolved) {
+  ModelAdaptor ma;
+  Pod web = MakePod(1, "web", ResourceVector::Cores(4, 8));
+  web.spec.anti_affinity_apps = {"db"};
+  ma.OnEvent(PodAdded(web));
+  ma.OnEvent(PodAdded(MakePod(2, "db", ResourceVector::Cores(8, 16))));
+  const trace::Workload& wl = ma.workload();
+  EXPECT_TRUE(wl.constraints().Conflicts(wl.applications()[0].id,
+                                         wl.applications()[1].id));
+}
+
+TEST(Adaptor, TopologyFromLabels) {
+  ModelAdaptor ma;
+  ma.OnEvent(NodeAdded("a", ResourceVector::Cores(32, 64), "r0", "z0"));
+  ma.OnEvent(NodeAdded("b", ResourceVector::Cores(32, 64), "r0", "z0"));
+  ma.OnEvent(NodeAdded("c", ResourceVector::Cores(32, 64), "r1", "z0"));
+  ma.OnEvent(NodeAdded("d", ResourceVector::Cores(16, 32), "r2", "z1"));
+  const cluster::Topology& topo = ma.topology();
+  EXPECT_EQ(topo.machine_count(), 4u);
+  EXPECT_EQ(topo.rack_count(), 3u);
+  EXPECT_EQ(topo.subcluster_count(), 2u);
+  const auto m = ma.MachineOf("d");
+  ASSERT_TRUE(m.valid());
+  EXPECT_EQ(topo.machine(m).capacity, ResourceVector::Cores(16, 32));
+  EXPECT_EQ(ma.NodeOfMachine(m), "d");
+}
+
+TEST(Adaptor, SnapshotVersionBumpsOnChange) {
+  ModelAdaptor ma;
+  ma.OnEvent(NodeAdded("n0", ResourceVector::Cores(32, 64)));
+  (void)ma.workload();
+  const auto v1 = ma.snapshot_version();
+  (void)ma.workload();  // no change: same version
+  EXPECT_EQ(ma.snapshot_version(), v1);
+  ma.OnEvent(PodAdded(MakePod(1, "a", ResourceVector::Cores(1, 2))));
+  (void)ma.workload();
+  EXPECT_GT(ma.snapshot_version(), v1);
+}
+
+TEST(Adaptor, NodeRemovalUnbindsPods) {
+  ModelAdaptor ma;
+  ma.OnEvent(NodeAdded("n0", ResourceVector::Cores(32, 64)));
+  Pod pod = MakePod(1, "a", ResourceVector::Cores(1, 2));
+  pod.phase = PodPhase::kBound;
+  pod.node = "n0";
+  ma.OnEvent(PodAdded(pod));
+  {
+    Event e;
+    e.type = EventType::kNodeRemoved;
+    e.node.name = "n0";
+    ma.OnEvent(e);
+  }
+  const Pod* stored = ma.FindPod(1);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->phase, PodPhase::kPending);
+  EXPECT_TRUE(stored->node.empty());
+}
+
+// --------------------------------------------------------------- resolver ----
+
+TEST(Resolver, BindsPendingPods) {
+  ModelAdaptor ma;
+  ma.OnEvent(NodeAdded("n0", ResourceVector::Cores(32, 64)));
+  ma.OnEvent(NodeAdded("n1", ResourceVector::Cores(32, 64)));
+  ma.OnEvent(PodAdded(MakePod(1, "web", ResourceVector::Cores(4, 8), 1, true)));
+  ma.OnEvent(PodAdded(MakePod(2, "web", ResourceVector::Cores(4, 8), 1, true)));
+
+  Resolver resolver(ma);
+  std::vector<Binding> bindings;
+  const ResolveStats stats = resolver.Resolve(1, &bindings);
+  EXPECT_EQ(stats.new_bindings, 2u);
+  EXPECT_EQ(stats.unschedulable, 0u);
+  ASSERT_EQ(bindings.size(), 2u);
+  // Anti-affinity within: the two replicas land on different nodes.
+  EXPECT_NE(ma.FindPod(1)->node, ma.FindPod(2)->node);
+  EXPECT_EQ(ma.FindPod(1)->phase, PodPhase::kBound);
+}
+
+TEST(Resolver, IncrementalRespectsExistingBindings) {
+  ModelAdaptor ma;
+  ma.OnEvent(NodeAdded("n0", ResourceVector::Cores(32, 64)));
+  ma.OnEvent(PodAdded(MakePod(1, "a", ResourceVector::Cores(4, 8))));
+  Resolver resolver(ma);
+  resolver.Resolve(1);
+  const std::string first_node = ma.FindPod(1)->node;
+  // A second pod arrives; the first binding must not churn.
+  ma.OnEvent(PodAdded(MakePod(2, "b", ResourceVector::Cores(4, 8))));
+  const ResolveStats stats = resolver.Resolve(2);
+  EXPECT_EQ(stats.new_bindings, 1u);
+  EXPECT_EQ(stats.migrations, 0u);
+  EXPECT_EQ(ma.FindPod(1)->node, first_node);
+}
+
+TEST(Resolver, MigratesBlockerForConstrainedArrival) {
+  // The Fig. 3(b) scenario through the full stack: A bound on the big node
+  // (the only node at the time); the small node joins later; then B
+  // (anti-affine with A) arrives and only fits on big — A must migrate.
+  ModelAdaptor ma;
+  ma.OnEvent(NodeAdded("big", ResourceVector::Cores(32, 64)));
+  Pod a = MakePod(1, "A", ResourceVector::Cores(8, 16), 1);
+  a.spec.anti_affinity_apps = {"B"};
+  ma.OnEvent(PodAdded(a));
+  Resolver resolver(ma);
+  resolver.Resolve(1);
+  ASSERT_EQ(ma.FindPod(1)->node, "big");
+
+  ma.OnEvent(NodeAdded("small", ResourceVector::Cores(8, 16)));
+  ma.OnEvent(PodAdded(MakePod(2, "B", ResourceVector::Cores(24, 48))));
+  const ResolveStats stats = resolver.Resolve(2);
+  EXPECT_EQ(stats.new_bindings, 1u);
+  EXPECT_EQ(stats.migrations, 1u);
+  EXPECT_EQ(ma.FindPod(1)->node, "small");
+  EXPECT_EQ(ma.FindPod(2)->node, "big");
+}
+
+TEST(Resolver, ReportsUnschedulable) {
+  ModelAdaptor ma;
+  ma.OnEvent(NodeAdded("n0", ResourceVector::Cores(8, 16)));
+  ma.OnEvent(PodAdded(MakePod(1, "big", ResourceVector::Cores(16, 32))));
+  Resolver resolver(ma);
+  const ResolveStats stats = resolver.Resolve(1);
+  EXPECT_EQ(stats.unschedulable, 1u);
+  EXPECT_EQ(ma.FindPod(1)->phase, PodPhase::kPending);
+}
+
+// -------------------------------------------------------------- simulator ----
+
+TEST(Simulator, EndToEndMixedWorkload) {
+  ClusterSimulator sim;
+  sim.AddNodes(8, ResourceVector::Cores(32, 64), "node", 4, 2);
+
+  PodSpec web;
+  web.requests = ResourceVector::Cores(8, 16);
+  web.priority = 2;
+  web.anti_affinity_within = true;
+  sim.SubmitDeployment("web", 4, web);
+  sim.SubmitBatchJob("etl", 12, ResourceVector::Cores(2, 4),
+                     /*lifetime_ticks=*/2);
+
+  const ResolveStats t1 = sim.Tick();
+  EXPECT_EQ(t1.new_bindings, 16u);
+  EXPECT_EQ(t1.unschedulable, 0u);
+
+  // Batch tasks complete after two more ticks and release their resources.
+  sim.Tick();
+  sim.Tick();
+  EXPECT_EQ(sim.completed_tasks(), 12);
+  EXPECT_EQ(sim.adaptor().pod_count(), 4u);  // only the LLA remains
+  for (PodUid uid : sim.adaptor().BoundPods()) {
+    EXPECT_FALSE(sim.adaptor().FindPod(uid)->spec.short_lived());
+  }
+}
+
+TEST(Simulator, BatchWavesReuseFreedCapacity) {
+  ClusterSimulator sim;
+  sim.AddNodes(2, ResourceVector::Cores(32, 64));
+  // Each wave saturates the cluster; it must drain before the next fits.
+  sim.SubmitBatchJob("wave1", 16, ResourceVector::Cores(4, 8), 1);
+  const auto t1 = sim.Tick();
+  EXPECT_EQ(t1.new_bindings, 16u);
+  sim.SubmitBatchJob("wave2", 16, ResourceVector::Cores(4, 8), 1);
+  const auto t2 = sim.Tick();  // wave1 completes this tick, wave2 binds
+  EXPECT_EQ(t2.new_bindings, 16u);
+  EXPECT_EQ(sim.completed_tasks(), 16);
+  sim.Tick();
+  EXPECT_EQ(sim.completed_tasks(), 32);
+}
+
+TEST(Simulator, ScaleDownRemovesNewestPods) {
+  ClusterSimulator sim;
+  sim.AddNodes(4, ResourceVector::Cores(32, 64));
+  PodSpec spec;
+  spec.requests = ResourceVector::Cores(2, 4);
+  const auto uids = sim.SubmitDeployment("svc", 6, spec);
+  sim.Tick();
+  EXPECT_EQ(sim.ScaleDown("svc", 2), 2u);
+  sim.Tick();
+  EXPECT_EQ(sim.adaptor().pod_count(), 4u);
+  // The two newest uids are gone.
+  EXPECT_EQ(sim.adaptor().FindPod(uids.back()), nullptr);
+  EXPECT_NE(sim.adaptor().FindPod(uids.front()), nullptr);
+}
+
+TEST(Simulator, NodeLossReschedulesPods) {
+  ClusterSimulator sim;
+  const auto names = sim.AddNodes(4, ResourceVector::Cores(32, 64));
+  PodSpec spec;
+  spec.requests = ResourceVector::Cores(4, 8);
+  spec.anti_affinity_within = true;
+  sim.SubmitDeployment("svc", 3, spec);
+  sim.Tick();
+  // Find a node hosting a replica and kill it.
+  std::string victim;
+  for (PodUid uid : sim.adaptor().BoundPods()) {
+    victim = sim.adaptor().FindPod(uid)->node;
+    break;
+  }
+  ASSERT_FALSE(victim.empty());
+  sim.RemoveNode(victim);
+  const ResolveStats stats = sim.Tick();
+  EXPECT_EQ(stats.new_bindings, 1u);  // the displaced replica re-binds
+  // All three replicas bound again, still on distinct nodes.
+  std::set<std::string> nodes;
+  for (PodUid uid : sim.adaptor().BoundPods()) {
+    nodes.insert(sim.adaptor().FindPod(uid)->node);
+  }
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+TEST(Simulator, PriorityPreemptionThroughTheStack) {
+  ClusterSimulator sim;
+  sim.AddNodes(1, ResourceVector::Cores(32, 64));
+  PodSpec low;
+  low.requests = ResourceVector::Cores(16, 32);
+  low.priority = 0;
+  sim.SubmitDeployment("low", 2, low);
+  sim.Tick();
+  EXPECT_EQ(sim.adaptor().BoundPods().size(), 2u);
+
+  PodSpec vip;
+  vip.requests = ResourceVector::Cores(16, 32);
+  vip.priority = 3;
+  sim.SubmitDeployment("vip", 1, vip);
+  const ResolveStats stats = sim.Tick();
+  // The VIP pod displaces one low-priority pod (weighted flows, Eq. 3-5).
+  EXPECT_EQ(stats.new_bindings, 1u);
+  EXPECT_GE(stats.preemptions, 1u);
+  bool vip_bound = false;
+  for (PodUid uid : sim.adaptor().BoundPods()) {
+    if (sim.adaptor().FindPod(uid)->spec.app == "vip") vip_bound = true;
+  }
+  EXPECT_TRUE(vip_bound);
+}
+
+TEST(Simulator, HistoryAccumulates) {
+  ClusterSimulator sim;
+  sim.AddNodes(2, ResourceVector::Cores(32, 64));
+  sim.Tick();
+  sim.Tick();
+  EXPECT_EQ(sim.history().size(), 2u);
+  EXPECT_EQ(sim.history()[0].tick, 1);
+  EXPECT_EQ(sim.history()[1].tick, 2);
+  EXPECT_EQ(sim.now(), 2);
+}
+
+TEST(Simulator, InterleavedBatchJobsCompleteIndependently) {
+  ClusterSimulator sim;
+  sim.AddNodes(4, ResourceVector::Cores(32, 64));
+  sim.SubmitBatchJob("fast", 8, ResourceVector::Cores(1, 2), 1);
+  sim.SubmitBatchJob("slow", 8, ResourceVector::Cores(1, 2), 3);
+  sim.Tick();  // both bind
+  EXPECT_EQ(sim.completed_tasks(), 0);
+  sim.Tick();  // fast completes (bound t=1, lifetime 1)
+  EXPECT_EQ(sim.completed_tasks(), 8);
+  sim.Tick();
+  EXPECT_EQ(sim.completed_tasks(), 8);  // slow still running
+  sim.Tick();  // slow completes at t=4 (bound 1 + 3)
+  EXPECT_EQ(sim.completed_tasks(), 16);
+}
+
+TEST(Adaptor, DeletingPendingPodRemovesIt) {
+  ModelAdaptor ma;
+  ma.OnEvent(NodeAdded("n0", ResourceVector::Cores(32, 64)));
+  ma.OnEvent(PodAdded(MakePod(1, "a", ResourceVector::Cores(1, 2))));
+  EXPECT_EQ(ma.PendingPods().size(), 1u);
+  ma.OnEvent(PodDeleted(1));
+  EXPECT_EQ(ma.PendingPods().size(), 0u);
+  EXPECT_EQ(ma.FindPod(1), nullptr);
+  // Snapshot reflects the deletion.
+  EXPECT_EQ(ma.workload().container_count(), 0u);
+}
+
+TEST(Adaptor, PrototypeSpecIsCanonicalPerOwner) {
+  // Pods of one owner are isomorphic by contract; the adaptor trusts the
+  // first (lowest-uid) pod's spec if a divergent one sneaks in.
+  ModelAdaptor ma;
+  ma.OnEvent(PodAdded(MakePod(1, "svc", ResourceVector::Cores(2, 4), 1)));
+  ma.OnEvent(PodAdded(MakePod(2, "svc", ResourceVector::Cores(8, 16), 3)));
+  const trace::Workload& wl = ma.workload();
+  ASSERT_EQ(wl.application_count(), 1u);
+  EXPECT_EQ(wl.applications()[0].request, ResourceVector::Cores(2, 4));
+  EXPECT_EQ(wl.applications()[0].priority, 1);
+}
+
+TEST(Resolver, ShortLivedPodsBypassConstraints) {
+  // Task-path pods ignore anti-affinity (SS IV.D) but still respect
+  // resources; the LLA path on the same resolve honours everything.
+  ModelAdaptor ma;
+  ma.OnEvent(NodeAdded("n0", ResourceVector::Cores(8, 16)));
+  Pod lla = MakePod(1, "svc", ResourceVector::Cores(4, 8), 1, true);
+  ma.OnEvent(PodAdded(lla));
+  Pod batch = MakePod(2, "svc-batch", ResourceVector::Cores(4, 8));
+  batch.spec.lifetime_ticks = 2;
+  ma.OnEvent(PodAdded(batch));
+  Resolver resolver(ma);
+  const ResolveStats stats = resolver.Resolve(1);
+  EXPECT_EQ(stats.new_bindings, 2u);
+  EXPECT_EQ(ma.FindPod(1)->node, "n0");
+  EXPECT_EQ(ma.FindPod(2)->node, "n0");
+}
+
+// ------------------------------------------------------- churn fuzzing ----
+
+class ChurnFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChurnFuzzTest, RandomNodeAndPodChurnKeepsInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  ClusterSimulator sim;
+  std::vector<std::string> nodes =
+      sim.AddNodes(10, ResourceVector::Cores(32, 64));
+
+  int app_counter = 0;
+  for (int tick = 0; tick < 12; ++tick) {
+    // Random workload churn.
+    if (rng.Bernoulli(0.8)) {
+      PodSpec spec;
+      spec.requests = ResourceVector::Cores(rng.UniformInt(1, 8),
+                                            rng.UniformInt(2, 16));
+      spec.priority = static_cast<cluster::Priority>(rng.UniformInt(0, 3));
+      spec.anti_affinity_within = rng.Bernoulli(0.5);
+      sim.SubmitDeployment("fuzz-" + std::to_string(app_counter++),
+                           static_cast<std::size_t>(rng.UniformInt(1, 5)),
+                           spec);
+    }
+    if (rng.Bernoulli(0.4)) {
+      sim.SubmitBatchJob("batch-" + std::to_string(tick),
+                         static_cast<std::size_t>(rng.UniformInt(2, 10)),
+                         ResourceVector::Cores(1, 2), rng.UniformInt(1, 3));
+    }
+    // Random infrastructure churn.
+    if (rng.Bernoulli(0.25) && nodes.size() > 4) {
+      const auto pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(nodes.size()) - 1));
+      sim.RemoveNode(nodes[pick]);
+      nodes.erase(nodes.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (rng.Bernoulli(0.25)) {
+      const auto added = sim.AddNodes(2, ResourceVector::Cores(32, 64));
+      nodes.insert(nodes.end(), added.begin(), added.end());
+    }
+
+    sim.Tick();
+
+    // Invariants: every bound pod references a live node, and the
+    // scheduling-side snapshot stays violation-free for LLAs.
+    for (PodUid uid : sim.adaptor().BoundPods()) {
+      const Pod* pod = sim.adaptor().FindPod(uid);
+      ASSERT_TRUE(sim.adaptor().MachineOf(pod->node).valid())
+          << "tick " << tick << " pod " << uid << " on dead node "
+          << pod->node;
+    }
+    // Rebuild the state from bindings and audit it: bindings must at least
+    // be resource-feasible (anti-affinity can be momentarily violated only
+    // never — the resolver always places via the capacity function).
+    const trace::Workload& wl = sim.adaptor().workload();
+    const cluster::Topology& topo = sim.adaptor().topology();
+    auto state = wl.MakeState(topo);
+    for (PodUid uid : sim.adaptor().BoundPods()) {
+      const Pod* pod = sim.adaptor().FindPod(uid);
+      const auto c = sim.adaptor().ContainerOf(uid);
+      const auto m = sim.adaptor().MachineOf(pod->node);
+      ASSERT_TRUE(state.Fits(c, m)) << "over-committed binding at tick "
+                                    << tick;
+      state.Deploy(c, m);
+    }
+    // No long-lived pod may sit in a violating colocation.
+    for (cluster::ContainerId offender :
+         cluster::CollectColocationViolations(state)) {
+      const PodUid uid = sim.adaptor().PodOfContainer(offender);
+      EXPECT_TRUE(sim.adaptor().FindPod(uid)->spec.short_lived())
+          << "LLA pod in violating colocation at tick " << tick;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnFuzzTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace aladdin::k8s
