@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_flow_micro"
+  "../bench/bench_flow_micro.pdb"
+  "CMakeFiles/bench_flow_micro.dir/bench_flow_micro.cpp.o"
+  "CMakeFiles/bench_flow_micro.dir/bench_flow_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flow_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

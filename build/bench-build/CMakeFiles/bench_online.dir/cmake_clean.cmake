@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_online"
+  "../bench/bench_online.pdb"
+  "CMakeFiles/bench_online.dir/bench_online.cpp.o"
+  "CMakeFiles/bench_online.dir/bench_online.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

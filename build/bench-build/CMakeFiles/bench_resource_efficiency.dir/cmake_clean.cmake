@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_resource_efficiency"
+  "../bench/bench_resource_efficiency.pdb"
+  "CMakeFiles/bench_resource_efficiency.dir/bench_resource_efficiency.cpp.o"
+  "CMakeFiles/bench_resource_efficiency.dir/bench_resource_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resource_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holiday_scaleup.dir/holiday_scaleup.cpp.o"
+  "CMakeFiles/holiday_scaleup.dir/holiday_scaleup.cpp.o.d"
+  "holiday_scaleup"
+  "holiday_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holiday_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

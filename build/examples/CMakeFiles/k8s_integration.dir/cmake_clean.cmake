@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k8s_integration.dir/k8s_integration.cpp.o"
+  "CMakeFiles/k8s_integration.dir/k8s_integration.cpp.o.d"
+  "k8s_integration"
+  "k8s_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k8s_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

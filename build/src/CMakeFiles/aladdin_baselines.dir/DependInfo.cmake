@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/firmament/cost_model.cpp" "src/CMakeFiles/aladdin_baselines.dir/baselines/firmament/cost_model.cpp.o" "gcc" "src/CMakeFiles/aladdin_baselines.dir/baselines/firmament/cost_model.cpp.o.d"
+  "/root/repo/src/baselines/firmament/scheduler.cpp" "src/CMakeFiles/aladdin_baselines.dir/baselines/firmament/scheduler.cpp.o" "gcc" "src/CMakeFiles/aladdin_baselines.dir/baselines/firmament/scheduler.cpp.o.d"
+  "/root/repo/src/baselines/gokube/scheduler.cpp" "src/CMakeFiles/aladdin_baselines.dir/baselines/gokube/scheduler.cpp.o" "gcc" "src/CMakeFiles/aladdin_baselines.dir/baselines/gokube/scheduler.cpp.o.d"
+  "/root/repo/src/baselines/gokube/scoring.cpp" "src/CMakeFiles/aladdin_baselines.dir/baselines/gokube/scoring.cpp.o" "gcc" "src/CMakeFiles/aladdin_baselines.dir/baselines/gokube/scoring.cpp.o.d"
+  "/root/repo/src/baselines/medea/local_search.cpp" "src/CMakeFiles/aladdin_baselines.dir/baselines/medea/local_search.cpp.o" "gcc" "src/CMakeFiles/aladdin_baselines.dir/baselines/medea/local_search.cpp.o.d"
+  "/root/repo/src/baselines/medea/objective.cpp" "src/CMakeFiles/aladdin_baselines.dir/baselines/medea/objective.cpp.o" "gcc" "src/CMakeFiles/aladdin_baselines.dir/baselines/medea/objective.cpp.o.d"
+  "/root/repo/src/baselines/medea/scheduler.cpp" "src/CMakeFiles/aladdin_baselines.dir/baselines/medea/scheduler.cpp.o" "gcc" "src/CMakeFiles/aladdin_baselines.dir/baselines/medea/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aladdin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aladdin_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aladdin_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aladdin_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aladdin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

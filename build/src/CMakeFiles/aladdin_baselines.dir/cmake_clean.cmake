@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aladdin_baselines.dir/baselines/firmament/cost_model.cpp.o"
+  "CMakeFiles/aladdin_baselines.dir/baselines/firmament/cost_model.cpp.o.d"
+  "CMakeFiles/aladdin_baselines.dir/baselines/firmament/scheduler.cpp.o"
+  "CMakeFiles/aladdin_baselines.dir/baselines/firmament/scheduler.cpp.o.d"
+  "CMakeFiles/aladdin_baselines.dir/baselines/gokube/scheduler.cpp.o"
+  "CMakeFiles/aladdin_baselines.dir/baselines/gokube/scheduler.cpp.o.d"
+  "CMakeFiles/aladdin_baselines.dir/baselines/gokube/scoring.cpp.o"
+  "CMakeFiles/aladdin_baselines.dir/baselines/gokube/scoring.cpp.o.d"
+  "CMakeFiles/aladdin_baselines.dir/baselines/medea/local_search.cpp.o"
+  "CMakeFiles/aladdin_baselines.dir/baselines/medea/local_search.cpp.o.d"
+  "CMakeFiles/aladdin_baselines.dir/baselines/medea/objective.cpp.o"
+  "CMakeFiles/aladdin_baselines.dir/baselines/medea/objective.cpp.o.d"
+  "CMakeFiles/aladdin_baselines.dir/baselines/medea/scheduler.cpp.o"
+  "CMakeFiles/aladdin_baselines.dir/baselines/medea/scheduler.cpp.o.d"
+  "libaladdin_baselines.a"
+  "libaladdin_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aladdin_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/application.cpp" "src/CMakeFiles/aladdin_cluster.dir/cluster/application.cpp.o" "gcc" "src/CMakeFiles/aladdin_cluster.dir/cluster/application.cpp.o.d"
+  "/root/repo/src/cluster/audit.cpp" "src/CMakeFiles/aladdin_cluster.dir/cluster/audit.cpp.o" "gcc" "src/CMakeFiles/aladdin_cluster.dir/cluster/audit.cpp.o.d"
+  "/root/repo/src/cluster/constraints.cpp" "src/CMakeFiles/aladdin_cluster.dir/cluster/constraints.cpp.o" "gcc" "src/CMakeFiles/aladdin_cluster.dir/cluster/constraints.cpp.o.d"
+  "/root/repo/src/cluster/free_index.cpp" "src/CMakeFiles/aladdin_cluster.dir/cluster/free_index.cpp.o" "gcc" "src/CMakeFiles/aladdin_cluster.dir/cluster/free_index.cpp.o.d"
+  "/root/repo/src/cluster/machine.cpp" "src/CMakeFiles/aladdin_cluster.dir/cluster/machine.cpp.o" "gcc" "src/CMakeFiles/aladdin_cluster.dir/cluster/machine.cpp.o.d"
+  "/root/repo/src/cluster/resources.cpp" "src/CMakeFiles/aladdin_cluster.dir/cluster/resources.cpp.o" "gcc" "src/CMakeFiles/aladdin_cluster.dir/cluster/resources.cpp.o.d"
+  "/root/repo/src/cluster/state.cpp" "src/CMakeFiles/aladdin_cluster.dir/cluster/state.cpp.o" "gcc" "src/CMakeFiles/aladdin_cluster.dir/cluster/state.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/CMakeFiles/aladdin_cluster.dir/cluster/topology.cpp.o" "gcc" "src/CMakeFiles/aladdin_cluster.dir/cluster/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aladdin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aladdin_cluster.dir/cluster/application.cpp.o"
+  "CMakeFiles/aladdin_cluster.dir/cluster/application.cpp.o.d"
+  "CMakeFiles/aladdin_cluster.dir/cluster/audit.cpp.o"
+  "CMakeFiles/aladdin_cluster.dir/cluster/audit.cpp.o.d"
+  "CMakeFiles/aladdin_cluster.dir/cluster/constraints.cpp.o"
+  "CMakeFiles/aladdin_cluster.dir/cluster/constraints.cpp.o.d"
+  "CMakeFiles/aladdin_cluster.dir/cluster/free_index.cpp.o"
+  "CMakeFiles/aladdin_cluster.dir/cluster/free_index.cpp.o.d"
+  "CMakeFiles/aladdin_cluster.dir/cluster/machine.cpp.o"
+  "CMakeFiles/aladdin_cluster.dir/cluster/machine.cpp.o.d"
+  "CMakeFiles/aladdin_cluster.dir/cluster/resources.cpp.o"
+  "CMakeFiles/aladdin_cluster.dir/cluster/resources.cpp.o.d"
+  "CMakeFiles/aladdin_cluster.dir/cluster/state.cpp.o"
+  "CMakeFiles/aladdin_cluster.dir/cluster/state.cpp.o.d"
+  "CMakeFiles/aladdin_cluster.dir/cluster/topology.cpp.o"
+  "CMakeFiles/aladdin_cluster.dir/cluster/topology.cpp.o.d"
+  "libaladdin_cluster.a"
+  "libaladdin_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aladdin_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aladdin_common.dir/common/csv.cpp.o"
+  "CMakeFiles/aladdin_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/aladdin_common.dir/common/flags.cpp.o"
+  "CMakeFiles/aladdin_common.dir/common/flags.cpp.o.d"
+  "CMakeFiles/aladdin_common.dir/common/log.cpp.o"
+  "CMakeFiles/aladdin_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/aladdin_common.dir/common/rng.cpp.o"
+  "CMakeFiles/aladdin_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/aladdin_common.dir/common/stats.cpp.o"
+  "CMakeFiles/aladdin_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/aladdin_common.dir/common/strings.cpp.o"
+  "CMakeFiles/aladdin_common.dir/common/strings.cpp.o.d"
+  "CMakeFiles/aladdin_common.dir/common/table.cpp.o"
+  "CMakeFiles/aladdin_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/aladdin_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/aladdin_common.dir/common/thread_pool.cpp.o.d"
+  "libaladdin_common.a"
+  "libaladdin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aladdin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

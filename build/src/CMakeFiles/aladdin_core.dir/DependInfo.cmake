@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capacity.cpp" "src/CMakeFiles/aladdin_core.dir/core/capacity.cpp.o" "gcc" "src/CMakeFiles/aladdin_core.dir/core/capacity.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/CMakeFiles/aladdin_core.dir/core/migration.cpp.o" "gcc" "src/CMakeFiles/aladdin_core.dir/core/migration.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/CMakeFiles/aladdin_core.dir/core/network.cpp.o" "gcc" "src/CMakeFiles/aladdin_core.dir/core/network.cpp.o.d"
+  "/root/repo/src/core/relaxation.cpp" "src/CMakeFiles/aladdin_core.dir/core/relaxation.cpp.o" "gcc" "src/CMakeFiles/aladdin_core.dir/core/relaxation.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/aladdin_core.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/aladdin_core.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/task_scheduler.cpp" "src/CMakeFiles/aladdin_core.dir/core/task_scheduler.cpp.o" "gcc" "src/CMakeFiles/aladdin_core.dir/core/task_scheduler.cpp.o.d"
+  "/root/repo/src/core/weights.cpp" "src/CMakeFiles/aladdin_core.dir/core/weights.cpp.o" "gcc" "src/CMakeFiles/aladdin_core.dir/core/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aladdin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aladdin_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aladdin_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aladdin_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aladdin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

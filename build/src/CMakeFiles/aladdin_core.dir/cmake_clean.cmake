@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aladdin_core.dir/core/capacity.cpp.o"
+  "CMakeFiles/aladdin_core.dir/core/capacity.cpp.o.d"
+  "CMakeFiles/aladdin_core.dir/core/migration.cpp.o"
+  "CMakeFiles/aladdin_core.dir/core/migration.cpp.o.d"
+  "CMakeFiles/aladdin_core.dir/core/network.cpp.o"
+  "CMakeFiles/aladdin_core.dir/core/network.cpp.o.d"
+  "CMakeFiles/aladdin_core.dir/core/relaxation.cpp.o"
+  "CMakeFiles/aladdin_core.dir/core/relaxation.cpp.o.d"
+  "CMakeFiles/aladdin_core.dir/core/scheduler.cpp.o"
+  "CMakeFiles/aladdin_core.dir/core/scheduler.cpp.o.d"
+  "CMakeFiles/aladdin_core.dir/core/task_scheduler.cpp.o"
+  "CMakeFiles/aladdin_core.dir/core/task_scheduler.cpp.o.d"
+  "CMakeFiles/aladdin_core.dir/core/weights.cpp.o"
+  "CMakeFiles/aladdin_core.dir/core/weights.cpp.o.d"
+  "libaladdin_core.a"
+  "libaladdin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aladdin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/graph.cpp" "src/CMakeFiles/aladdin_flow.dir/flow/graph.cpp.o" "gcc" "src/CMakeFiles/aladdin_flow.dir/flow/graph.cpp.o.d"
+  "/root/repo/src/flow/max_flow.cpp" "src/CMakeFiles/aladdin_flow.dir/flow/max_flow.cpp.o" "gcc" "src/CMakeFiles/aladdin_flow.dir/flow/max_flow.cpp.o.d"
+  "/root/repo/src/flow/min_cost_flow.cpp" "src/CMakeFiles/aladdin_flow.dir/flow/min_cost_flow.cpp.o" "gcc" "src/CMakeFiles/aladdin_flow.dir/flow/min_cost_flow.cpp.o.d"
+  "/root/repo/src/flow/multidim.cpp" "src/CMakeFiles/aladdin_flow.dir/flow/multidim.cpp.o" "gcc" "src/CMakeFiles/aladdin_flow.dir/flow/multidim.cpp.o.d"
+  "/root/repo/src/flow/shortest_path.cpp" "src/CMakeFiles/aladdin_flow.dir/flow/shortest_path.cpp.o" "gcc" "src/CMakeFiles/aladdin_flow.dir/flow/shortest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aladdin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

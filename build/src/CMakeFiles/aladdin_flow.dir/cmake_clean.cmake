@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aladdin_flow.dir/flow/graph.cpp.o"
+  "CMakeFiles/aladdin_flow.dir/flow/graph.cpp.o.d"
+  "CMakeFiles/aladdin_flow.dir/flow/max_flow.cpp.o"
+  "CMakeFiles/aladdin_flow.dir/flow/max_flow.cpp.o.d"
+  "CMakeFiles/aladdin_flow.dir/flow/min_cost_flow.cpp.o"
+  "CMakeFiles/aladdin_flow.dir/flow/min_cost_flow.cpp.o.d"
+  "CMakeFiles/aladdin_flow.dir/flow/multidim.cpp.o"
+  "CMakeFiles/aladdin_flow.dir/flow/multidim.cpp.o.d"
+  "CMakeFiles/aladdin_flow.dir/flow/shortest_path.cpp.o"
+  "CMakeFiles/aladdin_flow.dir/flow/shortest_path.cpp.o.d"
+  "libaladdin_flow.a"
+  "libaladdin_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aladdin_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

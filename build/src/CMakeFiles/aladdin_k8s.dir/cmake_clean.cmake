@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aladdin_k8s.dir/k8s/adaptor.cpp.o"
+  "CMakeFiles/aladdin_k8s.dir/k8s/adaptor.cpp.o.d"
+  "CMakeFiles/aladdin_k8s.dir/k8s/events.cpp.o"
+  "CMakeFiles/aladdin_k8s.dir/k8s/events.cpp.o.d"
+  "CMakeFiles/aladdin_k8s.dir/k8s/objects.cpp.o"
+  "CMakeFiles/aladdin_k8s.dir/k8s/objects.cpp.o.d"
+  "CMakeFiles/aladdin_k8s.dir/k8s/resolver.cpp.o"
+  "CMakeFiles/aladdin_k8s.dir/k8s/resolver.cpp.o.d"
+  "CMakeFiles/aladdin_k8s.dir/k8s/simulator.cpp.o"
+  "CMakeFiles/aladdin_k8s.dir/k8s/simulator.cpp.o.d"
+  "libaladdin_k8s.a"
+  "libaladdin_k8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aladdin_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/aladdin_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/aladdin_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/aladdin_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/aladdin_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/aladdin_sim.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/aladdin_sim.dir/sim/report.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/aladdin_sim.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/aladdin_sim.dir/sim/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aladdin_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aladdin_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aladdin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

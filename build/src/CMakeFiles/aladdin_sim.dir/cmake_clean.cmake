@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aladdin_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/aladdin_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/aladdin_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/aladdin_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/aladdin_sim.dir/sim/report.cpp.o"
+  "CMakeFiles/aladdin_sim.dir/sim/report.cpp.o.d"
+  "CMakeFiles/aladdin_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/aladdin_sim.dir/sim/scheduler.cpp.o.d"
+  "libaladdin_sim.a"
+  "libaladdin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aladdin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

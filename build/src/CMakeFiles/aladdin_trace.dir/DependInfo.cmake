@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/alibaba_gen.cpp" "src/CMakeFiles/aladdin_trace.dir/trace/alibaba_gen.cpp.o" "gcc" "src/CMakeFiles/aladdin_trace.dir/trace/alibaba_gen.cpp.o.d"
+  "/root/repo/src/trace/arrival.cpp" "src/CMakeFiles/aladdin_trace.dir/trace/arrival.cpp.o" "gcc" "src/CMakeFiles/aladdin_trace.dir/trace/arrival.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/CMakeFiles/aladdin_trace.dir/trace/serialize.cpp.o" "gcc" "src/CMakeFiles/aladdin_trace.dir/trace/serialize.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/CMakeFiles/aladdin_trace.dir/trace/trace_stats.cpp.o" "gcc" "src/CMakeFiles/aladdin_trace.dir/trace/trace_stats.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/CMakeFiles/aladdin_trace.dir/trace/workload.cpp.o" "gcc" "src/CMakeFiles/aladdin_trace.dir/trace/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aladdin_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aladdin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aladdin_trace.dir/trace/alibaba_gen.cpp.o"
+  "CMakeFiles/aladdin_trace.dir/trace/alibaba_gen.cpp.o.d"
+  "CMakeFiles/aladdin_trace.dir/trace/arrival.cpp.o"
+  "CMakeFiles/aladdin_trace.dir/trace/arrival.cpp.o.d"
+  "CMakeFiles/aladdin_trace.dir/trace/serialize.cpp.o"
+  "CMakeFiles/aladdin_trace.dir/trace/serialize.cpp.o.d"
+  "CMakeFiles/aladdin_trace.dir/trace/trace_stats.cpp.o"
+  "CMakeFiles/aladdin_trace.dir/trace/trace_stats.cpp.o.d"
+  "CMakeFiles/aladdin_trace.dir/trace/workload.cpp.o"
+  "CMakeFiles/aladdin_trace.dir/trace/workload.cpp.o.d"
+  "libaladdin_trace.a"
+  "libaladdin_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aladdin_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

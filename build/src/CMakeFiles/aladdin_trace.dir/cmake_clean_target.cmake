@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaladdin_trace.a"
+)
