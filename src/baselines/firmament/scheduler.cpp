@@ -1,7 +1,6 @@
 #include "baselines/firmament/scheduler.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <unordered_map>
 

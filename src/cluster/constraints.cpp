@@ -1,7 +1,8 @@
 #include "cluster/constraints.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace aladdin::cluster {
 
@@ -10,7 +11,7 @@ ConstraintSet::ConstraintSet(std::size_t application_count) {
 }
 
 void ConstraintSet::Resize(std::size_t application_count) {
-  assert(application_count >= adjacency_.size());
+  ALADDIN_CHECK(application_count >= adjacency_.size());
   adjacency_.resize(application_count);
   within_.resize(application_count, false);
 }
@@ -22,7 +23,7 @@ std::uint64_t ConstraintSet::Key(ApplicationId a, ApplicationId b) {
 }
 
 void ConstraintSet::AddAntiAffinity(ApplicationId a, ApplicationId b) {
-  assert(a.valid() && b.valid());
+  ALADDIN_CHECK(a.valid() && b.valid());
   const auto max_id = static_cast<std::size_t>(std::max(a.value(), b.value()));
   if (max_id >= adjacency_.size()) Resize(max_id + 1);
   if (!rule_keys_.insert(Key(a, b)).second) return;  // duplicate

@@ -1,6 +1,6 @@
 #include "cluster/free_index.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace aladdin::cluster {
 
@@ -17,7 +17,7 @@ void FreeIndex::Attach(const ClusterState& state) {
 }
 
 void FreeIndex::OnChanged(MachineId m) {
-  assert(state_ != nullptr);
+  ALADDIN_CHECK(state_ != nullptr);
   const auto mi = static_cast<std::size_t>(m.value());
   const std::int64_t now = state_->Free(m).cpu_millis();
   if (now == indexed_free_[mi]) return;

@@ -1,7 +1,9 @@
 #include "cluster/state.h"
 
 #include <algorithm>
-#include <cassert>
+#include <sstream>
+
+#include "common/check.h"
 
 namespace aladdin::cluster {
 
@@ -40,11 +42,15 @@ bool ClusterState::CanPlace(ContainerId c, MachineId m) const {
 }
 
 void ClusterState::Deploy(ContainerId c, MachineId m) {
-  assert(!IsPlaced(c));
-  assert(Fits(c, m));
+  ALADDIN_CHECK(!IsPlaced(c))
+      << "Deploy: container " << c << " already on machine " << PlacementOf(c);
+  ALADDIN_CHECK(Fits(c, m))
+      << "Deploy: container " << c << " does not fit on machine " << m
+      << " (free " << free_[Idx(m)].ToString() << ")";
   const Container& container = (*containers_)[Idx(c)];
   free_[Idx(m)] -= container.request;
-  assert(!free_[Idx(m)].AnyNegative());
+  ALADDIN_DCHECK(!free_[Idx(m)].AnyNegative())
+      << "Deploy: machine " << m << " over-committed";
   deployed_[Idx(m)].push_back(c);
   ++apps_on_[Idx(m)][container.app.value()];
   placement_[Idx(c)] = m;
@@ -52,22 +58,29 @@ void ClusterState::Deploy(ContainerId c, MachineId m) {
 }
 
 void ClusterState::Evict(ContainerId c) {
-  assert(IsPlaced(c));
+  ALADDIN_CHECK(IsPlaced(c)) << "Evict: container " << c << " not placed";
   const MachineId m = placement_[Idx(c)];
   const Container& container = (*containers_)[Idx(c)];
   free_[Idx(m)] += container.request;
   auto& list = deployed_[Idx(m)];
-  list.erase(std::find(list.begin(), list.end(), c));
+  const auto entry = std::find(list.begin(), list.end(), c);
+  ALADDIN_CHECK(entry != list.end())
+      << "Evict: container " << c << " missing from machine " << m
+      << "'s deployed list (placement map out of sync)";
+  list.erase(entry);
   auto it = apps_on_[Idx(m)].find(container.app.value());
-  assert(it != apps_on_[Idx(m)].end());
+  ALADDIN_CHECK(it != apps_on_[Idx(m)].end())
+      << "Evict: app " << container.app << " missing from machine " << m
+      << "'s app counts";
   if (--it->second == 0) apps_on_[Idx(m)].erase(it);
   placement_[Idx(c)] = MachineId::Invalid();
   --placed_count_;
 }
 
 void ClusterState::Migrate(ContainerId c, MachineId to) {
-  assert(IsPlaced(c));
-  assert(PlacementOf(c) != to);
+  ALADDIN_CHECK(IsPlaced(c)) << "Migrate: container " << c << " not placed";
+  ALADDIN_CHECK(PlacementOf(c) != to)
+      << "Migrate: container " << c << " already on " << to;
   Evict(c);
   Deploy(c, to);
   ++migrations_;
@@ -109,22 +122,103 @@ UtilizationSummary ClusterState::Utilization() const {
   return s;
 }
 
-bool ClusterState::VerifyResourceInvariant() const {
-  std::vector<ResourceVector> recomputed;
-  recomputed.reserve(free_.size());
-  for (const Machine& m : topology_->machines()) {
-    recomputed.push_back(m.capacity);
+namespace {
+
+bool Fail(std::string* error, const std::ostringstream& os) {
+  if (error != nullptr) *error = os.str();
+  return false;
+}
+
+}  // namespace
+
+bool ClusterState::CheckConsistency(std::string* error) const {
+  const std::size_t machines = topology_->machine_count();
+  const std::size_t containers = containers_->size();
+  if (free_.size() != machines || deployed_.size() != machines ||
+      apps_on_.size() != machines || placement_.size() != containers) {
+    std::ostringstream os;
+    os << "table sizes out of sync (machines=" << machines
+       << ", containers=" << containers << ", free=" << free_.size()
+       << ", deployed=" << deployed_.size() << ", apps_on=" << apps_on_.size()
+       << ", placement=" << placement_.size() << ")";
+    return Fail(error, os);
   }
+
+  // Pass 1: walk the per-machine deployed lists, recomputing free vectors
+  // and app counts and cross-checking the placement map.
+  std::vector<std::uint8_t> seen(containers, 0);
+  std::size_t listed = 0;
+  for (std::size_t mi = 0; mi < machines; ++mi) {
+    ResourceVector free = topology_->machines()[mi].capacity;
+    std::unordered_map<std::int32_t, std::int32_t> apps;
+    for (ContainerId c : deployed_[mi]) {
+      if (!c.valid() || Idx(c) >= containers) {
+        std::ostringstream os;
+        os << "machine " << mi << ": bogus container id " << c
+           << " in deployed list";
+        return Fail(error, os);
+      }
+      if (seen[Idx(c)]++) {
+        std::ostringstream os;
+        os << "container " << c << " deployed twice (second copy on machine "
+           << mi << ")";
+        return Fail(error, os);
+      }
+      if (placement_[Idx(c)] != MachineId(static_cast<std::int32_t>(mi))) {
+        std::ostringstream os;
+        os << "container " << c << " listed on machine " << mi
+           << " but placement map says " << placement_[Idx(c)];
+        return Fail(error, os);
+      }
+      const Container& container = (*containers_)[Idx(c)];
+      free -= container.request;
+      ++apps[container.app.value()];
+      ++listed;
+    }
+    if (free.AnyNegative()) {
+      std::ostringstream os;
+      os << "machine " << mi << " over-committed: recomputed free "
+         << free.ToString();
+      return Fail(error, os);
+    }
+    if (!(free == free_[mi])) {
+      std::ostringstream os;
+      os << "machine " << mi << ": cached free " << free_[mi].ToString()
+         << " != capacity minus placed " << free.ToString();
+      return Fail(error, os);
+    }
+    if (apps != apps_on_[mi]) {
+      std::ostringstream os;
+      os << "machine " << mi << ": app-count map disagrees with a recount of "
+         << deployed_[mi].size() << " deployed containers";
+      return Fail(error, os);
+    }
+  }
+
+  // Pass 2: every placement-map entry is backed by a deployed-list entry
+  // (pass 1 established the converse), and the counter matches.
   std::size_t placed = 0;
-  for (std::size_t ci = 0; ci < placement_.size(); ++ci) {
-    if (!placement_[ci].valid()) continue;
+  for (std::size_t ci = 0; ci < containers; ++ci) {
+    const MachineId m = placement_[ci];
+    if (!m.valid()) continue;
     ++placed;
-    recomputed[Idx(placement_[ci])] -= (*containers_)[ci].request;
-    if (recomputed[Idx(placement_[ci])].AnyNegative()) return false;
+    if (Idx(m) >= machines) {
+      std::ostringstream os;
+      os << "container " << ci << " placed on nonexistent machine " << m;
+      return Fail(error, os);
+    }
+    if (!seen[ci]) {
+      std::ostringstream os;
+      os << "container " << ci << " placed on machine " << m
+         << " per the placement map but absent from its deployed list";
+      return Fail(error, os);
+    }
   }
-  if (placed != placed_count_) return false;
-  for (std::size_t mi = 0; mi < free_.size(); ++mi) {
-    if (!(recomputed[mi] == free_[mi])) return false;
+  if (placed != listed || placed != placed_count_) {
+    std::ostringstream os;
+    os << "placed_count " << placed_count_ << " != " << placed
+       << " valid placements (" << listed << " deployed-list entries)";
+    return Fail(error, os);
   }
   return true;
 }

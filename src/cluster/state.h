@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -103,14 +104,32 @@ class ClusterState {
   // Dominant-share statistics over used machines (Fig. 11).
   [[nodiscard]] UtilizationSummary Utilization() const;
 
+  // Deep consistency audit over every redundant view of the placement state:
+  //   * free resources equal machine capacity minus the sum of requests of
+  //     the containers placed there, and are never negative;
+  //   * placement_ and the per-machine deployed_ lists agree exactly — every
+  //     placed container appears once on its machine and nowhere else (no
+  //     container placed twice);
+  //   * the per-machine application count maps match a recount;
+  //   * placed_count() matches the number of valid placements.
+  // Returns true when consistent; otherwise false with a description of the
+  // first discrepancy in *error (if non-null). O(machines + containers).
+  [[nodiscard]] bool CheckConsistency(std::string* error = nullptr) const;
+
   // Recomputes free resources from placements and compares; false indicates
-  // state corruption (used by tests and debug assertions).
-  [[nodiscard]] bool VerifyResourceInvariant() const;
+  // state corruption (used by tests and debug assertions). Subsumed by —
+  // and now implemented as — CheckConsistency().
+  [[nodiscard]] bool VerifyResourceInvariant() const {
+    return CheckConsistency();
+  }
 
   // Evict everything; counters reset.
   void Clear();
 
  private:
+  friend struct ClusterStateTestPeer;  // tests corrupt state to exercise
+                                       // CheckConsistency's negative paths
+
   template <typename T>
   static std::size_t Idx(T id) {
     return static_cast<std::size_t>(id.value());

@@ -1,14 +1,14 @@
 #include "cluster/topology.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace aladdin::cluster {
 
 Topology Topology::Uniform(std::size_t machines, ResourceVector capacity,
                            std::size_t machines_per_rack,
                            std::size_t racks_per_subcluster) {
-  assert(machines_per_rack > 0);
-  assert(racks_per_subcluster > 0);
+  ALADDIN_CHECK(machines_per_rack > 0);
+  ALADDIN_CHECK(racks_per_subcluster > 0);
   Topology topo;
   RackId rack = RackId::Invalid();
   SubClusterId sub = SubClusterId::Invalid();
@@ -30,7 +30,7 @@ SubClusterId Topology::AddSubCluster() {
 }
 
 RackId Topology::AddRack(SubClusterId g) {
-  assert(g.valid() &&
+  ALADDIN_CHECK(g.valid() &&
          static_cast<std::size_t>(g.value()) < subcluster_racks_.size());
   rack_subcluster_.push_back(g);
   rack_machines_.emplace_back();
@@ -40,7 +40,7 @@ RackId Topology::AddRack(SubClusterId g) {
 }
 
 MachineId Topology::AddMachine(RackId r, ResourceVector capacity) {
-  assert(r.valid() &&
+  ALADDIN_CHECK(r.valid() &&
          static_cast<std::size_t>(r.value()) < rack_machines_.size());
   const MachineId m(static_cast<std::int32_t>(machines_.size()));
   machines_.push_back(

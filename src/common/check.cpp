@@ -1,0 +1,27 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace aladdin::internal {
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const char* expression) {
+  os_ << file << ":" << line << ": ALADDIN_CHECK(" << expression
+      << ") failed";
+  prefix_size_ = os_.str().size();
+}
+
+CheckFailure::~CheckFailure() {
+  std::string message = os_.str();
+  // Separate the caller's streamed context (if any) from the fixed prefix.
+  if (message.size() > prefix_size_) message.insert(prefix_size_, ": ");
+  // fprintf, not std::cerr: the failure may fire during static destruction
+  // or under a held lock, and stdio is the least likely thing to deadlock.
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace aladdin::internal

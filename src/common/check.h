@@ -1,0 +1,73 @@
+// Runtime invariant checking.
+//
+// ALADDIN_CHECK(cond) is always on: when `cond` is false it prints the
+// failing expression with file:line plus any streamed context and aborts.
+// ALADDIN_DCHECK(cond) carries the same contract but compiles down to
+// nothing in Release builds (NDEBUG set and ALADDIN_ENABLE_DCHECKS unset);
+// the sanitizer presets and the default test build keep it armed. Use CHECK
+// for cold-path preconditions whose violation means memory-corrupting state
+// (double deploy, use-after-stop), DCHECK for per-arc / per-iteration
+// assertions on hot paths.
+//
+// Both macros stream context like a log line:
+//
+//   ALADDIN_CHECK(flow <= capacity) << "arc " << a << " over capacity";
+//
+// This replaces <cassert>: naked assert() is banned in src/ (tools/lint.py)
+// because it vanishes under the default RelWithDebInfo build, which is
+// exactly where state corruption silently poisons benchmark results.
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+
+#if defined(ALADDIN_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define ALADDIN_DCHECK_IS_ON() 1
+#else
+#define ALADDIN_DCHECK_IS_ON() 0
+#endif
+
+namespace aladdin::internal {
+
+// Accumulates streamed context; the destructor prints everything and aborts.
+// Only ever constructed on the failure path, so construction cost is moot.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expression);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  ~CheckFailure();  // [[noreturn]] in effect: prints and aborts
+
+  std::ostream& stream() { return os_; }
+
+ private:
+  std::ostringstream os_;
+  std::size_t prefix_size_ = 0;
+};
+
+// Ternary-operator glue (the glog idiom): gives the failure stream a `void`
+// type so both branches of the conditional in ALADDIN_CHECK agree.
+struct CheckVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace aladdin::internal
+
+// Variadic so conditions containing commas (template argument lists,
+// brace-initialised comparisons) need no extra parentheses.
+#define ALADDIN_CHECK(...)                                           \
+  (__VA_ARGS__)                                                      \
+      ? (void)0                                                      \
+      : ::aladdin::internal::CheckVoidify() &                        \
+            ::aladdin::internal::CheckFailure(__FILE__, __LINE__,    \
+                                              #__VA_ARGS__)          \
+                .stream()
+
+#if ALADDIN_DCHECK_IS_ON()
+#define ALADDIN_DCHECK(...) ALADDIN_CHECK(__VA_ARGS__)
+#else
+// Compiled but never executed: the condition and streamed operands stay
+// type-checked and "used" (no -Wunused fallout), then fold to nothing.
+#define ALADDIN_DCHECK(...) \
+  while (false) ALADDIN_CHECK(__VA_ARGS__)
+#endif

@@ -1,7 +1,8 @@
 #include "common/rng.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace aladdin {
 
@@ -36,7 +37,7 @@ std::uint64_t Rng::Next() {
 }
 
 std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  ALADDIN_CHECK(lo <= hi);
   const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(Next());  // full 64-bit range
   // Debiased via rejection sampling on the top of the range.
@@ -60,8 +61,8 @@ bool Rng::Bernoulli(double p) {
 }
 
 std::int64_t Rng::Zipf(std::int64_t n, double s) {
-  assert(n >= 1);
-  assert(s > 0.0);
+  ALADDIN_CHECK(n >= 1);
+  ALADDIN_CHECK(s > 0.0);
   // Rejection-inversion sampling (W. Hormann & G. Derflinger 1996).
   // H(x) is the integral of the density x^-s generalized to reals.
   const double one_minus_s = 1.0 - s;
@@ -92,10 +93,10 @@ std::int64_t Rng::Zipf(std::int64_t n, double s) {
 std::size_t Rng::WeightedIndex(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) {
-    assert(w >= 0.0);
+    ALADDIN_CHECK(w >= 0.0);
     total += w;
   }
-  assert(total > 0.0);
+  ALADDIN_CHECK(total > 0.0);
   double target = UniformDouble() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     target -= weights[i];

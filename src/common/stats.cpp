@@ -1,9 +1,10 @@
 #include "common/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <sstream>
+
+#include "common/check.h"
 
 namespace aladdin {
 
@@ -89,8 +90,8 @@ double Sample::Percentile(double p) const {
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
       counts_(bins, 0) {
-  assert(hi > lo);
-  assert(bins > 0);
+  ALADDIN_CHECK(hi > lo);
+  ALADDIN_CHECK(bins > 0);
 }
 
 void Histogram::Add(double x) {
@@ -108,7 +109,7 @@ void Histogram::Add(double x) {
 }
 
 std::uint64_t Histogram::count(std::size_t bin) const {
-  assert(bin < counts_.size());
+  ALADDIN_CHECK(bin < counts_.size());
   return counts_[bin];
 }
 

@@ -1,7 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace aladdin {
 
@@ -29,7 +30,9 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::future<void> fut = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    assert(!stopping_);
+    // Always-on: a task enqueued after shutdown begins may never run (the
+    // workers exit once the queue drains), deadlocking the returned future.
+    ALADDIN_CHECK(!stopping_) << "ThreadPool::Submit after shutdown began";
     queue_.push(std::move(packaged));
   }
   cv_.notify_one();
@@ -50,6 +53,10 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      // The pop and the in_flight_ increment share one critical section:
+      // splitting them opens the classic missed-wakeup race where Wait()
+      // observes an empty queue and in_flight_ == 0 while a task is in
+      // transit between the two, and returns with work still running.
       ++in_flight_;
     }
     task();  // exceptions surface through the packaged_task's future

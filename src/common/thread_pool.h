@@ -37,6 +37,8 @@ class ThreadPool {
   void Wait();
 
  private:
+  friend struct ThreadPoolTestPeer;  // drives shutdown edges in tests
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;

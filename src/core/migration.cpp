@@ -1,7 +1,6 @@
 #include "core/migration.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <unordered_map>
 

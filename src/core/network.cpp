@@ -1,7 +1,8 @@
 #include "core/network.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace aladdin::core {
 
@@ -16,8 +17,8 @@ AggregatedNetwork::AggregatedNetwork(const cluster::Topology& topology)
     : topology_(&topology) {}
 
 void AggregatedNetwork::Attach(cluster::ClusterState* state) {
-  assert(state != nullptr);
-  assert(&state->topology() == topology_);
+  ALADDIN_CHECK(state != nullptr);
+  ALADDIN_CHECK(&state->topology() == topology_);
   state_ = state;
 
   const std::size_t machines = topology_->machine_count();
@@ -119,7 +120,7 @@ cluster::MachineId AggregatedNetwork::FindMachine(cluster::ContainerId c,
                                                   const SearchOptions& options,
                                                   SearchCounters& counters,
                                                   cluster::MachineId exclude) {
-  assert(state_ != nullptr);
+  ALADDIN_CHECK(state_ != nullptr);
   // DL changes the traversal (first saturating path wins); without it the
   // search enumerates every candidate path through the aggregates. Both
   // traversals return the same machine — the tightest admissible one.

@@ -2,10 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <string>
+#include <vector>
 
+#include "cluster/audit.h"
+#include "common/check.h"
 #include "common/log.h"
 
 namespace aladdin::core {
+
+namespace {
+
+#if ALADDIN_DCHECK_IS_ON()
+// Post-solve cross-check (compiled out in Release): the placements Aladdin
+// emitted must survive the independent auditor. Medea-style schedulers may
+// knowingly violate anti-affinity, Aladdin never does — so any colocation
+// violation not already present when Schedule() started is a scheduler bug,
+// as is any bookkeeping drift in the ClusterState it mutated.
+void CrossCheckOutcome(const cluster::ClusterState& state,
+                       const sim::ScheduleOutcome& outcome,
+                       std::span<const cluster::ContainerId> pre_existing) {
+  std::string error;
+  ALADDIN_CHECK(state.CheckConsistency(&error))
+      << "post-solve cluster state corrupt: " << error;
+  for (cluster::ContainerId c : outcome.unplaced) {
+    ALADDIN_CHECK(!state.IsPlaced(c))
+        << "container " << c << " reported unplaced but deployed on "
+        << state.PlacementOf(c);
+  }
+  const std::vector<cluster::ContainerId> offenders =
+      cluster::CollectColocationViolations(state);
+  for (cluster::ContainerId c : offenders) {
+    ALADDIN_CHECK(std::find(pre_existing.begin(), pre_existing.end(), c) !=
+                  pre_existing.end())
+        << "scheduler-caused colocation violation: container " << c << " on "
+        << state.PlacementOf(c);
+  }
+}
+#endif
+
+}  // namespace
 
 AladdinScheduler::AladdinScheduler(AladdinOptions options)
     : options_(options) {}
@@ -24,6 +61,13 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
     const sim::ScheduleRequest& request, cluster::ClusterState& state) {
   const trace::Workload& workload = *request.workload;
   sim::ScheduleOutcome outcome;
+
+#if ALADDIN_DCHECK_IS_ON()
+  // Violations already present on entry (online mode re-schedules into a
+  // populated cluster) are not ours to answer for.
+  const std::vector<cluster::ContainerId> pre_existing_violations =
+      cluster::CollectColocationViolations(state);
+#endif
 
   // Eq. 3–5: priority weights. The evaluation's knob is a geometric base;
   // base 0 derives the minimal valid weights from the workload itself.
@@ -105,6 +149,9 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
   outcome.explored_paths = counters.explored_paths;
   outcome.il_prunes = counters.il_prunes;
   outcome.dl_stops = counters.dl_stops;
+#if ALADDIN_DCHECK_IS_ON()
+  CrossCheckOutcome(state, outcome, pre_existing_violations);
+#endif
   return outcome;
 }
 

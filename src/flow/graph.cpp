@@ -1,6 +1,8 @@
 #include "flow/graph.h"
 
-#include <cassert>
+#include <sstream>
+
+#include "common/check.h"
 
 namespace aladdin::flow {
 
@@ -17,9 +19,13 @@ VertexId Graph::AddVertices(std::size_t n) {
 
 ArcId Graph::AddArc(VertexId tail, VertexId head, Capacity capacity,
                     Cost cost) {
-  assert(tail.valid() && static_cast<std::size_t>(tail.value()) < adjacency_.size());
-  assert(head.valid() && static_cast<std::size_t>(head.value()) < adjacency_.size());
-  assert(capacity >= 0);
+  ALADDIN_DCHECK(tail.valid() &&
+                 static_cast<std::size_t>(tail.value()) < adjacency_.size())
+      << "AddArc: bad tail " << tail;
+  ALADDIN_DCHECK(head.valid() &&
+                 static_cast<std::size_t>(head.value()) < adjacency_.size())
+      << "AddArc: bad head " << head;
+  ALADDIN_DCHECK(capacity >= 0) << "AddArc: negative capacity " << capacity;
   const auto forward_index = static_cast<std::int32_t>(arcs_.size());
   arcs_.push_back(Arc{head, capacity, 0, cost});
   arcs_.push_back(Arc{tail, 0, 0, -cost});
@@ -30,8 +36,10 @@ ArcId Graph::AddArc(VertexId tail, VertexId head, Capacity capacity,
 }
 
 void Graph::Push(ArcId a, Capacity amount) {
-  assert(amount >= 0);
-  assert(amount <= Residual(a));
+  ALADDIN_DCHECK(amount >= 0) << "Push: negative amount " << amount;
+  ALADDIN_DCHECK(amount <= Residual(a))
+      << "Push: amount " << amount << " exceeds residual " << Residual(a)
+      << " on arc " << a;
   arcs_[Index(a)].flow += amount;
   arcs_[Index(Reverse(a))].flow -= amount;
 }
@@ -41,7 +49,9 @@ void Graph::ResetFlows() {
 }
 
 void Graph::SetCapacity(ArcId a, Capacity capacity) {
-  assert(capacity >= arcs_[Index(a)].flow);
+  ALADDIN_DCHECK(capacity >= arcs_[Index(a)].flow)
+      << "SetCapacity: capacity " << capacity << " below flow "
+      << arcs_[Index(a)].flow << " on arc " << a;
   arcs_[Index(a)].capacity = capacity;
 }
 
@@ -56,21 +66,108 @@ Capacity Graph::NetOutflow(VertexId v) const {
   return net;
 }
 
-bool Graph::CheckConsistency(std::span<const VertexId> exempt) const {
+namespace {
+
+bool Fail(std::string* error, const std::ostringstream& os) {
+  if (error != nullptr) *error = os.str();
+  return false;
+}
+
+}  // namespace
+
+bool Graph::ValidateInvariants(std::span<const VertexId> exempt,
+                               std::string* error) const {
+  if (arcs_.size() % 2 != 0) {
+    std::ostringstream os;
+    os << "odd arc count " << arcs_.size() << " (twin pairing broken)";
+    return Fail(error, os);
+  }
+  const auto vertices = vertex_count();
   for (std::size_t i = 0; i < arcs_.size(); i += 2) {
     const Arc& fwd = arcs_[i];
     const Arc& rev = arcs_[i + 1];
-    if (fwd.flow < 0 || fwd.flow > fwd.capacity) return false;
-    if (rev.flow != -fwd.flow) return false;
-    if (rev.cost != -fwd.cost) return false;
+    if (!fwd.head.valid() ||
+        static_cast<std::size_t>(fwd.head.value()) >= vertices ||
+        !rev.head.valid() ||
+        static_cast<std::size_t>(rev.head.value()) >= vertices) {
+      std::ostringstream os;
+      os << "arc pair " << i << ": endpoint out of range (head=" << fwd.head
+         << ", tail=" << rev.head << ", vertices=" << vertices << ")";
+      return Fail(error, os);
+    }
+    if (fwd.capacity < 0 || fwd.flow < 0 || fwd.flow > fwd.capacity) {
+      std::ostringstream os;
+      os << "arc " << i << ": flow " << fwd.flow << " outside [0, capacity="
+         << fwd.capacity << "]";
+      return Fail(error, os);
+    }
+    if (rev.capacity != 0) {
+      std::ostringstream os;
+      os << "arc " << i + 1 << ": residual twin has capacity " << rev.capacity
+         << " (must be 0)";
+      return Fail(error, os);
+    }
+    if (rev.flow != -fwd.flow) {
+      std::ostringstream os;
+      os << "arc pair " << i << ": twin flow " << rev.flow
+         << " != -forward flow " << -fwd.flow;
+      return Fail(error, os);
+    }
+    if (rev.cost != -fwd.cost) {
+      std::ostringstream os;
+      os << "arc pair " << i << ": twin cost " << rev.cost
+         << " != -forward cost " << -fwd.cost;
+      return Fail(error, os);
+    }
   }
-  std::vector<bool> is_exempt(vertex_count(), false);
+  // Adjacency audit: every arc id appears exactly once, in the adjacency of
+  // its tail (an arc's tail is its twin's head).
+  std::vector<std::uint8_t> seen(arcs_.size(), 0);
+  for (std::size_t v = 0; v < vertices; ++v) {
+    for (std::int32_t raw : adjacency_[v]) {
+      if (raw < 0 || static_cast<std::size_t>(raw) >= arcs_.size()) {
+        std::ostringstream os;
+        os << "vertex " << v << ": adjacency entry " << raw
+           << " outside arc range [0, " << arcs_.size() << ")";
+        return Fail(error, os);
+      }
+      if (seen[static_cast<std::size_t>(raw)]++) {
+        std::ostringstream os;
+        os << "arc " << raw << " listed in adjacency more than once";
+        return Fail(error, os);
+      }
+      const Arc& twin = arcs_[static_cast<std::size_t>(raw) ^ 1];
+      if (static_cast<std::size_t>(twin.head.value()) != v) {
+        std::ostringstream os;
+        os << "arc " << raw << " listed under vertex " << v
+           << " but its tail is " << twin.head;
+        return Fail(error, os);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    if (!seen[i]) {
+      std::ostringstream os;
+      os << "arc " << i << " missing from every adjacency list";
+      return Fail(error, os);
+    }
+  }
+  // Flow conservation at interior vertices.
+  std::vector<std::uint8_t> is_exempt(vertices, 0);
   for (VertexId v : exempt) {
-    is_exempt[static_cast<std::size_t>(v.value())] = true;
+    if (v.valid() && static_cast<std::size_t>(v.value()) < vertices) {
+      is_exempt[static_cast<std::size_t>(v.value())] = 1;
+    }
   }
-  for (std::size_t v = 0; v < vertex_count(); ++v) {
+  for (std::size_t v = 0; v < vertices; ++v) {
     if (is_exempt[v]) continue;
-    if (NetOutflow(VertexId(static_cast<std::int32_t>(v))) != 0) return false;
+    const Capacity net = NetOutflow(VertexId(static_cast<std::int32_t>(v)));
+    if (net != 0) {
+      std::ostringstream os;
+      os << "vertex " << v << ": net outflow " << net
+         << " at non-exempt vertex (conservation violated)";
+      return Fail(error, os);
+    }
   }
   return true;
 }

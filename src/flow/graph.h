@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/ids.h"
@@ -75,11 +76,24 @@ class Graph {
   // Total flow out of v minus flow into v (positive at a source).
   [[nodiscard]] Capacity NetOutflow(VertexId v) const;
 
-  // Debug invariant check: every arc within bounds, twins consistent,
-  // conservation at every vertex except the listed exemptions.
-  [[nodiscard]] bool CheckConsistency(std::span<const VertexId> exempt) const;
+  // Deep structural validation: residual-arc pairing (even/odd twins with
+  // zero-capacity reverse, negated flow and cost), 0 <= flow <= capacity on
+  // every forward arc, adjacency lists that agree with arc tails (each arc
+  // listed exactly once, under its tail), and flow conservation at every
+  // vertex not listed in `exempt` (sources/sinks). Returns true when every
+  // invariant holds; otherwise false with a description of the first
+  // violation in *error (if non-null). O(V + E).
+  [[nodiscard]] bool ValidateInvariants(std::span<const VertexId> exempt = {},
+                                        std::string* error = nullptr) const;
+
+  // Legacy spelling kept for existing call sites; same as ValidateInvariants
+  // without the error message.
+  [[nodiscard]] bool CheckConsistency(std::span<const VertexId> exempt) const {
+    return ValidateInvariants(exempt);
+  }
 
  private:
+  friend struct GraphTestPeer;  // tests corrupt arcs to exercise validation
   static std::size_t Index(ArcId a) {
     return static_cast<std::size_t>(a.value());
   }

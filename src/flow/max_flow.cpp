@@ -1,14 +1,15 @@
 #include "flow/max_flow.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <limits>
+
+#include "common/check.h"
 
 namespace aladdin::flow {
 
 MaxFlowResult EdmondsKarp(Graph& graph, VertexId source, VertexId sink) {
-  assert(source != sink);
+  ALADDIN_CHECK(source != sink);
   MaxFlowResult result;
   const std::size_t n = graph.vertex_count();
   std::vector<std::int32_t> parent_arc(n);
@@ -134,7 +135,7 @@ class DinicSolver {
 }  // namespace
 
 MaxFlowResult Dinic(Graph& graph, VertexId source, VertexId sink) {
-  assert(source != sink);
+  ALADDIN_CHECK(source != sink);
   return DinicSolver(graph, source, sink).Run();
 }
 

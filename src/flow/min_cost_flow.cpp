@@ -1,13 +1,14 @@
 #include "flow/min_cost_flow.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace aladdin::flow {
 
 MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
                                  Capacity flow_limit) {
-  assert(source != sink);
+  ALADDIN_CHECK(source != sink);
   MinCostFlowResult result;
   while (result.flow < flow_limit) {
     ShortestPathTree tree = Spfa(graph, source);
@@ -20,7 +21,7 @@ MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
 
     Capacity bottleneck = flow_limit - result.flow;
     for (ArcId a : path) bottleneck = std::min(bottleneck, graph.Residual(a));
-    assert(bottleneck > 0);
+    ALADDIN_DCHECK(bottleneck > 0);
     for (ArcId a : path) {
       graph.Push(a, bottleneck);
       result.cost += graph.arc(a).cost * bottleneck;

@@ -1,13 +1,14 @@
 #include "flow/multidim.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
+
+#include "common/check.h"
 
 namespace aladdin::flow {
 
 bool DimLeq(const DimVector& a, const DimVector& b) {
-  assert(a.size() == b.size());
+  ALADDIN_DCHECK(a.size() == b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] > b[i]) return false;
   }
@@ -15,21 +16,21 @@ bool DimLeq(const DimVector& a, const DimVector& b) {
 }
 
 DimVector DimMin(const DimVector& a, const DimVector& b) {
-  assert(a.size() == b.size());
+  ALADDIN_DCHECK(a.size() == b.size());
   DimVector out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::min(a[i], b[i]);
   return out;
 }
 
 DimVector DimAdd(const DimVector& a, const DimVector& b) {
-  assert(a.size() == b.size());
+  ALADDIN_DCHECK(a.size() == b.size());
   DimVector out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
   return out;
 }
 
 DimVector DimSub(const DimVector& a, const DimVector& b) {
-  assert(a.size() == b.size());
+  ALADDIN_DCHECK(a.size() == b.size());
   DimVector out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
   return out;
@@ -43,7 +44,7 @@ bool DimPositive(const DimVector& v) {
 }
 
 MultiDimGraph::MultiDimGraph(std::size_t dimensions) : dims_(dimensions) {
-  assert(dimensions >= 1);
+  ALADDIN_DCHECK(dimensions >= 1);
 }
 
 VertexId MultiDimGraph::AddVertex() {
@@ -52,7 +53,7 @@ VertexId MultiDimGraph::AddVertex() {
 }
 
 ArcId MultiDimGraph::AddArc(VertexId tail, VertexId head, DimVector capacity) {
-  assert(capacity.size() == dims_);
+  ALADDIN_DCHECK(capacity.size() == dims_);
   const auto index = static_cast<std::int32_t>(arcs_.size());
   arcs_.push_back(MultiArc{head, std::move(capacity), DimVector(dims_, 0)});
   adjacency_[static_cast<std::size_t>(tail.value())].push_back(index);

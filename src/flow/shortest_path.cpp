@@ -1,8 +1,9 @@
 #include "flow/shortest_path.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
+
+#include "common/check.h"
 
 namespace aladdin::flow {
 
@@ -102,7 +103,7 @@ std::vector<ArcId> ExtractPath(const Graph& graph,
   }
   for (VertexId v = target; v != source;) {
     const std::int32_t raw = tree.parent_arc[Idx(v)];
-    assert(raw >= 0);
+    ALADDIN_DCHECK(raw >= 0);
     const ArcId a{raw};
     path.push_back(a);
     v = graph.Tail(a);

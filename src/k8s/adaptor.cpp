@@ -1,7 +1,6 @@
 #include "k8s/adaptor.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "common/log.h"
 

@@ -1,7 +1,6 @@
 #include "trace/alibaba_gen.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <span>
 #include <string>

@@ -1,13 +1,13 @@
 #include "trace/workload.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace aladdin::trace {
 
 cluster::ApplicationId Workload::AddApplication(
     std::string name, std::size_t count, cluster::ResourceVector request,
     cluster::Priority priority, bool anti_affinity_within) {
-  assert(count >= 1);
+  ALADDIN_CHECK(count >= 1);
   const cluster::ApplicationId id(
       static_cast<std::int32_t>(applications_.size()));
   cluster::Application app;

@@ -1,0 +1,303 @@
+// Correctness-tooling tests: the ALADDIN_CHECK/ALADDIN_DCHECK macros, the
+// deep flow-graph validator, and the cluster-state consistency audit — each
+// invariant exercised positively (clean state passes) and negatively
+// (deliberate corruption is caught, by error return or by death).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cluster/state.h"
+#include "cluster/topology.h"
+#include "common/check.h"
+#include "flow/graph.h"
+#include "flow/max_flow.h"
+#include "trace/workload.h"
+
+namespace aladdin::flow {
+
+// Friend of Graph: reaches into private storage so tests can corrupt arcs
+// and adjacency to drive ValidateInvariants' failure paths.
+struct GraphTestPeer {
+  static Arc& arc(Graph& g, ArcId a) {
+    return g.arcs_[static_cast<std::size_t>(a.value())];
+  }
+  static std::vector<std::int32_t>& adjacency(Graph& g, VertexId v) {
+    return g.adjacency_[static_cast<std::size_t>(v.value())];
+  }
+};
+
+}  // namespace aladdin::flow
+
+namespace aladdin::cluster {
+
+// Friend of ClusterState: corrupts the redundant bookkeeping views to drive
+// CheckConsistency's failure paths.
+struct ClusterStateTestPeer {
+  static ResourceVector& free(ClusterState& s, MachineId m) {
+    return s.free_[static_cast<std::size_t>(m.value())];
+  }
+  static std::vector<ContainerId>& deployed(ClusterState& s, MachineId m) {
+    return s.deployed_[static_cast<std::size_t>(m.value())];
+  }
+  static std::unordered_map<std::int32_t, std::int32_t>& apps_on(
+      ClusterState& s, MachineId m) {
+    return s.apps_on_[static_cast<std::size_t>(m.value())];
+  }
+  static MachineId& placement(ClusterState& s, ContainerId c) {
+    return s.placement_[static_cast<std::size_t>(c.value())];
+  }
+  static std::size_t& placed_count(ClusterState& s) { return s.placed_count_; }
+};
+
+}  // namespace aladdin::cluster
+
+namespace aladdin {
+namespace {
+
+using cluster::ClusterState;
+using cluster::ClusterStateTestPeer;
+using cluster::ContainerId;
+using cluster::MachineId;
+using cluster::ResourceVector;
+using cluster::Topology;
+using flow::Graph;
+using flow::GraphTestPeer;
+
+// ------------------------------------------------------ check macros ----
+
+TEST(Check, PassingCheckIsSilent) {
+  ALADDIN_CHECK(1 + 1 == 2) << "never evaluated";
+  ALADDIN_DCHECK(true) << "never evaluated";
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithContext) {
+  const int arc = 42;
+  EXPECT_DEATH(ALADDIN_CHECK(arc < 0) << "arc " << arc << " misbehaved",
+               "ALADDIN_CHECK\\(arc < 0\\) failed.*arc 42 misbehaved");
+}
+
+TEST(CheckDeathTest, MessageIncludesFileAndLine) {
+  EXPECT_DEATH(ALADDIN_CHECK(false), "test_invariants\\.cpp");
+}
+
+#if ALADDIN_DCHECK_IS_ON()
+TEST(CheckDeathTest, ArmedDcheckAborts) {
+  EXPECT_DEATH(ALADDIN_DCHECK(false) << "armed", "armed");
+}
+#else
+TEST(Check, DisarmedDcheckNeitherEvaluatesNorAborts) {
+  bool evaluated = false;
+  ALADDIN_DCHECK([&] {
+    evaluated = true;
+    return false;
+  }()) << "disarmed";
+  EXPECT_FALSE(evaluated);
+}
+#endif
+
+// ------------------------------------------------- graph invariants ----
+
+// s -> a -> t with a side arc s -> t; saturating s->a->t leaves a clean
+// conserved flow with only s and t imbalanced.
+class GraphInvariantsTest : public ::testing::Test {
+ protected:
+  GraphInvariantsTest() {
+    s_ = graph_.AddVertex();
+    a_ = graph_.AddVertex();
+    t_ = graph_.AddVertex();
+    sa_ = graph_.AddArc(s_, a_, 10);
+    at_ = graph_.AddArc(a_, t_, 10);
+    st_ = graph_.AddArc(s_, t_, 5);
+  }
+
+  std::vector<VertexId> Endpoints() const { return {s_, t_}; }
+
+  Graph graph_;
+  VertexId s_, a_, t_;
+  ArcId sa_, at_, st_;
+};
+
+TEST_F(GraphInvariantsTest, CleanGraphValidates) {
+  std::string error;
+  EXPECT_TRUE(graph_.ValidateInvariants(Endpoints(), &error)) << error;
+  ASSERT_EQ(flow::EdmondsKarp(graph_, s_, t_).value, 15);
+  EXPECT_TRUE(graph_.ValidateInvariants(Endpoints(), &error)) << error;
+}
+
+TEST_F(GraphInvariantsTest, DetectsConservationViolation) {
+  graph_.Push(sa_, 3);  // flow enters a_ and never leaves
+  std::string error;
+  EXPECT_FALSE(graph_.ValidateInvariants(Endpoints(), &error));
+  EXPECT_NE(error.find("conservation"), std::string::npos) << error;
+  // Exempting the imbalanced vertex clears the complaint.
+  const std::vector<VertexId> all = {s_, a_, t_};
+  EXPECT_TRUE(graph_.ValidateInvariants(all, &error)) << error;
+}
+
+TEST_F(GraphInvariantsTest, DetectsFlowAboveCapacity) {
+  GraphTestPeer::arc(graph_, sa_).flow = 11;
+  std::string error;
+  EXPECT_FALSE(graph_.ValidateInvariants(Endpoints(), &error));
+  EXPECT_NE(error.find("outside [0, capacity="), std::string::npos) << error;
+}
+
+TEST_F(GraphInvariantsTest, DetectsBrokenTwinFlow) {
+  graph_.Push(sa_, 4);
+  GraphTestPeer::arc(graph_, Graph::Reverse(sa_)).flow = 0;
+  std::string error;
+  EXPECT_FALSE(graph_.ValidateInvariants(Endpoints(), &error));
+  EXPECT_NE(error.find("twin flow"), std::string::npos) << error;
+}
+
+TEST_F(GraphInvariantsTest, DetectsBrokenTwinCost) {
+  GraphTestPeer::arc(graph_, Graph::Reverse(at_)).cost = 7;
+  std::string error;
+  EXPECT_FALSE(graph_.ValidateInvariants(Endpoints(), &error));
+  EXPECT_NE(error.find("twin cost"), std::string::npos) << error;
+}
+
+TEST_F(GraphInvariantsTest, DetectsNonzeroResidualCapacity) {
+  GraphTestPeer::arc(graph_, Graph::Reverse(st_)).capacity = 1;
+  std::string error;
+  EXPECT_FALSE(graph_.ValidateInvariants(Endpoints(), &error));
+  EXPECT_NE(error.find("residual twin has capacity"), std::string::npos)
+      << error;
+}
+
+TEST_F(GraphInvariantsTest, DetectsDuplicateAdjacencyEntry) {
+  GraphTestPeer::adjacency(graph_, s_).push_back(sa_.value());
+  std::string error;
+  EXPECT_FALSE(graph_.ValidateInvariants(Endpoints(), &error));
+  EXPECT_NE(error.find("more than once"), std::string::npos) << error;
+}
+
+TEST_F(GraphInvariantsTest, DetectsArcListedUnderWrongVertex) {
+  auto& adj_s = GraphTestPeer::adjacency(graph_, s_);
+  auto& adj_a = GraphTestPeer::adjacency(graph_, a_);
+  // Move at_ from a_'s adjacency into s_'s: the arc count stays right but
+  // the arc now sits under a vertex that is not its tail.
+  adj_a.erase(std::find(adj_a.begin(), adj_a.end(), at_.value()));
+  adj_s.push_back(at_.value());
+  std::string error;
+  EXPECT_FALSE(graph_.ValidateInvariants(Endpoints(), &error));
+  EXPECT_NE(error.find("but its tail is"), std::string::npos) << error;
+}
+
+#if ALADDIN_DCHECK_IS_ON()
+TEST_F(GraphInvariantsTest, PushBeyondResidualDies) {
+  EXPECT_DEATH(graph_.Push(st_, 6), "exceeds residual");
+}
+
+TEST_F(GraphInvariantsTest, SetCapacityBelowFlowDies) {
+  graph_.Push(sa_, 8);
+  EXPECT_DEATH(graph_.SetCapacity(sa_, 7), "below flow");
+}
+#endif
+
+// ----------------------------------------- cluster state consistency ----
+
+class StateConsistencyTest : public ::testing::Test {
+ protected:
+  StateConsistencyTest()
+      : topo_(Topology::Uniform(3, ResourceVector::Cores(32, 64), 2, 2)) {
+    app_ = wl_.AddApplication("app", 3, ResourceVector::Cores(8, 16));
+  }
+
+  ContainerId C(std::size_t i) const {
+    return wl_.application(app_).containers[i];
+  }
+
+  Topology topo_;
+  trace::Workload wl_;
+  ApplicationId app_;
+};
+
+TEST_F(StateConsistencyTest, CleanStatePasses) {
+  ClusterState state = wl_.MakeState(topo_);
+  std::string error;
+  EXPECT_TRUE(state.CheckConsistency(&error)) << error;
+  state.Deploy(C(0), MachineId(0));
+  state.Deploy(C(1), MachineId(0));
+  state.Migrate(C(1), MachineId(2));
+  state.Evict(C(0));
+  state.Deploy(C(0), MachineId(1));
+  EXPECT_TRUE(state.CheckConsistency(&error)) << error;
+}
+
+TEST_F(StateConsistencyTest, DetectsCorruptedFreeVector) {
+  ClusterState state = wl_.MakeState(topo_);
+  state.Deploy(C(0), MachineId(0));
+  ClusterStateTestPeer::free(state, MachineId(0)) -=
+      ResourceVector::Cores(1, 0);
+  std::string error;
+  EXPECT_FALSE(state.CheckConsistency(&error));
+  EXPECT_NE(error.find("cached free"), std::string::npos) << error;
+}
+
+TEST_F(StateConsistencyTest, DetectsContainerDeployedTwice) {
+  ClusterState state = wl_.MakeState(topo_);
+  state.Deploy(C(0), MachineId(0));
+  ClusterStateTestPeer::deployed(state, MachineId(1)).push_back(C(0));
+  std::string error;
+  EXPECT_FALSE(state.CheckConsistency(&error));
+  EXPECT_NE(error.find("deployed twice"), std::string::npos) << error;
+}
+
+TEST_F(StateConsistencyTest, DetectsPlacementMapDisagreement) {
+  ClusterState state = wl_.MakeState(topo_);
+  state.Deploy(C(0), MachineId(0));
+  ClusterStateTestPeer::placement(state, C(0)) = MachineId(2);
+  std::string error;
+  EXPECT_FALSE(state.CheckConsistency(&error));
+  EXPECT_NE(error.find("placement map says"), std::string::npos) << error;
+}
+
+TEST_F(StateConsistencyTest, DetectsPhantomPlacement) {
+  ClusterState state = wl_.MakeState(topo_);
+  state.Deploy(C(0), MachineId(0));
+  // Placement map claims C(1) is on machine 1, but no deployed list,
+  // free-vector debit, or app count backs that up.
+  ClusterStateTestPeer::placement(state, C(1)) = MachineId(1);
+  std::string error;
+  EXPECT_FALSE(state.CheckConsistency(&error));
+  EXPECT_NE(error.find("absent from its deployed list"), std::string::npos)
+      << error;
+}
+
+TEST_F(StateConsistencyTest, DetectsAppCountDrift) {
+  ClusterState state = wl_.MakeState(topo_);
+  state.Deploy(C(0), MachineId(0));
+  ++ClusterStateTestPeer::apps_on(state, MachineId(0))[app_.value()];
+  std::string error;
+  EXPECT_FALSE(state.CheckConsistency(&error));
+  EXPECT_NE(error.find("app-count map"), std::string::npos) << error;
+}
+
+TEST_F(StateConsistencyTest, DetectsPlacedCountDrift) {
+  ClusterState state = wl_.MakeState(topo_);
+  state.Deploy(C(0), MachineId(0));
+  ++ClusterStateTestPeer::placed_count(state);
+  std::string error;
+  EXPECT_FALSE(state.CheckConsistency(&error));
+  EXPECT_NE(error.find("placed_count"), std::string::npos) << error;
+}
+
+TEST_F(StateConsistencyTest, DeployPreconditionsDie) {
+  ClusterState state = wl_.MakeState(topo_);
+  state.Deploy(C(0), MachineId(0));
+  EXPECT_DEATH(state.Deploy(C(0), MachineId(1)), "already on machine");
+  EXPECT_DEATH(state.Evict(C(1)), "not placed");
+}
+
+TEST_F(StateConsistencyTest, DeployWithoutFitDies) {
+  trace::Workload wl;
+  const auto huge = wl.AddApplication("huge", 1, ResourceVector::Cores(64, 1));
+  ClusterState state = wl.MakeState(topo_);
+  EXPECT_DEATH(state.Deploy(wl.application(huge).containers[0], MachineId(0)),
+               "does not fit");
+}
+
+}  // namespace
+}  // namespace aladdin

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the Aladdin tree.
+
+Enforces the project idioms that generic tooling does not know about:
+
+  * every header under src/ starts its include story with `#pragma once`;
+  * no naked `assert(` (or `#include <cassert>`) in src/ — invariants go
+    through ALADDIN_CHECK / ALADDIN_DCHECK (src/common/check.h) so they
+    survive, or are deliberately compiled out of, every build flavour;
+  * include order in src/ .cpp files: the file's own header comes first
+    (catches headers that silently depend on prior includes), and system
+    includes never trail project includes;
+  * everything in src/ lives in a `namespace aladdin` (sub)namespace, and
+    headers never `using namespace` at file scope;
+  * determinism guard: no std::rand / srand / rand / time(nullptr) /
+    std::random_device — all randomness flows through common/rng.h with
+    explicit seeds so every experiment is replayable.
+
+Runs as a ctest case (`ctest -R lint`) and standalone:  tools/lint.py
+Exit status 0 = clean; 1 = violations (one per line, file:line: message).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+HEADER_EXTS = {".h"}
+SOURCE_EXTS = {".cpp"}
+
+# (regex, message) applied to comment-stripped code lines in src/.
+BANNED_PATTERNS = [
+    (re.compile(r"(?<![A-Za-z0-9_])assert\s*\("),
+     "naked assert(); use ALADDIN_CHECK / ALADDIN_DCHECK (common/check.h)"),
+    (re.compile(r"#\s*include\s*<cassert>"),
+     "<cassert> include; use common/check.h"),
+    (re.compile(r"#\s*include\s*<assert\.h>"),
+     "<assert.h> include; use common/check.h"),
+    (re.compile(r"std::rand\b|(?<![A-Za-z0-9_:])s?rand\s*\("),
+     "C random generator breaks replayable experiments; use common/rng.h"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"),
+     "wall-clock seeding breaks determinism; use an explicit seed"),
+    (re.compile(r"std::random_device\b"),
+     "non-deterministic seed source; use an explicit seed (common/rng.h)"),
+]
+
+STATIC_ASSERT = re.compile(r"\bstatic_assert\s*\(")
+INCLUDE = re.compile(r'#\s*include\s*(["<])([^">]+)[">]')
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments and string literals, preserving line
+    structure so reported line numbers stay meaningful."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+            elif c == "'":
+                state = "char"
+                out.append(c)
+            else:
+                out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; be forgiving
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path, errors: list[str]) -> None:
+    rel = path.relative_to(REPO_ROOT)
+    raw = path.read_text(encoding="utf-8")
+    code = strip_comments(raw)
+    lines = code.split("\n")
+
+    def err(lineno: int, message: str) -> None:
+        errors.append(f"{rel}:{lineno}: {message}")
+
+    if raw and not raw.endswith("\n"):
+        err(len(lines), "file does not end with a newline")
+
+    # --- banned constructs -------------------------------------------------
+    for lineno, line in enumerate(lines, start=1):
+        for pattern, message in BANNED_PATTERNS:
+            m = pattern.search(line)
+            if not m:
+                continue
+            if pattern is BANNED_PATTERNS[0][0] and STATIC_ASSERT.search(line):
+                # static_assert is fine; re-check the line without it.
+                cleaned = STATIC_ASSERT.sub("", line)
+                if not pattern.search(cleaned):
+                    continue
+            err(lineno, message)
+
+    # --- header rules ------------------------------------------------------
+    if path.suffix in HEADER_EXTS:
+        first_directive = next(
+            (l.strip() for l in lines if l.strip().startswith("#")), "")
+        if first_directive != "#pragma once":
+            err(1, "header must open its directives with #pragma once")
+        for lineno, line in enumerate(lines, start=1):
+            if USING_NAMESPACE.search(line):
+                err(lineno, "using namespace in a header leaks into every "
+                            "includer")
+
+    # --- include order (sources) ------------------------------------------
+    if path.suffix in SOURCE_EXTS:
+        includes = []  # (lineno, kind, target)
+        # Parse from the raw text: the string-blanking above erases quoted
+        # include paths.
+        for lineno, line in enumerate(raw.split("\n"), start=1):
+            m = INCLUDE.match(line.strip())
+            if m:
+                includes.append((lineno, m.group(1), m.group(2)))
+        own_header = path.with_suffix(".h")
+        if own_header.exists() and includes:
+            expected = own_header.relative_to(SRC).as_posix()
+            lineno, kind, target = includes[0]
+            if kind != '"' or target != expected:
+                err(lineno, f'first include must be the file\'s own header '
+                            f'"{expected}"')
+        seen_project = None
+        for lineno, kind, target in includes[1:]:
+            if kind == '"':
+                seen_project = (lineno, target)
+            elif seen_project is not None:
+                err(lineno, f"system include <{target}> after project "
+                            f'include "{seen_project[1]}" — keep system '
+                            "includes in one leading block")
+
+    # --- namespace rule ----------------------------------------------------
+    if "namespace aladdin" not in code and path.name != "default_options.cpp":
+        err(1, "file must live in a namespace aladdin::* namespace")
+
+
+def main() -> int:
+    files = []
+    for ext in HEADER_EXTS | SOURCE_EXTS:
+        files.extend(sorted(SRC.rglob(f"*{ext}")))
+    # The sanitizer runtime hooks are extern "C" by necessity but still obey
+    # the banned-construct rules.
+    files.append(REPO_ROOT / "tools" / "sanitizers" / "default_options.cpp")
+
+    errors: list[str] = []
+    for path in files:
+        lint_file(path, errors)
+
+    if errors:
+        print(f"lint: {len(errors)} violation(s)", file=sys.stderr)
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 1
+    print(f"lint: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+// Baked-in sanitizer runtime defaults.
+//
+// Compiled into every executable of a sanitizer build (the
+// aladdin_sanitizer_opts object library — see the top-level CMakeLists).
+// The sanitizer runtimes look these weak hooks up at startup, so ctest runs
+// pick up the checked-in suppression files without any environment
+// plumbing; ASAN_OPTIONS / TSAN_OPTIONS etc. still override per-run.
+// ALADDIN_SUPP_DIR is injected by CMake and points at this directory.
+
+#if defined(__SANITIZE_ADDRESS__)
+extern "C" const char* __asan_default_options() {
+  return "detect_leaks=1:strict_string_checks=1:"
+         "suppressions=" ALADDIN_SUPP_DIR "/asan.supp";
+}
+extern "C" const char* __lsan_default_options() {
+  return "suppressions=" ALADDIN_SUPP_DIR "/lsan.supp";
+}
+extern "C" const char* __ubsan_default_options() {
+  return "print_stacktrace=1:suppressions=" ALADDIN_SUPP_DIR "/ubsan.supp";
+}
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+extern "C" const char* __tsan_default_options() {
+  return "halt_on_error=1:second_deadlock_stack=1:"
+         "suppressions=" ALADDIN_SUPP_DIR "/tsan.supp";
+}
+#endif
