@@ -94,6 +94,84 @@ void BM_MinCostMaxFlow(benchmark::State& state) {
 }
 BENCHMARK(BM_MinCostMaxFlow)->Arg(256)->Arg(1024);
 
+void BM_MinCostMaxFlowDijkstra(benchmark::State& state) {
+  flow::MinCostFlowOptions options;
+  options.pathfinder = flow::MinCostFlowOptions::Pathfinder::kDijkstra;
+  for (auto _ : state) {
+    state.PauseTiming();
+    VertexId s, t;
+    flow::Graph graph = MakeLayeredGraph(state.range(0), 8, s, t, 1);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        flow::MinCostMaxFlow(graph, s, t, flow::kInfiniteCapacity, options));
+  }
+}
+BENCHMARK(BM_MinCostMaxFlowDijkstra)->Arg(256)->Arg(1024);
+
+// The machine -> sink arcs are the last `width` forward arcs added by
+// MakeLayeredGraph, in machine order.
+std::vector<ArcId> SinkArcs(const flow::Graph& graph, std::int64_t width) {
+  std::vector<ArcId> arcs;
+  arcs.reserve(static_cast<std::size_t>(width));
+  const auto first =
+      static_cast<std::int32_t>(graph.arc_count()) - 2 * width;
+  for (std::int64_t i = 0; i < width; ++i) {
+    arcs.emplace_back(static_cast<std::int32_t>(first + 2 * i));
+  }
+  return arcs;
+}
+
+// The incremental hot path the scheduler relies on: a solved network whose
+// machine capacities drift each round. Incremental = cancel excess flow on
+// the shrunk arcs, retune capacities in place, warm-start Dinic from the
+// surviving flow. Rebuild = reset all flows and re-solve from zero (the
+// pre-incremental behaviour). Same mutation schedule on both, so the ratio
+// is the reuse win.
+void RecapacityRound(flow::Graph& graph, const std::vector<ArcId>& sink_arcs,
+                     Rng& rng, bool cancel_excess, VertexId s, VertexId t) {
+  // ~1.5% of machines drift per round — the sparse-churn regime the
+  // scheduler's per-tick updates live in.
+  const auto width = static_cast<std::int64_t>(sink_arcs.size());
+  for (std::int64_t k = 0; k < width / 64 + 1; ++k) {
+    const ArcId a =
+        sink_arcs[static_cast<std::size_t>(rng.UniformInt(0, width - 1))];
+    const flow::Capacity want = rng.UniformInt(0, 32);
+    if (cancel_excess && graph.Flow(a) > want) {
+      flow::CancelArcFlow(graph, a, graph.Flow(a) - want, s, t);
+    }
+    graph.SetCapacity(a, want);
+  }
+}
+
+void BM_RecapacityIncremental(benchmark::State& state) {
+  const std::int64_t width = state.range(0);
+  VertexId s, t;
+  flow::Graph graph = MakeLayeredGraph(width, 8, s, t, 1);
+  const std::vector<ArcId> sink_arcs = SinkArcs(graph, width);
+  flow::Dinic(graph, s, t);
+  Rng rng(7);
+  for (auto _ : state) {
+    RecapacityRound(graph, sink_arcs, rng, /*cancel_excess=*/true, s, t);
+    benchmark::DoNotOptimize(flow::Dinic(graph, s, t));  // warm start
+  }
+}
+BENCHMARK(BM_RecapacityIncremental)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_RecapacityRebuild(benchmark::State& state) {
+  const std::int64_t width = state.range(0);
+  VertexId s, t;
+  flow::Graph graph = MakeLayeredGraph(width, 8, s, t, 1);
+  const std::vector<ArcId> sink_arcs = SinkArcs(graph, width);
+  flow::Dinic(graph, s, t);
+  Rng rng(7);
+  for (auto _ : state) {
+    graph.ResetFlows();  // no flow to respect: capacities set directly
+    RecapacityRound(graph, sink_arcs, rng, /*cancel_excess=*/false, s, t);
+    benchmark::DoNotOptimize(flow::Dinic(graph, s, t));  // cold solve
+  }
+}
+BENCHMARK(BM_RecapacityRebuild)->Arg(256)->Arg(1024)->Arg(4096);
+
 void BM_MultiDimMaxFlow(benchmark::State& state) {
   const auto width = static_cast<std::int64_t>(state.range(0));
   for (auto _ : state) {

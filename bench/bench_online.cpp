@@ -4,8 +4,15 @@
 // placement latency" goal is that each resolve stays in the sub-second
 // range even as the cluster fills; this bench reports per-tick resolver
 // wall time, binding throughput, and end-state placement quality.
+//
+// --incremental=false runs the historical rebuild-per-tick resolver (the
+// A/B baseline); --json=PATH emits a BENCH_*.json for tools/perf_compare.py.
+// Both modes bind the same pods to the same nodes — the final audit line
+// is the witness.
 #include <cstdio>
 
+#include "cluster/audit.h"
+#include "common/bench_json.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -14,6 +21,23 @@
 #include "sim/report.h"
 
 using namespace aladdin;
+
+namespace {
+
+// Post-hoc placement audit: rebuild a ClusterState from the adaptor's final
+// snapshot (bound pods deployed) and recount violations from scratch, so
+// the number is independent of any resolver-internal state.
+cluster::AuditReport AuditFinalState(k8s::ModelAdaptor& adaptor) {
+  cluster::ClusterState state =
+      adaptor.workload().MakeState(adaptor.topology());
+  for (k8s::PodUid uid : adaptor.BoundPods()) {
+    const k8s::Pod* pod = adaptor.FindPod(uid);
+    state.Deploy(adaptor.ContainerOf(uid), adaptor.MachineOf(pod->node));
+  }
+  return cluster::Audit(state);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
@@ -24,17 +48,31 @@ int main(int argc, char** argv) {
   auto& batch_wave = flags.Int64("batch_wave", 120,
                                  "batch tasks submitted per tick");
   auto& seed = flags.Int64("seed", 42, "workload seed");
+  auto& incremental = flags.Bool("incremental", true,
+                                 "reuse scheduling state across ticks "
+                                 "(false = rebuild-per-tick baseline)");
+  auto& threads = flags.Int64("threads", 0,
+                              "search threads (0 = hardware concurrency, "
+                              "1 = serial)");
+  auto& json = flags.String("json", "",
+                            "write BENCH json results to this path");
   if (!flags.Parse(argc, argv)) return 1;
 
   sim::PrintExperimentHeader(
       "Online", "streaming waves through EHC -> MA -> RE (Fig. 6 stack)");
 
-  k8s::ClusterSimulator sim;
+  k8s::ResolverOptions options;
+  options.aladdin = k8s::Resolver::DefaultOptions();
+  options.aladdin.threads = static_cast<int>(threads);
+  options.incremental = incremental;
+  k8s::ClusterSimulator sim(options);
   sim.AddNodes(static_cast<std::size_t>(nodes),
                cluster::ResourceVector::Cores(32, 64));
 
   Rng rng(static_cast<std::uint64_t>(seed));
   Sample resolve_ms;
+  double total_seconds = 0.0;
+  std::int64_t total_bindings = 0;
   Table table({"tick", "pending", "bound", "migr", "preempt", "unsched",
                "batch done", "resolve ms"});
   std::int64_t app_counter = 0;
@@ -64,6 +102,8 @@ int main(int argc, char** argv) {
 
     const k8s::ResolveStats stats = sim.Tick();
     resolve_ms.Add(stats.wall_seconds * 1e3);
+    total_seconds += stats.wall_seconds;
+    total_bindings += static_cast<std::int64_t>(stats.new_bindings);
     table.Cell(static_cast<std::int64_t>(stats.tick))
         .Cell(static_cast<std::int64_t>(stats.pending_before))
         .Cell(static_cast<std::int64_t>(stats.new_bindings))
@@ -86,5 +126,50 @@ int main(int argc, char** argv) {
               sim.adaptor().PendingPods().size(),
               static_cast<long long>(sim.completed_tasks()),
               static_cast<long long>(sim.now()));
+
+  // Placement-quality witness for the incremental/parallel A/B: identical
+  // scheduling decisions give identical audit numbers.
+  const cluster::AuditReport audit = AuditFinalState(sim.adaptor());
+  std::printf("audit: %zu containers, %zu placed, %zu unplaced "
+              "(%zu resources, %zu anti-affinity, %zu scheduler), "
+              "%zu colocation violations, violation%%=%.3f\n",
+              audit.total_containers, audit.placed, audit.unplaced,
+              audit.unplaced_resources, audit.unplaced_anti_affinity,
+              audit.unplaced_scheduler, audit.colocation_violations,
+              audit.ViolationPercent());
+
+  if (!json.empty()) {
+    BenchJson out("online");
+    out.Tag("nodes", nodes);
+    out.Tag("ticks", ticks);
+    out.Tag("lla_wave", lla_wave);
+    out.Tag("batch_wave", batch_wave);
+    out.Tag("seed", seed);
+    out.Tag("mode", incremental ? "incremental" : "rebuild");
+    out.Tag("threads", threads);
+    out.Percentiles("resolve_ms", resolve_ms);
+    out.Metric("total_resolve_s", total_seconds, "s");
+    out.Metric("bindings_per_s",
+               total_seconds > 0 ? static_cast<double>(total_bindings) /
+                                       total_seconds
+                                 : 0.0,
+               "rate");
+    out.Metric("pods_bound",
+               static_cast<double>(sim.adaptor().BoundPods().size()), "count");
+    out.Metric("pods_pending",
+               static_cast<double>(sim.adaptor().PendingPods().size()),
+               "count");
+    out.Metric("batch_completed", static_cast<double>(sim.completed_tasks()),
+               "count");
+    out.Metric("audit_placed", static_cast<double>(audit.placed), "count");
+    out.Metric("audit_unplaced", static_cast<double>(audit.unplaced), "count");
+    out.Metric("audit_colocation_violations",
+               static_cast<double>(audit.colocation_violations), "count");
+    if (!out.WriteFile(json)) {
+      std::fprintf(stderr, "failed to write %s\n", json.c_str());
+      return 1;
+    }
+    std::printf("bench json written to %s\n", json.c_str());
+  }
   return 0;
 }

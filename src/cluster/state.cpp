@@ -2,10 +2,18 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
 
 namespace aladdin::cluster {
+
+namespace {
+// Journal cap: past this many un-consumed entries the oldest half is
+// dropped; a straggling consumer then rebuilds instead of replaying. 64k
+// entries cover several full-cluster passes at the 10k-machine scale.
+constexpr std::size_t kDirtyLogCap = 1 << 16;
+}  // namespace
 
 ClusterState::ClusterState(const Topology& topology,
                            const std::vector<Container>& containers,
@@ -20,6 +28,32 @@ ClusterState::ClusterState(const Topology& topology,
   deployed_.resize(topology.machine_count());
   apps_on_.resize(topology.machine_count());
   placement_.assign(containers.size(), MachineId::Invalid());
+}
+
+ClusterState::ClusterState(const ClusterState& other)
+    : topology_(other.topology_),
+      containers_(other.containers_),
+      applications_(other.applications_),
+      constraints_(other.constraints_),
+      free_(other.free_),
+      deployed_(other.deployed_),
+      apps_on_(other.apps_on_),
+      placement_(other.placement_),
+      placed_count_(other.placed_count_),
+      migrations_(other.migrations_),
+      preemptions_(other.preemptions_),
+      dirty_log_enabled_(other.dirty_log_enabled_),
+      dirty_base_(other.dirty_base_),
+      dirty_log_(other.dirty_log_),
+      change_journal_enabled_(other.change_journal_enabled_),
+      changed_containers_(other.changed_containers_),
+      changed_flag_(other.changed_flag_) {}
+
+ClusterState& ClusterState::operator=(const ClusterState& other) {
+  if (this == &other) return *this;
+  ClusterState copy(other);  // fresh instance id
+  *this = std::move(copy);
+  return *this;
 }
 
 bool ClusterState::Fits(ContainerId c, MachineId m) const {
@@ -55,6 +89,8 @@ void ClusterState::Deploy(ContainerId c, MachineId m) {
   ++apps_on_[Idx(m)][container.app.value()];
   placement_[Idx(c)] = m;
   ++placed_count_;
+  MarkMachine(m);
+  MarkContainer(c);
 }
 
 void ClusterState::Evict(ContainerId c) {
@@ -75,6 +111,8 @@ void ClusterState::Evict(ContainerId c) {
   if (--it->second == 0) apps_on_[Idx(m)].erase(it);
   placement_[Idx(c)] = MachineId::Invalid();
   --placed_count_;
+  MarkMachine(m);
+  MarkContainer(c);
 }
 
 void ClusterState::Migrate(ContainerId c, MachineId to) {
@@ -232,6 +270,73 @@ void ClusterState::Clear() {
   placed_count_ = 0;
   migrations_ = 0;
   preemptions_ = 0;
+  ForceFullResync();
+  changed_containers_.clear();
+  std::fill(changed_flag_.begin(), changed_flag_.end(), std::uint8_t{0});
+}
+
+void ClusterState::EnableDirtyLog() {
+  if (dirty_log_enabled_) return;
+  dirty_log_enabled_ = true;
+  dirty_log_.clear();
+}
+
+std::span<const MachineId> ClusterState::DirtySince(std::uint64_t since,
+                                                    bool* overflowed) const {
+  ALADDIN_DCHECK(overflowed != nullptr);
+  if (since < dirty_base_) {
+    *overflowed = true;
+    return {};
+  }
+  *overflowed = false;
+  ALADDIN_DCHECK(since <= DirtyLogEnd())
+      << "DirtySince cursor " << since << " beyond log end " << DirtyLogEnd();
+  const std::size_t offset = static_cast<std::size_t>(since - dirty_base_);
+  return std::span<const MachineId>(dirty_log_).subspan(offset);
+}
+
+void ClusterState::EnableChangeJournal() {
+  if (change_journal_enabled_) return;
+  change_journal_enabled_ = true;
+  changed_flag_.assign(containers_->size(), 0);
+}
+
+std::vector<ContainerId> ClusterState::TakeChangedContainers() {
+  for (ContainerId c : changed_containers_) changed_flag_[Idx(c)] = 0;
+  return std::exchange(changed_containers_, {});
+}
+
+void ClusterState::SyncWorkloadGrowth() {
+  ALADDIN_CHECK(containers_->size() >= placement_.size())
+      << "workload container table shrank under a live state";
+  if (containers_->size() == placement_.size()) return;
+  placement_.resize(containers_->size(), MachineId::Invalid());
+  if (change_journal_enabled_) changed_flag_.resize(containers_->size(), 0);
+}
+
+void ClusterState::MarkMachine(MachineId m) {
+  if (!dirty_log_enabled_) return;
+  if (dirty_log_.size() >= kDirtyLogCap) {
+    // Drop the oldest half; cursors that fall off the front overflow and
+    // trigger a full rebuild in their consumer.
+    const std::size_t drop = dirty_log_.size() / 2;
+    dirty_log_.erase(dirty_log_.begin(),
+                     dirty_log_.begin() + static_cast<std::ptrdiff_t>(drop));
+    dirty_base_ += drop;
+  }
+  dirty_log_.push_back(m);
+}
+
+void ClusterState::MarkContainer(ContainerId c) {
+  if (!change_journal_enabled_) return;
+  if (changed_flag_[Idx(c)]) return;
+  changed_flag_[Idx(c)] = 1;
+  changed_containers_.push_back(c);
+}
+
+void ClusterState::ForceFullResync() {
+  dirty_base_ = DirtyLogEnd() + 1;
+  dirty_log_.clear();
 }
 
 }  // namespace aladdin::cluster

@@ -8,6 +8,7 @@
 // auditor (audit.h) recounts violations from raw placements afterwards.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -34,6 +35,14 @@ class ClusterState {
                const std::vector<Container>& containers,
                const std::vector<Application>& applications,
                const ConstraintSet& constraints);
+
+  // Copies are distinct states: incremental consumers key their caches on
+  // instance_id(), so a copy (or an emplace over a dead state at the same
+  // address) must never be mistaken for the original.
+  ClusterState(const ClusterState& other);
+  ClusterState& operator=(const ClusterState& other);
+  ClusterState(ClusterState&&) = default;
+  ClusterState& operator=(ClusterState&&) = default;
 
   [[nodiscard]] const Topology& topology() const { return *topology_; }
   [[nodiscard]] const std::vector<Container>& containers() const {
@@ -123,8 +132,48 @@ class ClusterState {
     return CheckConsistency();
   }
 
-  // Evict everything; counters reset.
+  // Evict everything; counters reset. Forces every dirty-log consumer to
+  // resynchronise in full.
   void Clear();
+
+  // --- incremental-consumer support ------------------------------------
+  //
+  // Derived indices (AggregatedNetwork, FreeIndex) historically rebuilt from
+  // scratch per scheduling pass. To reuse them across passes the state keeps
+  // an append-only journal of machine mutations; each consumer remembers an
+  // absolute sequence cursor and replays only the suffix. The journal is
+  // capped: when it overflows, the oldest half is dropped and any consumer
+  // whose cursor fell off the front performs a full re-attach instead.
+
+  // Unique per live state object (copies get fresh ids; moves keep them).
+  [[nodiscard]] std::uint64_t instance_id() const { return instance_id_; }
+
+  // Turns on the machine dirty log (idempotent). Off by default so callers
+  // that never reuse indices pay nothing.
+  void EnableDirtyLog();
+  [[nodiscard]] bool dirty_log_enabled() const { return dirty_log_enabled_; }
+
+  // Absolute sequence number one past the newest journal entry.
+  [[nodiscard]] std::uint64_t DirtyLogEnd() const { return dirty_base_ +
+                                                    dirty_log_.size(); }
+
+  // Machines mutated in [since, DirtyLogEnd()), possibly with duplicates.
+  // Sets *overflowed (and returns an empty span) when `since` predates the
+  // retained window — the consumer must rebuild from scratch.
+  [[nodiscard]] std::span<const MachineId> DirtySince(std::uint64_t since,
+                                                      bool* overflowed) const;
+
+  // Turns on the container change journal (idempotent): every container
+  // whose placement changes is recorded once until taken.
+  void EnableChangeJournal();
+  // Containers touched since the last call (deduplicated, in first-touch
+  // order); clears the journal.
+  [[nodiscard]] std::vector<ContainerId> TakeChangedContainers();
+
+  // Grows the per-container tables after the bound workload appended
+  // containers (the container/application vectors this state references are
+  // append-only while a state is live).
+  void SyncWorkloadGrowth();
 
  private:
   friend struct ClusterStateTestPeer;  // tests corrupt state to exercise
@@ -149,6 +198,29 @@ class ClusterState {
   std::size_t placed_count_ = 0;
   std::int64_t migrations_ = 0;
   std::int64_t preemptions_ = 0;
+
+  static std::uint64_t NextInstanceId() {
+    static std::atomic<std::uint64_t> counter{0};
+    return ++counter;
+  }
+
+  void MarkMachine(MachineId m);
+  void MarkContainer(ContainerId c);
+  // Invalidates every consumer cursor without logging each machine.
+  void ForceFullResync();
+
+  std::uint64_t instance_id_ = NextInstanceId();
+
+  // Machine dirty log: entries dirty_log_[i] carry absolute sequence
+  // dirty_base_ + i. Bounded; see kDirtyLogCap in state.cpp.
+  bool dirty_log_enabled_ = false;
+  std::uint64_t dirty_base_ = 0;
+  std::vector<MachineId> dirty_log_;
+
+  // Container change journal (deduplicated via per-container flags).
+  bool change_journal_enabled_ = false;
+  std::vector<ContainerId> changed_containers_;
+  std::vector<std::uint8_t> changed_flag_;  // per container
 };
 
 }  // namespace aladdin::cluster

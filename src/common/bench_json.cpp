@@ -1,0 +1,94 @@
+#include "common/bench_json.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace aladdin {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void BenchJson::Tag(const std::string& key, const std::string& value) {
+  tags_.push_back({key, "\"" + Escape(value) + "\""});
+}
+
+void BenchJson::Tag(const std::string& key, std::int64_t value) {
+  tags_.push_back({key, std::to_string(value)});
+}
+
+void BenchJson::Metric(const std::string& name, double value,
+                       const std::string& unit) {
+  metrics_.push_back({name, unit, value});
+}
+
+void BenchJson::Percentiles(const std::string& name, const Sample& sample,
+                            const std::string& unit) {
+  Metric(name + "_p50", sample.Percentile(50), unit);
+  Metric(name + "_p90", sample.Percentile(90), unit);
+  Metric(name + "_p99", sample.Percentile(99), unit);
+  Metric(name + "_max", sample.max(), unit);
+  Metric(name + "_mean", sample.mean(), unit);
+  Metric(name + "_count", static_cast<double>(sample.count()), "count");
+}
+
+std::string BenchJson::ToJson() const {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"aladdin-bench-v1\",\n  \"bench\": \""
+     << Escape(bench_name_) << "\",\n  \"tags\": {";
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << Escape(tags_[i].key) << "\": " << tags_[i].value;
+  }
+  os << "},\n  \"metrics\": [";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ");
+    os << "{\"name\": \"" << Escape(metrics_[i].name) << "\", \"unit\": \""
+       << Escape(metrics_[i].unit) << "\", \"value\": "
+       << Number(metrics_[i].value) << "}";
+  }
+  os << "\n  ]\n}";
+  return os.str();
+}
+
+bool BenchJson::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = ToJson();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace aladdin

@@ -1,0 +1,69 @@
+// Machine-readable bench results (BENCH_*.json).
+//
+// Every bench binary that matters for CI perf tracking serialises its
+// numbers through this writer so tools/perf_compare.py can diff a fresh run
+// against the committed baselines in bench/baselines/. The schema is flat
+// on purpose — one metrics array, insertion-ordered and deterministic, so
+// two runs of the same binary produce byte-comparable files apart from the
+// measured values:
+//
+//   {
+//     "schema": "aladdin-bench-v1",
+//     "bench": "online",
+//     "tags": {"nodes": 10000, "mode": "incremental"},
+//     "metrics": [
+//       {"name": "resolve_ms_p50", "unit": "ms", "value": 1.52},
+//       ...
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace aladdin {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+
+  // Run parameters (cluster size, mode, seed, ...) — context, not compared.
+  void Tag(const std::string& key, const std::string& value);
+  void Tag(const std::string& key, std::int64_t value);
+
+  // One number. The unit doubles as the comparison policy in
+  // tools/perf_compare.py: time units (ns/us/ms/s) are regression-checked
+  // against the baseline ratio, "count" metrics are identity-checked
+  // (placement decisions are deterministic), anything else is informational.
+  void Metric(const std::string& name, double value,
+              const std::string& unit = "");
+
+  // Expands a latency sample into <name>_{p50,p90,p99,max,mean} metrics
+  // plus a <name>_count identity metric.
+  void Percentiles(const std::string& name, const Sample& sample,
+                   const std::string& unit = "ms");
+
+  [[nodiscard]] std::string ToJson() const;
+
+  // Writes ToJson() (plus trailing newline) to `path`; false on I/O error.
+  [[nodiscard]] bool WriteFile(const std::string& path) const;
+
+ private:
+  struct TagEntry {
+    std::string key;
+    std::string value;  // pre-rendered JSON (quoted string or bare number)
+  };
+  struct MetricEntry {
+    std::string name;
+    std::string unit;
+    double value;
+  };
+  std::string bench_name_;
+  std::vector<TagEntry> tags_;
+  std::vector<MetricEntry> metrics_;
+};
+
+}  // namespace aladdin

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "cluster/state.h"
+#include "common/thread_pool.h"
 #include "core/capacity.h"
 
 namespace aladdin::core {
@@ -37,6 +38,14 @@ namespace aladdin::core {
 struct SearchOptions {
   bool enable_il = true;
   bool enable_dl = true;
+
+  // Optional worker pool for fanning candidate scoring out (§IV.A's path
+  // probes are independent reads of the cluster state). Null or a pool with
+  // one worker means serial search. The parallel traversals are
+  // deterministic: candidates are gathered in the serial visit order,
+  // scored concurrently, and reduced in that fixed order — results and
+  // SearchCounters are bit-identical to the serial walk for any pool size.
+  ThreadPool* pool = nullptr;
 };
 
 struct SearchCounters {
@@ -53,8 +62,19 @@ class AggregatedNetwork {
 
   // Binds to (and rebuilds indices from) a cluster state. All subsequent
   // Deploy/Evict for that state must go through this object so aggregates
-  // stay coherent.
+  // stay coherent — or, for mutations applied to the state directly by
+  // other actors, be replayed later via Sync() (Attach enables the state's
+  // machine dirty log for exactly that purpose).
   void Attach(cluster::ClusterState* state);
+
+  // Incremental re-attach (§IV.A taken across Schedule() calls): replays
+  // the state's machine dirty log from this network's cursor, reindexing
+  // only machines whose residual capacity may have changed since the last
+  // Attach()/Sync() — O(changes · log M) instead of the O(M log M) rebuild.
+  // Falls back to a full Attach() when the log overflowed. Requires a prior
+  // Attach() to the same state. Replayed machines get a fresh change epoch,
+  // so memoised IL failures for them are naturally invalidated.
+  void Sync();
 
   // Algorithm 1's getShortestPath for one container: returns the tightest
   // machine admitted by the capacity function, or Invalid. The same machine
@@ -104,6 +124,16 @@ class AggregatedNetwork {
                                        const SearchOptions& options,
                                        SearchCounters& counters,
                                        cluster::MachineId exclude);
+  // Pool-backed variants; bit-identical results and counters to the serial
+  // traversals above (fixed gather/reduction order, not first-finisher).
+  cluster::MachineId EnumerateParallel(cluster::ContainerId c,
+                                       const SearchOptions& options,
+                                       SearchCounters& counters,
+                                       cluster::MachineId exclude);
+  cluster::MachineId BestFitWalkParallel(cluster::ContainerId c,
+                                         const SearchOptions& options,
+                                         SearchCounters& counters,
+                                         cluster::MachineId exclude);
 
   // IL memo: (app, machine) -> machine epoch at failure. A probe is skipped
   // while the machine has not changed since the recorded failure. Only
@@ -131,6 +161,11 @@ class AggregatedNetwork {
       il_memo_;  // per app
   // Lazily allocated per-app machine bitsets gating il_memo_ lookups.
   mutable std::vector<std::vector<bool>> il_bitset_;
+
+  // Absolute cursor into state_'s machine dirty log: everything before it
+  // has been reindexed here. The network's own mutation wrappers Reindex
+  // eagerly and advance the cursor past their self-inflicted entries.
+  std::uint64_t dirty_cursor_ = 0;
 };
 
 }  // namespace aladdin::core

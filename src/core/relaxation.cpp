@@ -1,5 +1,8 @@
 #include "core/relaxation.h"
 
+#include <string>
+
+#include "common/check.h"
 #include "flow/max_flow.h"
 
 namespace aladdin::core {
@@ -15,6 +18,7 @@ RelaxationNetwork BuildRelaxationNetwork(const trace::Workload& workload,
   // Application vertices A_j.
   const VertexId first_app =
       g.AddVertices(workload.application_count());
+  net.first_app = first_app;
   // Sub-cluster vertices G_k and rack vertices R_x.
   const VertexId first_sub = g.AddVertices(topology.subcluster_count());
   const VertexId first_rack = g.AddVertices(topology.rack_count());
@@ -90,6 +94,92 @@ RelaxationBound SolveRelaxation(const trace::Workload& workload,
   bound.placeable_cpu_millis =
       flow::Dinic(net.graph, net.source, net.sink).value;
   return bound;
+}
+
+RelaxationBound IncrementalRelaxation::Solve(
+    const trace::Workload& workload, const cluster::ClusterState& state) {
+  // The A_j fan-out is fixed at build time, so a changed application set
+  // (or a different state object entirely) forces a rebuild; everything
+  // else — free capacities, placements, appended containers — refreshes in
+  // place.
+  const bool reusable = built_ && state.instance_id() == state_instance_ &&
+                        workload.application_count() == application_count_ &&
+                        net_.machine_arcs.size() ==
+                            state.topology().machine_count();
+  reused_last_ = reusable;
+  if (!reusable) {
+    net_ = BuildRelaxationNetwork(workload, state);
+    built_ = true;
+    state_instance_ = state.instance_id();
+    application_count_ = workload.application_count();
+    app_vertex_base_ = net_.first_app.value();
+    flow::Dinic(net_.graph, net_.source, net_.sink);
+  } else {
+    Refresh(workload, state);
+    flow::Dinic(net_.graph, net_.source, net_.sink);  // warm start
+  }
+
+  RelaxationBound bound;
+  bound.vertices = net_.graph.vertex_count();
+  bound.edges = net_.edge_count;
+  bound.placeable_cpu_millis = net_.graph.NetOutflow(net_.source);
+  for (const auto& c : workload.containers()) {
+    if (!state.IsPlaced(c.id)) {
+      bound.demand_cpu_millis += c.request.cpu_millis();
+    }
+  }
+  return bound;
+}
+
+void IncrementalRelaxation::Refresh(const trace::Workload& workload,
+                                    const cluster::ClusterState& state) {
+  flow::Graph& g = net_.graph;
+  const cluster::Topology& topology = state.topology();
+
+  // Machine arcs: free CPU moved; cancel any flow above the new capacity
+  // before lowering it so invariants hold throughout.
+  for (const auto& machine : topology.machines()) {
+    const ArcId arc = net_.machine_arcs[static_cast<std::size_t>(
+        machine.id.value())];
+    const flow::Capacity want = state.Free(machine.id).cpu_millis();
+    if (g.arc(arc).capacity == want) continue;
+    if (g.Flow(arc) > want) {
+      flow::CancelArcFlow(g, arc, g.Flow(arc) - want, net_.source, net_.sink);
+    }
+    g.SetCapacity(arc, want);
+  }
+
+  // Container arcs: placed containers close (capacity 0), evicted ones
+  // re-open, brand-new ones get a T_i vertex wired in.
+  net_.container_arcs.resize(workload.container_count(), ArcId::Invalid());
+  for (const auto& c : workload.containers()) {
+    const auto ci = static_cast<std::size_t>(c.id.value());
+    const ArcId arc = net_.container_arcs[ci];
+    const bool placed = state.IsPlaced(c.id);
+    if (!arc.valid()) {
+      if (placed) continue;  // placed at build time: still no vertex needed
+      const VertexId t = g.AddVertex();
+      net_.container_arcs[ci] =
+          g.AddArc(net_.source, t, c.request.cpu_millis());
+      g.AddArc(t, VertexId(app_vertex_base_ + c.app.value()),
+               flow::kInfiniteCapacity);
+      continue;
+    }
+    const flow::Capacity want = placed ? 0 : c.request.cpu_millis();
+    if (g.arc(arc).capacity == want) continue;
+    if (g.Flow(arc) > want) {
+      flow::CancelArcFlow(g, arc, g.Flow(arc) - want, net_.source, net_.sink);
+    }
+    g.SetCapacity(arc, want);
+  }
+  net_.edge_count = g.arc_count() / 2;
+
+#if ALADDIN_DCHECK_IS_ON()
+  const VertexId exempt[] = {net_.source, net_.sink};
+  std::string error;
+  ALADDIN_DCHECK(g.ValidateInvariants(exempt, &error))
+      << "incremental refresh broke the relaxation network: " << error;
+#endif
 }
 
 std::int64_t PlacedCpuMillis(const cluster::ClusterState& state) {

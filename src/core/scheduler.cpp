@@ -47,6 +47,39 @@ void CrossCheckOutcome(const cluster::ClusterState& state,
 AladdinScheduler::AladdinScheduler(AladdinOptions options)
     : options_(options) {}
 
+ThreadPool* AladdinScheduler::SearchPool() {
+  if (!pool_created_) {
+    pool_created_ = true;
+    const std::size_t want =
+        options_.threads == 0
+            ? std::max<std::size_t>(std::thread::hardware_concurrency(), 1)
+            : static_cast<std::size_t>(std::max(options_.threads, 1));
+    // A one-worker pool would serialise through the queue for nothing.
+    if (want > 1) pool_ = std::make_unique<ThreadPool>(want);
+  }
+  return pool_.get();
+}
+
+AggregatedNetwork& AladdinScheduler::PrepareNetwork(
+    cluster::ClusterState& state) {
+  // Reuse requires the cached network to be attached to this very state
+  // object: same address AND same instance id (stack/optional storage gets
+  // recycled, so an address match alone could alias a dead state), with the
+  // bound topology unchanged in size.
+  const bool reusable =
+      options_.incremental_network && network_ != nullptr &&
+      network_->state() == &state &&
+      attached_state_id_ == state.instance_id();
+  if (reusable) {
+    network_->Sync();
+    return *network_;
+  }
+  network_ = std::make_unique<AggregatedNetwork>(state.topology());
+  network_->Attach(&state);
+  attached_state_id_ = state.instance_id();
+  return *network_;
+}
+
 std::string AladdinScheduler::name() const {
   std::string n = "Aladdin";
   if (options_.weight_base > 0) {
@@ -80,11 +113,11 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
              << "priority safety of preemption is not guaranteed";
   }
 
-  const SearchOptions search{options_.enable_il, options_.enable_dl};
+  SearchOptions search{options_.enable_il, options_.enable_dl};
+  search.pool = SearchPool();
   SearchCounters counters;
 
-  AggregatedNetwork network(state.topology());
-  network.Attach(&state);
+  AggregatedNetwork& network = PrepareNetwork(state);
 
   // --- Phase 1: flow augmentation in weighted-flow order. ----------------
   // Eq. 9 maximises Σ w_k·f(i,j): the solver augments the largest weighted

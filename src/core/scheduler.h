@@ -15,8 +15,11 @@
 //      at a small migration cost (Fig. 13b).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "core/migration.h"
 #include "core/network.h"
 #include "core/weights.h"
@@ -49,6 +52,19 @@ struct AladdinOptions {
   // Ceiling on compaction migrations, as a fraction of total containers
   // (keeps Fig. 13(b) in the paper's ~1.7 % regime).
   double compaction_migration_fraction = 0.02;
+
+  // Incremental network reuse: keep the aggregated s→T→A→G→R→N→t network
+  // alive across Schedule() calls against the same ClusterState, replaying
+  // the state's dirty log instead of rebuilding — placements are
+  // bit-identical to a fresh rebuild (memoised IL failures stay valid only
+  // while a machine's change epoch is unchanged). Off reproduces the
+  // rebuild-per-call behaviour, mainly for A/B tests and benchmarks.
+  bool incremental_network = true;
+
+  // Worker threads for the admissible-path search. 0 = hardware
+  // concurrency, 1 = serial (no pool). Any value yields identical
+  // placements and search counters — see SearchOptions::pool.
+  int threads = 0;
 };
 
 class AladdinScheduler : public sim::Scheduler {
@@ -67,8 +83,23 @@ class AladdinScheduler : public sim::Scheduler {
   }
 
  private:
+  // Returns the network to schedule on: the cached one (synced with the
+  // state's dirty log) when it is still attached to this exact state
+  // object, else a freshly attached rebuild.
+  AggregatedNetwork& PrepareNetwork(cluster::ClusterState& state);
+  // Lazily creates the search pool per options_.threads (null when serial).
+  [[nodiscard]] ThreadPool* SearchPool();
+
   AladdinOptions options_;
   PriorityWeights weights_;
+
+  // Incremental reuse state: the network survives Schedule() calls; the
+  // instance id (not just the address — states are frequently stack- or
+  // optional-allocated) proves the attached state is still the same one.
+  std::unique_ptr<AggregatedNetwork> network_;
+  std::uint64_t attached_state_id_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  bool pool_created_ = false;
 };
 
 }  // namespace aladdin::core

@@ -195,6 +195,70 @@ std::vector<FlowPath> DecomposePaths(Graph& graph, VertexId source,
   return paths;
 }
 
+Capacity CancelArcFlow(Graph& graph, ArcId a, Capacity amount,
+                       VertexId source, VertexId sink) {
+  ALADDIN_CHECK(a.valid() && a.value() % 2 == 0)
+      << "CancelArcFlow wants a forward arc";
+  Capacity cancelled = 0;
+  while (cancelled < amount && graph.arc(a).flow > 0) {
+    Capacity bottleneck = std::min(amount - cancelled, graph.arc(a).flow);
+
+    // Backward segment: from tail(a) to the source, along arcs carrying
+    // flow *into* the current vertex. An incoming forward arc appears in
+    // the vertex's adjacency as its residual twin (odd id, negative flow);
+    // the first match in adjacency order keeps the walk deterministic.
+    std::vector<ArcId> back_twins;
+    VertexId v = graph.Tail(a);
+    std::size_t steps = 0;
+    while (v != source) {
+      ALADDIN_CHECK(++steps <= graph.vertex_count())
+          << "CancelArcFlow: flow cycle through vertex " << v;
+      ArcId found = ArcId::Invalid();
+      for (std::int32_t raw : graph.OutArcs(v)) {
+        if ((raw & 1) != 0 && graph.arc(ArcId(raw)).flow < 0) {
+          found = ArcId(raw);
+          break;
+        }
+      }
+      ALADDIN_CHECK(found.valid())
+          << "CancelArcFlow: conservation violated at vertex " << v;
+      back_twins.push_back(found);
+      bottleneck = std::min(bottleneck, -graph.arc(found).flow);
+      v = graph.arc(found).head;
+    }
+
+    // Forward segment: from head(a) to the sink, along forward arcs
+    // carrying flow out of the current vertex.
+    std::vector<ArcId> fwd_arcs;
+    VertexId u = graph.arc(a).head;
+    steps = 0;
+    while (u != sink) {
+      ALADDIN_CHECK(++steps <= graph.vertex_count())
+          << "CancelArcFlow: flow cycle through vertex " << u;
+      ArcId found = ArcId::Invalid();
+      for (std::int32_t raw : graph.OutArcs(u)) {
+        if ((raw & 1) == 0 && graph.arc(ArcId(raw)).flow > 0) {
+          found = ArcId(raw);
+          break;
+        }
+      }
+      ALADDIN_CHECK(found.valid())
+          << "CancelArcFlow: conservation violated at vertex " << u;
+      fwd_arcs.push_back(found);
+      bottleneck = std::min(bottleneck, graph.arc(found).flow);
+      u = graph.arc(found).head;
+    }
+
+    ALADDIN_DCHECK(bottleneck > 0);
+    // Unwind: pushing along a residual twin subtracts from its forward arc.
+    for (ArcId t : back_twins) graph.Push(t, bottleneck);
+    graph.Push(Graph::Reverse(a), bottleneck);
+    for (ArcId f : fwd_arcs) graph.Push(Graph::Reverse(f), bottleneck);
+    cancelled += bottleneck;
+  }
+  return cancelled;
+}
+
 std::vector<bool> ResidualReachable(const Graph& graph, VertexId source) {
   std::vector<bool> seen(graph.vertex_count(), false);
   std::deque<VertexId> queue{source};

@@ -41,4 +41,16 @@ struct FlowPath {
 std::vector<FlowPath> DecomposePaths(Graph& graph, VertexId source,
                                      VertexId sink);
 
+// Incremental-reuse primitive: cancels up to `amount` units of the flow
+// currently crossing forward arc `a` by unwinding whole source→…→tail(a)
+// and head(a)→…→sink flow-carrying segments, so conservation (and
+// ValidateInvariants) holds after every call. The typical use is lowering
+// an arc's capacity below its current flow without rebuilding the graph:
+// cancel the excess, SetCapacity, then re-run a max-flow solver to
+// re-augment from the warm flow. Requires the flow to be acyclic (true for
+// anything our solvers produce on the layered scheduling networks).
+// Returns the amount actually cancelled (min of `amount` and the arc flow).
+Capacity CancelArcFlow(Graph& graph, ArcId a, Capacity amount,
+                       VertexId source, VertexId sink);
+
 }  // namespace aladdin::flow

@@ -1,14 +1,37 @@
 #include "flow/min_cost_flow.h"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 
 namespace aladdin::flow {
 
-MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
-                                 Capacity flow_limit) {
-  ALADDIN_CHECK(source != sink);
+namespace {
+
+// One augmentation step shared by both pathfinders: pick the bottleneck
+// along `path`, push it, and account flow/cost. Returns false when the path
+// is empty (sink unreachable — flow is maximum).
+bool Augment(Graph& graph, const std::vector<ArcId>& path, Capacity flow_limit,
+             MinCostFlowResult& result) {
+  if (path.empty()) return false;
+  Capacity bottleneck = flow_limit - result.flow;
+  for (ArcId a : path) bottleneck = std::min(bottleneck, graph.Residual(a));
+  ALADDIN_DCHECK(bottleneck > 0);
+  for (ArcId a : path) {
+    graph.Push(a, bottleneck);
+    result.cost += graph.arc(a).cost * bottleneck;
+  }
+  result.flow += bottleneck;
+  ++result.iterations;
+  return true;
+}
+
+MinCostFlowResult SolveSpfa(Graph& graph, VertexId source, VertexId sink,
+                            Capacity flow_limit) {
   MinCostFlowResult result;
   while (result.flow < flow_limit) {
     ShortestPathTree tree = Spfa(graph, source);
@@ -16,20 +39,95 @@ MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
       result.negative_cycle = true;
       break;
     }
-    const auto path = ExtractPath(graph, tree, source, sink);
-    if (path.empty()) break;  // sink unreachable: flow is maximum
-
-    Capacity bottleneck = flow_limit - result.flow;
-    for (ArcId a : path) bottleneck = std::min(bottleneck, graph.Residual(a));
-    ALADDIN_DCHECK(bottleneck > 0);
-    for (ArcId a : path) {
-      graph.Push(a, bottleneck);
-      result.cost += graph.arc(a).cost * bottleneck;
+    if (!Augment(graph, ExtractPath(graph, tree, source, sink), flow_limit,
+                 result)) {
+      break;
     }
-    result.flow += bottleneck;
-    ++result.iterations;
   }
   return result;
+}
+
+// Dijkstra over reduced costs c(u,v) + pi(u) - pi(v). With valid potentials
+// every residual arc has non-negative reduced cost, so a binary heap works.
+// Vertices with pi == kUnreachable were unreachable when the potentials were
+// seeded; augmentations only add residual arcs along already-reachable
+// paths, so they stay unreachable and are skipped.
+ShortestPathTree DijkstraReduced(const Graph& graph, VertexId source,
+                                 const std::vector<Cost>& pi) {
+  const std::size_t n = graph.vertex_count();
+  ShortestPathTree tree;
+  tree.dist.assign(n, kUnreachable);
+  tree.parent_arc.assign(n, -1);
+  using Entry = std::pair<Cost, std::int32_t>;  // (reduced dist, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  tree.dist[static_cast<std::size_t>(source.value())] = 0;
+  heap.emplace(0, source.value());
+  while (!heap.empty()) {
+    const auto [d, raw_u] = heap.top();
+    heap.pop();
+    const auto ui = static_cast<std::size_t>(raw_u);
+    if (d > tree.dist[ui]) continue;  // stale entry
+    for (std::int32_t raw : graph.OutArcs(VertexId(raw_u))) {
+      const ArcId a{raw};
+      if (graph.Residual(a) <= 0) continue;
+      const VertexId v = graph.arc(a).head;
+      const auto vi = static_cast<std::size_t>(v.value());
+      if (pi[vi] >= kUnreachable) continue;
+      const Cost reduced = graph.arc(a).cost + pi[ui] - pi[vi];
+      ALADDIN_DCHECK(reduced >= 0)
+          << "negative reduced cost " << reduced << " on arc " << a
+          << " (stale potentials)";
+      ++tree.relaxations;
+      if (d + reduced < tree.dist[vi]) {
+        tree.dist[vi] = d + reduced;
+        tree.parent_arc[vi] = raw;
+        heap.emplace(tree.dist[vi], v.value());
+      }
+    }
+  }
+  return tree;
+}
+
+MinCostFlowResult SolveDijkstra(Graph& graph, VertexId source, VertexId sink,
+                                Capacity flow_limit) {
+  MinCostFlowResult result;
+  // Seed potentials with one Bellman–Ford pass (costs may be negative).
+  ShortestPathTree seed = BellmanFord(graph, source);
+  if (seed.negative_cycle) {
+    result.negative_cycle = true;
+    return result;
+  }
+  std::vector<Cost> pi = std::move(seed.dist);
+  while (result.flow < flow_limit) {
+    ShortestPathTree tree = DijkstraReduced(graph, source, pi);
+    if (!Augment(graph, ExtractPath(graph, tree, source, sink), flow_limit,
+                 result)) {
+      break;
+    }
+    // pi' = pi + dist keeps reduced costs non-negative on the new residual
+    // graph; unreached vertices keep their old potential (never visited).
+    for (std::size_t v = 0; v < pi.size(); ++v) {
+      if (tree.dist[v] < kUnreachable && pi[v] < kUnreachable) {
+        pi[v] += tree.dist[v];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
+                                 Capacity flow_limit,
+                                 MinCostFlowOptions options) {
+  ALADDIN_CHECK(source != sink);
+  switch (options.pathfinder) {
+    case MinCostFlowOptions::Pathfinder::kDijkstra:
+      return SolveDijkstra(graph, source, sink, flow_limit);
+    case MinCostFlowOptions::Pathfinder::kSpfa:
+      break;
+  }
+  return SolveSpfa(graph, source, sink, flow_limit);
 }
 
 }  // namespace aladdin::flow

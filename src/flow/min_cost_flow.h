@@ -3,15 +3,31 @@
 // This is the solver the Firmament baseline runs each scheduling round: the
 // scheduling graph's arc costs encode the active cost model (TRIVIAL /
 // QUINCY / OCTOPUS) and the resulting min-cost flow is decoded back into
-// container -> machine placements. Shortest paths come from SPFA so negative
-// arc costs (common in scheduling cost models) are handled without a
-// potential-initialisation pass.
+// container -> machine placements. Two pathfinders are available:
+//
+//   * kSpfa (default) — queue-driven Bellman–Ford per augmentation; handles
+//     negative arc costs directly and matches the paper's reference [21].
+//   * kDijkstra — Johnson-style reduced costs: one Bellman–Ford pass seeds
+//     the vertex potentials, then every augmentation runs binary-heap
+//     Dijkstra over costs c(u,v) + pi(u) - pi(v) >= 0. Asymptotically
+//     O(F · E log V) instead of SPFA's O(F · V · E) worst case.
+//
+// Both produce a min-cost max-flow; the flow value and total cost are always
+// identical (the flow decomposition itself may differ when ties exist).
 #pragma once
 
 #include "flow/graph.h"
 #include "flow/shortest_path.h"
 
 namespace aladdin::flow {
+
+struct MinCostFlowOptions {
+  enum class Pathfinder {
+    kSpfa,      // SPFA every augmentation (repo default; no potentials)
+    kDijkstra,  // Bellman–Ford once, then Dijkstra with potentials
+  };
+  Pathfinder pathfinder = Pathfinder::kSpfa;
+};
 
 struct MinCostFlowResult {
   Capacity flow = 0;
@@ -23,6 +39,7 @@ struct MinCostFlowResult {
 // Computes a maximum flow of minimum cost from source to sink, mutating the
 // graph's flows. `flow_limit` caps the amount routed (default: unlimited).
 MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
-                                 Capacity flow_limit = kInfiniteCapacity);
+                                 Capacity flow_limit = kInfiniteCapacity,
+                                 MinCostFlowOptions options = {});
 
 }  // namespace aladdin::flow

@@ -1,6 +1,7 @@
 #include "k8s/adaptor.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.h"
 
@@ -15,21 +16,48 @@ void ModelAdaptor::OnEvent(const Event& event) {
     case EventType::kPodAdded: {
       Pod pod = event.pod;
       if (pod.phase == PodPhase::kDeleted) break;
-      pods_[pod.uid] = std::move(pod);
-      MarkDirty();
+      ++version_;
+      const auto it = pods_.find(pod.uid);
+      if (it != pods_.end()) {
+        // Update of a tracked pod. Its container id is already assigned and
+        // never moves; if the update dropped or moved the binding, any
+        // persistent consumer must evict the old placement.
+        if (it->second.phase == PodPhase::kBound &&
+            (pod.phase != PodPhase::kBound || pod.node != it->second.node)) {
+          RetireContainer(pod.uid);
+        }
+        it->second = std::move(pod);
+        break;
+      }
+      const PodUid uid = pod.uid;
+      pods_.emplace(uid, std::move(pod));
+      pending_materialise_.push_back(uid);
+      workload_dirty_ = true;
       break;
     }
     case EventType::kPodDeleted: {
-      pods_.erase(event.pod.uid);
-      MarkDirty();
+      const auto it = pods_.find(event.pod.uid);
+      if (it == pods_.end()) break;
+      ++version_;
+      // The container becomes a tombstone: it keeps its id (ids are
+      // append-only) but is never scheduled again.
+      RetireContainer(event.pod.uid);
+      const auto cit = container_of_pod_.find(event.pod.uid);
+      if (cit != container_of_pod_.end()) {
+        pod_of_container_[static_cast<std::size_t>(cit->second.value())] = -1;
+        container_of_pod_.erase(cit);
+      }
+      pods_.erase(it);
       break;
     }
     case EventType::kNodeAdded: {
+      ++version_;
       nodes_[event.node.name] = event.node;
-      MarkDirty();
+      topology_dirty_ = true;
       break;
     }
     case EventType::kNodeRemoved: {
+      ++version_;
       nodes_.erase(event.node.name);
       // Pods bound to the lost node fall back to Pending (the controller
       // would recreate them; we keep the same uid for simplicity).
@@ -40,10 +68,19 @@ void ModelAdaptor::OnEvent(const Event& event) {
           pod.node.clear();
         }
       }
-      MarkDirty();
+      topology_dirty_ = true;
       break;
     }
   }
+}
+
+void ModelAdaptor::RetireContainer(PodUid uid) {
+  const auto it = container_of_pod_.find(uid);
+  if (it != container_of_pod_.end()) retired_.push_back(it->second);
+}
+
+std::vector<cluster::ContainerId> ModelAdaptor::TakeRetiredContainers() {
+  return std::exchange(retired_, {});
 }
 
 const Pod* ModelAdaptor::FindPod(PodUid uid) const {
@@ -72,13 +109,19 @@ std::vector<PodUid> ModelAdaptor::BoundPods() const {
   return out;
 }
 
+// Either accessor syncs both views: the translation tables (ContainerOf,
+// MachineOf) have always been "valid for the current snapshot", regardless
+// of which half a caller touched first.
+
 const trace::Workload& ModelAdaptor::workload() {
-  RebuildIfDirty();
+  SyncTopologyIfDirty();
+  SyncWorkloadIfDirty();
   return workload_;
 }
 
 const cluster::Topology& ModelAdaptor::topology() {
-  RebuildIfDirty();
+  SyncTopologyIfDirty();
+  SyncWorkloadIfDirty();
   return topology_;
 }
 
@@ -105,12 +148,14 @@ const std::string& ModelAdaptor::NodeOfMachine(cluster::MachineId m) const {
   return idx < node_of_machine_.size() ? node_of_machine_[idx] : kUnknown;
 }
 
-void ModelAdaptor::RebuildIfDirty() {
-  if (!dirty_) return;
-  dirty_ = false;
-  ++version_;
+void ModelAdaptor::SyncTopologyIfDirty() {
+  if (!topology_dirty_) return;
+  topology_dirty_ = false;
+  ++topology_version_;
 
-  // ---- topology: zones -> sub-clusters, racks -> racks, by name order.
+  // Zones -> sub-clusters, racks -> racks, by name order. Node changes
+  // renumber machines, which is why every topology-derived structure keys
+  // off topology_version().
   topology_ = cluster::Topology();
   machine_of_node_.clear();
   node_of_machine_.clear();
@@ -131,56 +176,54 @@ void ModelAdaptor::RebuildIfDirty() {
     machine_of_node_[name] = m;
     node_of_machine_.push_back(name);
   }
+}
 
-  // ---- workload: group pods by owner, first-seen (lowest uid) order.
-  workload_ = trace::Workload();
-  container_of_pod_.clear();
-  pod_of_container_.clear();
-  struct OwnerGroup {
-    std::vector<PodUid> members;  // uid order (map iteration)
-  };
-  std::vector<std::string> owner_order;
-  std::map<std::string, OwnerGroup> owners;
-  for (const auto& [uid, pod] : pods_) {
-    auto [it, inserted] = owners.try_emplace(pod.spec.app);
-    if (inserted) owner_order.push_back(pod.spec.app);
-    it->second.members.push_back(uid);
-  }
-  // owner_order is first-seen by uid because pods_ iterates by uid.
-  std::map<std::string, cluster::ApplicationId> app_ids;
-  for (const std::string& owner : owner_order) {
-    const OwnerGroup& group = owners.at(owner);
-    const Pod& prototype = pods_.at(group.members.front());
-    // Pods of one owner are isomorphic; the prototype's spec is canonical.
-    const auto app = workload_.AddApplication(
-        owner, group.members.size(), prototype.spec.requests,
-        prototype.spec.priority, prototype.spec.anti_affinity_within);
-    app_ids[owner] = app;
-    const auto& containers = workload_.application(app).containers;
-    for (std::size_t i = 0; i < group.members.size(); ++i) {
-      container_of_pod_[group.members[i]] = containers[i];
-      if (static_cast<std::size_t>(containers[i].value()) >=
-          pod_of_container_.size()) {
-        pod_of_container_.resize(
-            static_cast<std::size_t>(containers[i].value()) + 1, -1);
+void ModelAdaptor::SyncWorkloadIfDirty() {
+  if (!workload_dirty_) return;
+  workload_dirty_ = false;
+
+  for (const PodUid uid : pending_materialise_) {
+    const auto pit = pods_.find(uid);
+    if (pit == pods_.end()) continue;  // deleted before materialising
+    const Pod& pod = pit->second;
+    auto ait = app_of_owner_.find(pod.spec.app);
+    if (ait == app_of_owner_.end()) {
+      // First pod of this owner: it is the prototype, its spec is canonical
+      // for every later sibling (pods of one owner are isomorphic).
+      const cluster::ApplicationId app = workload_.AddApplication(
+          pod.spec.app, 1, pod.spec.requests, pod.spec.priority,
+          pod.spec.anti_affinity_within);
+      ait = app_of_owner_.emplace(pod.spec.app, app).first;
+      // Rules other owners filed against this owner become resolvable now.
+      const auto [lo, hi] = deferred_rules_.equal_range(pod.spec.app);
+      for (auto rit = lo; rit != hi; ++rit) {
+        workload_.AddAntiAffinity(rit->second, app);
       }
-      pod_of_container_[static_cast<std::size_t>(containers[i].value())] =
-          group.members[i];
-    }
-  }
-  // Cross-owner anti-affinity, resolvable only once all owners are known.
-  for (const std::string& owner : owner_order) {
-    const Pod& prototype = pods_.at(owners.at(owner).members.front());
-    for (const std::string& other : prototype.spec.anti_affinity_apps) {
-      const auto it = app_ids.find(other);
-      if (it == app_ids.end()) {
-        LOG_DEBUG << "anti-affinity target '" << other
-                  << "' has no pods yet; rule deferred to next rebuild";
-        continue;
+      deferred_rules_.erase(lo, hi);
+      // The prototype's own cross-owner rules: resolve or defer.
+      for (const std::string& other : pod.spec.anti_affinity_apps) {
+        const auto oit = app_of_owner_.find(other);
+        if (oit == app_of_owner_.end()) {
+          LOG_DEBUG << "anti-affinity target '" << other
+                    << "' has no pods yet; rule deferred";
+          deferred_rules_.emplace(other, app);
+        } else {
+          workload_.AddAntiAffinity(app, oit->second);
+        }
       }
-      workload_.AddAntiAffinity(app_ids.at(owner), it->second);
+      const cluster::ContainerId c =
+          workload_.application(app).containers.front();
+      container_of_pod_[uid] = c;
+      pod_of_container_.resize(workload_.container_count(), -1);
+      pod_of_container_[static_cast<std::size_t>(c.value())] = uid;
+      continue;
     }
+    const cluster::ContainerId c = workload_.AddContainer(ait->second);
+    container_of_pod_[uid] = c;
+    pod_of_container_.resize(workload_.container_count(), -1);
+    pod_of_container_[static_cast<std::size_t>(c.value())] = uid;
   }
+  pending_materialise_.clear();
 }
 
 }  // namespace aladdin::k8s

@@ -10,16 +10,22 @@
 // the uid <-> ContainerId and node-name <-> MachineId translations the
 // resolver needs to turn placements back into Bindings.
 //
-// Snapshots are rebuilt lazily when the object set changed; ids are stable
-// within one snapshot version and deterministic across rebuilds (ordered
-// by uid / name).
+// The workload snapshot is maintained *incrementally*: pods append
+// containers in event-arrival order and container/application ids are
+// append-only — a ContainerId handed out once never moves, which is what
+// lets the resolver keep a ClusterState (and the Aladdin core keep its
+// aggregated network) alive across Resolve() calls. A deleted pod leaves a
+// tombstoned container behind (never scheduled again; recorded in the
+// retired-container journal for the resolver to evict). Node changes are
+// rare and structural, so they rebuild the topology from scratch and bump
+// topology_version(), signalling every topology-derived cache to rebuild.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/topology.h"
@@ -45,11 +51,23 @@ class ModelAdaptor {
   [[nodiscard]] std::vector<PodUid> PendingPods() const;
   [[nodiscard]] std::vector<PodUid> BoundPods() const;
 
-  // --- scheduling-side snapshot (lazily rebuilt) ----------------------
+  // --- scheduling-side snapshot (lazily synced) -----------------------
   const trace::Workload& workload();
   const cluster::Topology& topology();
-  // Snapshot version; bumps whenever a rebuild happened.
+  // Snapshot version; bumps whenever the object set changed.
   [[nodiscard]] std::int64_t snapshot_version() const { return version_; }
+  // Bumps only on node (topology) changes; consumers holding
+  // topology-derived state compare it to decide between incremental sync
+  // and full rebuild.
+  [[nodiscard]] std::int64_t topology_version() const {
+    return topology_version_;
+  }
+
+  // Containers whose pods were deleted (or lost their binding to a live
+  // topology) since the last call; the consumer evicts them from any
+  // persistent state. Cleared by the call. Containers of pods undone by a
+  // node removal are NOT reported — topology_version() covers those.
+  [[nodiscard]] std::vector<cluster::ContainerId> TakeRetiredContainers();
 
   // Translations, valid for the current snapshot version.
   [[nodiscard]] cluster::ContainerId ContainerOf(PodUid uid) const;
@@ -58,16 +76,28 @@ class ModelAdaptor {
   [[nodiscard]] const std::string& NodeOfMachine(cluster::MachineId m) const;
 
  private:
-  void MarkDirty() { dirty_ = true; }
-  void RebuildIfDirty();
+  void SyncTopologyIfDirty();  // full rebuild; node changes are structural
+  void SyncWorkloadIfDirty();  // appends containers for newly seen pods
+  void RetireContainer(PodUid uid);
 
-  std::map<PodUid, Pod> pods_;          // ordered: deterministic rebuilds
+  std::map<PodUid, Pod> pods_;          // ordered: deterministic scans
   std::map<std::string, Node> nodes_;
 
-  bool dirty_ = true;
+  bool topology_dirty_ = true;
+  bool workload_dirty_ = false;
   std::int64_t version_ = 0;
+  std::int64_t topology_version_ = 0;
   trace::Workload workload_;
   cluster::Topology topology_;
+
+  // Pods whose containers have not been materialised yet, in arrival order.
+  std::vector<PodUid> pending_materialise_;
+  std::unordered_map<std::string, cluster::ApplicationId> app_of_owner_;
+  // Cross-owner anti-affinity rules awaiting their target owner's first
+  // pod: target owner name -> source application.
+  std::multimap<std::string, cluster::ApplicationId> deferred_rules_;
+  std::vector<cluster::ContainerId> retired_;
+
   std::unordered_map<PodUid, cluster::ContainerId> container_of_pod_;
   std::vector<PodUid> pod_of_container_;          // by container index
   std::unordered_map<std::string, cluster::MachineId> machine_of_node_;

@@ -1,16 +1,72 @@
 #include "k8s/resolver.h"
 
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
-#include "cluster/free_index.h"
+#include "common/check.h"
 #include "common/log.h"
-#include "core/task_scheduler.h"
 #include "common/timer.h"
+#include "core/task_scheduler.h"
 
 namespace aladdin::k8s {
 
 Resolver::Resolver(ModelAdaptor& adaptor, core::AladdinOptions options)
-    : adaptor_(adaptor), options_(options) {}
+    : Resolver(adaptor, ResolverOptions{options, true}) {}
+
+Resolver::Resolver(ModelAdaptor& adaptor, ResolverOptions options)
+    : adaptor_(adaptor), options_(options), scheduler_(options.aladdin) {}
+
+void Resolver::RebuildState() {
+  const trace::Workload& workload = adaptor_.workload();
+  const cluster::Topology& topology = adaptor_.topology();
+  state_.emplace(workload.MakeState(topology));
+  built_topology_version_ = adaptor_.topology_version();
+  (void)adaptor_.TakeRetiredContainers();  // superseded by the rebuild
+
+  // Pre-deploy bound pods into the fresh state.
+  for (PodUid uid : adaptor_.BoundPods()) {
+    const Pod* pod = adaptor_.FindPod(uid);
+    const auto c = adaptor_.ContainerOf(uid);
+    const auto m = adaptor_.MachineOf(pod->node);
+    if (!c.valid() || !m.valid() || !state_->Fits(c, m)) {
+      // Stale binding (node shrank or vanished between resolves).
+      adaptor_.MutablePod(uid)->phase = PodPhase::kPending;
+      adaptor_.MutablePod(uid)->node.clear();
+      continue;
+    }
+    state_->Deploy(c, m);
+  }
+
+  // Journals start *after* pre-deployment: the change journal should only
+  // carry this-tick scheduling decisions, and index consumers attach below.
+  state_->EnableDirtyLog();
+  state_->EnableChangeJournal();
+  free_index_.Attach(*state_);
+  free_index_cursor_ = state_->DirtyLogEnd();
+}
+
+void Resolver::SyncState() {
+  state_->SyncWorkloadGrowth();
+  // Deleted (or externally unbound) pods leave tombstoned containers; evict
+  // their placements so the space frees up — via the state directly, so the
+  // dirty log carries the change to the network and the free index.
+  for (cluster::ContainerId c : adaptor_.TakeRetiredContainers()) {
+    if (state_->IsPlaced(c)) state_->Evict(c);
+  }
+}
+
+void Resolver::SyncFreeIndex() {
+  bool overflowed = false;
+  const auto dirty = state_->DirtySince(free_index_cursor_, &overflowed);
+  if (overflowed) {
+    free_index_.Attach(*state_);
+  } else {
+    for (cluster::MachineId m : dirty) free_index_.OnChanged(m);
+  }
+  free_index_cursor_ = state_->DirtyLogEnd();
+}
 
 ResolveStats Resolver::Resolve(std::int64_t tick,
                                std::vector<Binding>* bindings) {
@@ -18,25 +74,103 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
   ResolveStats stats;
   stats.tick = tick;
 
-  const trace::Workload& workload = adaptor_.workload();
-  const cluster::Topology& topology = adaptor_.topology();
-  cluster::ClusterState state = workload.MakeState(topology);
+  if (!options_.incremental) {
+    // Historical rebuild-everything path, kept as the equivalence baseline
+    // (and the A/B arm of the benchmarks): fresh state, fresh scheduler,
+    // full scans. Identical placements to the incremental path.
+    (void)adaptor_.TakeRetiredContainers();  // meaningless without a state
+    const trace::Workload& workload = adaptor_.workload();
+    const cluster::Topology& topology = adaptor_.topology();
+    cluster::ClusterState state = workload.MakeState(topology);
 
-  // Pre-deploy bound pods; remember where everything was.
-  std::unordered_map<PodUid, std::string> previous_node;
-  for (PodUid uid : adaptor_.BoundPods()) {
-    const Pod* pod = adaptor_.FindPod(uid);
-    const auto c = adaptor_.ContainerOf(uid);
-    const auto m = adaptor_.MachineOf(pod->node);
-    if (!c.valid() || !m.valid() || !state.Fits(c, m)) {
-      // Stale binding (node shrank or vanished between resolves).
-      adaptor_.MutablePod(uid)->phase = PodPhase::kPending;
-      adaptor_.MutablePod(uid)->node.clear();
-      continue;
+    // Pre-deploy bound pods; remember where everything was.
+    std::unordered_map<PodUid, std::string> previous_node;
+    for (PodUid uid : adaptor_.BoundPods()) {
+      const Pod* pod = adaptor_.FindPod(uid);
+      const auto c = adaptor_.ContainerOf(uid);
+      const auto m = adaptor_.MachineOf(pod->node);
+      if (!c.valid() || !m.valid() || !state.Fits(c, m)) {
+        adaptor_.MutablePod(uid)->phase = PodPhase::kPending;
+        adaptor_.MutablePod(uid)->node.clear();
+        continue;
+      }
+      state.Deploy(c, m);
+      previous_node[uid] = pod->node;
     }
-    state.Deploy(c, m);
-    previous_node[uid] = pod->node;
+
+    std::vector<cluster::ContainerId> long_lived;
+    std::vector<PodUid> short_lived;
+    const auto pending = adaptor_.PendingPods();
+    stats.pending_before = pending.size();
+    for (PodUid uid : pending) {
+      const Pod* pod = adaptor_.FindPod(uid);
+      if (pod->spec.short_lived()) {
+        short_lived.push_back(uid);
+      } else {
+        long_lived.push_back(adaptor_.ContainerOf(uid));
+      }
+    }
+
+    if (!long_lived.empty()) {
+      core::AladdinScheduler scheduler(options_.aladdin);
+      sim::ScheduleRequest request{&workload, &long_lived};
+      scheduler.Schedule(request, state);
+    }
+    if (!short_lived.empty()) {
+      cluster::FreeIndex index;
+      index.Attach(state);
+      for (PodUid uid : short_lived) {
+        core::TaskScheduler::PlaceOne(state, index, adaptor_.ContainerOf(uid),
+                                      core::TaskPlacementPolicy::kBestFit);
+      }
+    }
+
+    for (PodUid uid : pending) {
+      Pod* pod = adaptor_.MutablePod(uid);
+      const auto c = adaptor_.ContainerOf(uid);
+      if (state.IsPlaced(c)) {
+        pod->phase = PodPhase::kBound;
+        pod->node = adaptor_.NodeOfMachine(state.PlacementOf(c));
+        pod->bound_at_tick = tick;
+        ++stats.new_bindings;
+        if (bindings != nullptr) bindings->push_back(Binding{uid, pod->node});
+      } else {
+        ++stats.unschedulable;
+      }
+    }
+    for (const auto& [uid, old_node] : previous_node) {
+      Pod* pod = adaptor_.MutablePod(uid);
+      const auto c = adaptor_.ContainerOf(uid);
+      if (!state.IsPlaced(c)) {
+        pod->phase = PodPhase::kPending;
+        pod->node.clear();
+        ++stats.preemptions;
+        continue;
+      }
+      const std::string& node = adaptor_.NodeOfMachine(state.PlacementOf(c));
+      if (node != old_node) {
+        pod->node = node;
+        pod->bound_at_tick = tick;
+        ++stats.migrations;
+        if (bindings != nullptr) bindings->push_back(Binding{uid, node});
+      }
+    }
+
+    stats.wall_seconds = timer.ElapsedSeconds();
+    return stats;
   }
+
+  // --- incremental path --------------------------------------------------
+  const trace::Workload& workload = adaptor_.workload();  // syncs snapshot
+  if (!state_.has_value() ||
+      adaptor_.topology_version() != built_topology_version_) {
+    RebuildState();
+  } else {
+    SyncState();
+  }
+  cluster::ClusterState& state = *state_;
+  ALADDIN_DCHECK(state.placed_count() == adaptor_.BoundPods().size())
+      << "persistent state out of sync with the pod store";
 
   // Split the pending set.
   std::vector<cluster::ContainerId> long_lived;
@@ -52,24 +186,29 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
     }
   }
 
-  // Long-lived pods: the Aladdin core (incremental — state is pre-loaded).
+  // Long-lived pods: the Aladdin core. The persistent scheduler reuses its
+  // aggregated network, replaying this state's dirty log (our evictions
+  // above included) instead of rebuilding it.
   if (!long_lived.empty()) {
-    core::AladdinScheduler scheduler(options_);
     sim::ScheduleRequest request{&workload, &long_lived};
-    scheduler.Schedule(request, state);
+    scheduler_.Schedule(request, state);
   }
 
-  // Short-lived pods: the traditional task-based scheduler (§IV.D).
+  // Short-lived pods: the traditional task-based scheduler (§IV.D), on the
+  // persistent free index synced from the same dirty log.
   if (!short_lived.empty()) {
-    cluster::FreeIndex index;
-    index.Attach(state);
+    SyncFreeIndex();
     for (PodUid uid : short_lived) {
-      core::TaskScheduler::PlaceOne(state, index, adaptor_.ContainerOf(uid),
+      core::TaskScheduler::PlaceOne(state, free_index_,
+                                    adaptor_.ContainerOf(uid),
                                     core::TaskPlacementPolicy::kBestFit);
     }
   }
 
-  // Reconcile placements back into the object store.
+  // Reconcile: pending pods first, then every other container the
+  // schedulers touched — the change journal replaces the full bound-pod
+  // scan, so reconciliation is O(pending + changes).
+  const std::unordered_set<PodUid> was_pending(pending.begin(), pending.end());
   for (PodUid uid : pending) {
     Pod* pod = adaptor_.MutablePod(uid);
     const auto c = adaptor_.ContainerOf(uid);
@@ -83,9 +222,12 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
       ++stats.unschedulable;
     }
   }
-  for (const auto& [uid, old_node] : previous_node) {
+  for (cluster::ContainerId c : state.TakeChangedContainers()) {
+    const PodUid uid = adaptor_.PodOfContainer(c);
+    if (uid < 0) continue;  // tombstone: pod already deleted
     Pod* pod = adaptor_.MutablePod(uid);
-    const auto c = adaptor_.ContainerOf(uid);
+    if (pod == nullptr || was_pending.contains(uid)) continue;
+    // A pod bound before this tick whose placement the scheduler touched.
     if (!state.IsPlaced(c)) {
       // Preempted by a higher-weighted pending pod; back to the queue.
       pod->phase = PodPhase::kPending;
@@ -94,7 +236,7 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
       continue;
     }
     const std::string& node = adaptor_.NodeOfMachine(state.PlacementOf(c));
-    if (node != old_node) {
+    if (node != pod->node) {
       pod->node = node;
       pod->bound_at_tick = tick;
       ++stats.migrations;

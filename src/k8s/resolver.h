@@ -1,8 +1,8 @@
 // Resolver (RE) — §IV.C, Fig. 6: "RE integrates Aladdin to map containers
 // to resources."
 //
-// Each Resolve() builds the scheduling view from the model adaptor's
-// snapshot, pre-deploys every bound pod, and then:
+// Each Resolve() reconciles the scheduling view with the model adaptor's
+// snapshot and then:
 //   * long-lived pending pods go through the Aladdin core (which may also
 //     migrate or preempt bound pods — §III.B);
 //   * short-lived pending pods go through the "traditional task-based
@@ -10,11 +10,23 @@
 //     machinery.
 // The resulting placement diff is translated back into Bindings (new
 // placements and migrations) and pod-phase updates.
+//
+// By default the resolver is *incremental*: one ClusterState (plus the
+// Aladdin scheduler's aggregated network and the task scheduler's free
+// index) lives across Resolve() calls, synced from the adaptor's
+// retired-container journal and the state's own dirty log — so a tick's
+// cost scales with the churn, not the cluster. A topology change (node
+// add/remove renumbers machines) falls back to a full rebuild, keyed on
+// ModelAdaptor::topology_version(). `incremental = false` reproduces the
+// historical rebuild-everything-per-tick path; both modes produce
+// identical placements, which the equivalence tests pin down.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "cluster/free_index.h"
 #include "core/scheduler.h"
 #include "k8s/adaptor.h"
 
@@ -30,10 +42,17 @@ struct ResolveStats {
   double wall_seconds = 0.0;
 };
 
+struct ResolverOptions {
+  core::AladdinOptions aladdin;
+  // Keep scheduling state alive across Resolve() calls (see file comment).
+  bool incremental = true;
+};
+
 class Resolver {
  public:
   explicit Resolver(ModelAdaptor& adaptor,
                     core::AladdinOptions options = DefaultOptions());
+  Resolver(ModelAdaptor& adaptor, ResolverOptions options);
 
   // One scheduling pass over the current snapshot. `tick` stamps bindings.
   ResolveStats Resolve(std::int64_t tick, std::vector<Binding>* bindings =
@@ -50,8 +69,22 @@ class Resolver {
   }
 
  private:
+  // Rebuilds state_ / free_index_ from the adaptor snapshot (bound pods
+  // pre-deployed) and records the topology version they were built for.
+  void RebuildState();
+  // Brings the persistent state in line with adaptor-side changes since the
+  // last tick: workload growth and retired (deleted/unbound) containers.
+  void SyncState();
+  void SyncFreeIndex();
+
   ModelAdaptor& adaptor_;
-  core::AladdinOptions options_;
+  ResolverOptions options_;
+  core::AladdinScheduler scheduler_;  // owns the persistent network + pool
+
+  std::optional<cluster::ClusterState> state_;
+  cluster::FreeIndex free_index_;
+  std::uint64_t free_index_cursor_ = 0;
+  std::int64_t built_topology_version_ = -1;
 };
 
 }  // namespace aladdin::k8s

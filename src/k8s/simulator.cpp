@@ -9,6 +9,11 @@ ClusterSimulator::ClusterSimulator(core::AladdinOptions options)
   adaptor_.Attach(ehc_);
 }
 
+ClusterSimulator::ClusterSimulator(ResolverOptions options)
+    : resolver_(adaptor_, options) {
+  adaptor_.Attach(ehc_);
+}
+
 std::vector<std::string> ClusterSimulator::AddNodes(
     std::size_t count, cluster::ResourceVector capacity,
     const std::string& prefix, std::size_t machines_per_rack,

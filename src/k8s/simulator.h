@@ -27,6 +27,8 @@ class ClusterSimulator {
  public:
   explicit ClusterSimulator(
       core::AladdinOptions options = Resolver::DefaultOptions());
+  // Full control over the resolver (incremental on/off for A/B runs).
+  explicit ClusterSimulator(ResolverOptions options);
 
   // --- provisioning ----------------------------------------------------
   // Adds `count` nodes named <prefix>-<index>, round-robined into racks of

@@ -29,6 +29,20 @@ cluster::ApplicationId Workload::AddApplication(
   return id;
 }
 
+cluster::ContainerId Workload::AddContainer(cluster::ApplicationId app) {
+  ALADDIN_CHECK(app.valid() &&
+                static_cast<std::size_t>(app.value()) < applications_.size())
+      << "AddContainer: unknown application " << app;
+  cluster::Application& owner =
+      applications_[static_cast<std::size_t>(app.value())];
+  const cluster::ContainerId cid(
+      static_cast<std::int32_t>(containers_.size()));
+  containers_.push_back(
+      cluster::Container{cid, app, owner.request, owner.priority});
+  owner.containers.push_back(cid);
+  return cid;
+}
+
 void Workload::AddAntiAffinity(cluster::ApplicationId a,
                                cluster::ApplicationId b) {
   constraints_.AddAntiAffinity(a, b);

@@ -23,6 +23,11 @@ class Workload {
                                         cluster::Priority priority = 0,
                                         bool anti_affinity_within = false);
 
+  // Appends one more isomorphic container to an existing application
+  // (incremental workload growth: pods of a known owner arriving later).
+  // Containers are append-only — ids already handed out never move.
+  cluster::ContainerId AddContainer(cluster::ApplicationId app);
+
   // Cross-application anti-affinity rule (a == b for within; usually set via
   // AddApplication's flag instead).
   void AddAntiAffinity(cluster::ApplicationId a, cluster::ApplicationId b);

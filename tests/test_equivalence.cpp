@@ -1,0 +1,492 @@
+// Equivalence contract for the incremental/parallel hot path:
+//
+//   * incremental network reuse (AladdinOptions::incremental_network, the
+//     resolver's persistent state) must produce placements bit-identical to
+//     a rebuild-from-scratch run — the reuse is a pure optimisation;
+//   * the pool-backed admissible-path search (AladdinOptions::threads) must
+//     match the serial walk on placements AND search counters, for any
+//     thread count — determinism is part of the API, not best-effort;
+//   * the supporting machinery (dirty log, change journal, instance ids,
+//     CancelArcFlow, IncrementalRelaxation, Dijkstra-with-potentials) must
+//     agree with its from-scratch oracle.
+//
+// These tests run under the asan/tsan presets too; the parallel cases are
+// the TSan workhorse for the search fan-out.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/audit.h"
+#include "common/rng.h"
+#include "core/relaxation.h"
+#include "core/scheduler.h"
+#include "flow/max_flow.h"
+#include "flow/min_cost_flow.h"
+#include "k8s/simulator.h"
+#include "trace/workload.h"
+
+namespace aladdin {
+namespace {
+
+using cluster::ApplicationId;
+using cluster::ContainerId;
+using cluster::MachineId;
+using cluster::ResourceVector;
+using cluster::Topology;
+using trace::Workload;
+
+// ----------------------------------------------------- state journals ----
+
+Workload TinyWorkload() {
+  Workload wl;
+  wl.AddApplication("a", 3, ResourceVector::Cores(2, 4));
+  wl.AddApplication("b", 2, ResourceVector::Cores(4, 8), 1, true);
+  return wl;
+}
+
+TEST(DirtyLog, RecordsMutationsSinceCursor) {
+  const Workload wl = TinyWorkload();
+  const Topology topo = Topology::Uniform(4, ResourceVector::Cores(32, 64));
+  cluster::ClusterState state = wl.MakeState(topo);
+  state.EnableDirtyLog();
+  const std::uint64_t start = state.DirtyLogEnd();
+
+  state.Deploy(ContainerId(0), MachineId(1));
+  state.Deploy(ContainerId(1), MachineId(2));
+  state.Evict(ContainerId(0));
+
+  bool overflowed = true;
+  const auto dirty = state.DirtySince(start, &overflowed);
+  EXPECT_FALSE(overflowed);
+  ASSERT_EQ(dirty.size(), 3u);
+  EXPECT_EQ(dirty[0], MachineId(1));
+  EXPECT_EQ(dirty[1], MachineId(2));
+  EXPECT_EQ(dirty[2], MachineId(1));
+
+  // A cursor at the end sees nothing; an entry later it sees just that one.
+  const std::uint64_t end = state.DirtyLogEnd();
+  EXPECT_TRUE(state.DirtySince(end, &overflowed).empty());
+  state.Migrate(ContainerId(1), MachineId(3));  // marks machines 2 and 3
+  EXPECT_EQ(state.DirtySince(end, &overflowed).size(), 2u);
+}
+
+TEST(DirtyLog, ClearForcesFullResync) {
+  const Workload wl = TinyWorkload();
+  const Topology topo = Topology::Uniform(4, ResourceVector::Cores(32, 64));
+  cluster::ClusterState state = wl.MakeState(topo);
+  state.EnableDirtyLog();
+  const std::uint64_t cursor = state.DirtyLogEnd();
+  state.Deploy(ContainerId(0), MachineId(0));
+  state.Clear();
+  bool overflowed = false;
+  EXPECT_TRUE(state.DirtySince(cursor, &overflowed).empty());
+  EXPECT_TRUE(overflowed) << "pre-Clear cursors must be told to rebuild";
+}
+
+TEST(DirtyLog, OverflowDropsOldestAndFlagsStragglers) {
+  const Workload wl = TinyWorkload();
+  const Topology topo = Topology::Uniform(4, ResourceVector::Cores(32, 64));
+  cluster::ClusterState state = wl.MakeState(topo);
+  state.EnableDirtyLog();
+  const std::uint64_t stale = state.DirtyLogEnd();
+  // Each Deploy+Evict pair appends two entries; push well past the cap.
+  for (int i = 0; i < (1 << 16); ++i) {
+    state.Deploy(ContainerId(0), MachineId(0));
+    state.Evict(ContainerId(0));
+  }
+  bool overflowed = false;
+  (void)state.DirtySince(stale, &overflowed);
+  EXPECT_TRUE(overflowed);
+  // A fresh cursor still works incrementally.
+  const std::uint64_t now = state.DirtyLogEnd();
+  state.Deploy(ContainerId(0), MachineId(3));
+  const auto dirty = state.DirtySince(now, &overflowed);
+  EXPECT_FALSE(overflowed);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], MachineId(3));
+}
+
+TEST(ChangeJournal, DeduplicatesPerContainer) {
+  const Workload wl = TinyWorkload();
+  const Topology topo = Topology::Uniform(4, ResourceVector::Cores(32, 64));
+  cluster::ClusterState state = wl.MakeState(topo);
+  state.EnableChangeJournal();
+  state.Deploy(ContainerId(0), MachineId(0));
+  state.Evict(ContainerId(0));
+  state.Deploy(ContainerId(2), MachineId(1));
+  const auto changed = state.TakeChangedContainers();
+  ASSERT_EQ(changed.size(), 2u);
+  EXPECT_EQ(changed[0], ContainerId(0));  // first-touch order
+  EXPECT_EQ(changed[1], ContainerId(2));
+  EXPECT_TRUE(state.TakeChangedContainers().empty()) << "take must clear";
+}
+
+TEST(InstanceId, CopiesAreDistinctStates) {
+  const Workload wl = TinyWorkload();
+  const Topology topo = Topology::Uniform(4, ResourceVector::Cores(32, 64));
+  const cluster::ClusterState state = wl.MakeState(topo);
+  const cluster::ClusterState copy = state;  // NOLINT: copy intended
+  EXPECT_NE(state.instance_id(), copy.instance_id());
+  cluster::ClusterState moved = wl.MakeState(topo);
+  const std::uint64_t id = moved.instance_id();
+  const cluster::ClusterState stolen = std::move(moved);
+  EXPECT_EQ(stolen.instance_id(), id) << "moves keep identity";
+}
+
+TEST(WorkloadGrowth, AppendedContainersEnterState) {
+  Workload wl = TinyWorkload();
+  const Topology topo = Topology::Uniform(4, ResourceVector::Cores(32, 64));
+  cluster::ClusterState state = wl.MakeState(topo);
+  const std::size_t before = wl.container_count();
+  const ContainerId c = wl.AddContainer(ApplicationId(0));
+  EXPECT_EQ(static_cast<std::size_t>(c.value()), before);
+  state.SyncWorkloadGrowth();
+  EXPECT_FALSE(state.IsPlaced(c));
+  state.Deploy(c, MachineId(0));
+  EXPECT_TRUE(state.IsPlaced(c));
+  EXPECT_TRUE(state.CheckConsistency());
+}
+
+// ------------------------------------------------ scheduler equivalence ----
+
+// Random mixed workload; `waves` batches of apps appended to `wl`, returning
+// the container ids added per wave.
+std::vector<ContainerId> GrowWave(Workload& wl, Rng& rng, int apps) {
+  std::vector<ContainerId> added;
+  for (int a = 0; a < apps; ++a) {
+    const std::size_t count = static_cast<std::size_t>(rng.UniformInt(1, 6));
+    const std::size_t first = wl.container_count();
+    wl.AddApplication(
+        "app-" + std::to_string(wl.application_count()), count,
+        ResourceVector::Cores(rng.UniformInt(1, 8), rng.UniformInt(2, 16)),
+        static_cast<cluster::Priority>(
+            rng.Bernoulli(0.2) ? rng.UniformInt(1, 3) : 0),
+        rng.Bernoulli(0.5));
+    for (std::size_t i = first; i < wl.container_count(); ++i) {
+      added.emplace_back(static_cast<std::int32_t>(i));
+    }
+  }
+  return added;
+}
+
+std::vector<MachineId> Placements(const cluster::ClusterState& state,
+                                  std::size_t containers) {
+  std::vector<MachineId> out;
+  out.reserve(containers);
+  for (std::size_t i = 0; i < containers; ++i) {
+    out.push_back(state.PlacementOf(ContainerId(static_cast<std::int32_t>(i))));
+  }
+  return out;
+}
+
+TEST(IncrementalNetwork, PlacementsMatchFreshRebuildAcrossWaves) {
+  const Topology topo =
+      Topology::Uniform(48, ResourceVector::Cores(32, 64), 8, 3);
+  Workload wl;
+  Rng rng(2024);
+
+  core::AladdinOptions inc_options;  // repair + compaction on (defaults)
+  inc_options.incremental_network = true;
+  core::AladdinOptions fresh_options = inc_options;
+  fresh_options.incremental_network = false;
+
+  core::AladdinScheduler incremental(inc_options);  // one persistent engine
+  cluster::ClusterState inc_state = wl.MakeState(topo);
+  cluster::ClusterState fresh_state = wl.MakeState(topo);
+
+  for (int wave = 0; wave < 6; ++wave) {
+    const std::vector<ContainerId> arrivals = GrowWave(wl, rng, 4);
+    inc_state.SyncWorkloadGrowth();
+    fresh_state.SyncWorkloadGrowth();
+
+    // External churn the network only learns about via the dirty log:
+    // evict a slice of the placed containers directly on the state.
+    std::vector<ContainerId> placed;
+    for (const auto& c : wl.containers()) {
+      if (inc_state.IsPlaced(c.id)) placed.push_back(c.id);
+    }
+    for (std::size_t i = 0; i < placed.size(); i += 5) {
+      inc_state.Evict(placed[i]);
+      fresh_state.Evict(placed[i]);
+    }
+
+    // Both schedulers see the same pending set (evictees + arrivals).
+    std::vector<ContainerId> pending;
+    for (const auto& c : wl.containers()) {
+      if (!inc_state.IsPlaced(c.id)) pending.push_back(c.id);
+    }
+    const sim::ScheduleRequest request{&wl, &pending};
+    const auto inc_outcome = incremental.Schedule(request, inc_state);
+    core::AladdinScheduler fresh(fresh_options);  // new engine every wave
+    const auto fresh_outcome = fresh.Schedule(request, fresh_state);
+
+    EXPECT_EQ(Placements(inc_state, wl.container_count()),
+              Placements(fresh_state, wl.container_count()))
+        << "wave " << wave;
+    EXPECT_EQ(inc_outcome.unplaced, fresh_outcome.unplaced)
+        << "wave " << wave;
+    ASSERT_TRUE(inc_state.CheckConsistency());
+  }
+}
+
+TEST(ParallelSearch, PlacementsAndCountersMatchSerial) {
+  const Topology topo =
+      Topology::Uniform(40, ResourceVector::Cores(32, 64), 8, 3);
+  struct Policy {
+    bool il, dl;
+  };
+  for (const Policy policy : {Policy{false, false}, Policy{true, false},
+                              Policy{true, true}}) {
+    for (const int threads : {2, 4}) {
+      Workload wl;
+      Rng rng(99);
+      (void)GrowWave(wl, rng, 24);
+      std::vector<ContainerId> pending;
+      for (const auto& c : wl.containers()) pending.push_back(c.id);
+      const sim::ScheduleRequest request{&wl, &pending};
+
+      core::AladdinOptions serial_options;
+      serial_options.enable_il = policy.il;
+      serial_options.enable_dl = policy.dl;
+      serial_options.threads = 1;
+      core::AladdinOptions parallel_options = serial_options;
+      parallel_options.threads = threads;
+
+      cluster::ClusterState serial_state = wl.MakeState(topo);
+      cluster::ClusterState parallel_state = wl.MakeState(topo);
+      core::AladdinScheduler serial(serial_options);
+      core::AladdinScheduler parallel(parallel_options);
+      const auto serial_outcome = serial.Schedule(request, serial_state);
+      const auto parallel_outcome = parallel.Schedule(request, parallel_state);
+
+      const std::string label = "il=" + std::to_string(policy.il) +
+                                " dl=" + std::to_string(policy.dl) +
+                                " threads=" + std::to_string(threads);
+      EXPECT_EQ(Placements(serial_state, wl.container_count()),
+                Placements(parallel_state, wl.container_count()))
+          << label;
+      EXPECT_EQ(serial_outcome.unplaced, parallel_outcome.unplaced) << label;
+      // The determinism contract covers the instrumentation too.
+      EXPECT_EQ(serial_outcome.explored_paths, parallel_outcome.explored_paths)
+          << label;
+      EXPECT_EQ(serial_outcome.il_prunes, parallel_outcome.il_prunes) << label;
+      EXPECT_EQ(serial_outcome.dl_stops, parallel_outcome.dl_stops) << label;
+    }
+  }
+}
+
+// ------------------------------------------------- resolver equivalence ----
+
+// Scripted mixed cluster: deployments, batch jobs, deletions, a node
+// removal. Drives both resolver modes through identical event streams and
+// expects identical bindings, stats, and final pod placement.
+void RunScript(k8s::ClusterSimulator& sim, int ticks) {
+  Rng rng(7);
+  std::int64_t apps = 0;
+  for (int t = 0; t < ticks; ++t) {
+    for (int d = 0; d < 3; ++d) {
+      k8s::PodSpec spec;
+      spec.requests = cluster::ResourceVector::Cores(rng.UniformInt(1, 6),
+                                                     rng.UniformInt(2, 12));
+      spec.priority = rng.Bernoulli(0.2)
+                          ? static_cast<cluster::Priority>(rng.UniformInt(1, 3))
+                          : 0;
+      spec.anti_affinity_within = rng.Bernoulli(0.6);
+      sim.SubmitDeployment("svc-" + std::to_string(apps++),
+                           static_cast<std::size_t>(rng.UniformInt(1, 5)),
+                           spec);
+    }
+    sim.SubmitBatchJob("job-" + std::to_string(t), 12,
+                       cluster::ResourceVector::Cores(1, 2),
+                       /*lifetime_ticks=*/2);
+    if (t == 3) sim.ScaleDown("svc-1", 2);
+    if (t == 5) sim.RemoveNode("node-7");  // forces a topology rebuild
+    sim.Tick();
+  }
+}
+
+std::map<k8s::PodUid, std::string> FinalBindings(k8s::ClusterSimulator& sim) {
+  std::map<k8s::PodUid, std::string> out;
+  for (k8s::PodUid uid : sim.adaptor().BoundPods()) {
+    out[uid] = sim.adaptor().FindPod(uid)->node;
+  }
+  return out;
+}
+
+TEST(ResolverEquivalence, IncrementalMatchesRebuildPerTick) {
+  k8s::ResolverOptions inc_options;
+  inc_options.aladdin = k8s::Resolver::DefaultOptions();
+  inc_options.incremental = true;
+  k8s::ResolverOptions rebuild_options = inc_options;
+  rebuild_options.incremental = false;
+
+  k8s::ClusterSimulator inc(inc_options);
+  k8s::ClusterSimulator rebuild(rebuild_options);
+  inc.AddNodes(16, cluster::ResourceVector::Cores(32, 64), "node", 4, 2);
+  rebuild.AddNodes(16, cluster::ResourceVector::Cores(32, 64), "node", 4, 2);
+
+  RunScript(inc, 9);
+  RunScript(rebuild, 9);
+
+  ASSERT_EQ(inc.history().size(), rebuild.history().size());
+  for (std::size_t t = 0; t < inc.history().size(); ++t) {
+    const auto& a = inc.history()[t];
+    const auto& b = rebuild.history()[t];
+    EXPECT_EQ(a.new_bindings, b.new_bindings) << "tick " << t;
+    EXPECT_EQ(a.migrations, b.migrations) << "tick " << t;
+    EXPECT_EQ(a.preemptions, b.preemptions) << "tick " << t;
+    EXPECT_EQ(a.unschedulable, b.unschedulable) << "tick " << t;
+  }
+  EXPECT_EQ(FinalBindings(inc), FinalBindings(rebuild));
+  EXPECT_EQ(inc.completed_tasks(), rebuild.completed_tasks());
+}
+
+TEST(ResolverEquivalence, ParallelResolverMatchesSerial) {
+  k8s::ResolverOptions serial_options;
+  serial_options.aladdin = k8s::Resolver::DefaultOptions();
+  serial_options.aladdin.threads = 1;
+  k8s::ResolverOptions parallel_options = serial_options;
+  parallel_options.aladdin.threads = 3;
+
+  k8s::ClusterSimulator serial(serial_options);
+  k8s::ClusterSimulator parallel(parallel_options);
+  serial.AddNodes(16, cluster::ResourceVector::Cores(32, 64), "node", 4, 2);
+  parallel.AddNodes(16, cluster::ResourceVector::Cores(32, 64), "node", 4, 2);
+  RunScript(serial, 7);
+  RunScript(parallel, 7);
+  EXPECT_EQ(FinalBindings(serial), FinalBindings(parallel));
+}
+
+// --------------------------------------------- incremental relaxation ----
+
+TEST(IncrementalRelaxation, BoundMatchesFreshSolveUnderChurn) {
+  const Topology topo =
+      Topology::Uniform(24, ResourceVector::Cores(32, 64), 6, 2);
+  Workload wl;
+  Rng rng(4242);
+  (void)GrowWave(wl, rng, 10);
+  cluster::ClusterState state = wl.MakeState(topo);
+  core::IncrementalRelaxation incremental;
+
+  for (int round = 0; round < 8; ++round) {
+    // Mutate: deploy some unplaced containers, evict some placed ones.
+    for (const auto& c : wl.containers()) {
+      if (!state.IsPlaced(c.id) && rng.Bernoulli(0.4)) {
+        const MachineId m(rng.UniformInt(0, 23));
+        if (state.Fits(c.id, m)) state.Deploy(c.id, m);
+      } else if (state.IsPlaced(c.id) && rng.Bernoulli(0.15)) {
+        state.Evict(c.id);
+      }
+    }
+    if (round == 4) {  // workload growth without an application change
+      for (int i = 0; i < 5; ++i) {
+        wl.AddContainer(ApplicationId(rng.UniformInt(
+            0, static_cast<std::int64_t>(wl.application_count()) - 1)));
+      }
+      state.SyncWorkloadGrowth();
+    }
+    const core::RelaxationBound fresh = core::SolveRelaxation(wl, state);
+    const core::RelaxationBound warm = incremental.Solve(wl, state);
+    EXPECT_EQ(warm.placeable_cpu_millis, fresh.placeable_cpu_millis)
+        << "round " << round;
+    EXPECT_EQ(warm.demand_cpu_millis, fresh.demand_cpu_millis)
+        << "round " << round;
+    if (round > 0) EXPECT_TRUE(incremental.reused_last()) << round;
+  }
+
+  // A new application forces (and survives) a rebuild.
+  wl.AddApplication("late", 2, ResourceVector::Cores(2, 4));
+  state.SyncWorkloadGrowth();
+  const core::RelaxationBound fresh = core::SolveRelaxation(wl, state);
+  const core::RelaxationBound warm = incremental.Solve(wl, state);
+  EXPECT_FALSE(incremental.reused_last());
+  EXPECT_EQ(warm.placeable_cpu_millis, fresh.placeable_cpu_millis);
+}
+
+// ------------------------------------------------------ flow substrate ----
+
+flow::Graph LayeredGraph(std::int64_t width, VertexId& s, VertexId& t,
+                         std::uint64_t seed, bool negative_costs = false) {
+  flow::Graph g;
+  s = g.AddVertex();
+  t = g.AddVertex();
+  const VertexId tasks = g.AddVertices(static_cast<std::size_t>(width));
+  const VertexId machines = g.AddVertices(static_cast<std::size_t>(width));
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < width; ++i) {
+    const VertexId task(tasks.value() + static_cast<std::int32_t>(i));
+    g.AddArc(s, task, rng.UniformInt(1, 8));
+    for (int d = 0; d < 4; ++d) {
+      const VertexId machine(machines.value() + static_cast<std::int32_t>(
+                                                    rng.UniformInt(0, width - 1)));
+      const flow::Cost cost =
+          negative_costs ? rng.UniformInt(-16, 48) : rng.UniformInt(0, 48);
+      g.AddArc(task, machine, rng.UniformInt(1, 8), cost);
+    }
+  }
+  for (std::int64_t i = 0; i < width; ++i) {
+    const VertexId machine(machines.value() + static_cast<std::int32_t>(i));
+    g.AddArc(machine, t, rng.UniformInt(2, 16));
+  }
+  return g;
+}
+
+TEST(CancelArcFlow, WarmRestartMatchesColdSolveAfterCapacityCuts) {
+  for (const std::uint64_t seed : {1u, 7u, 21u}) {
+    VertexId s, t;
+    flow::Graph warm = LayeredGraph(32, s, t, seed);
+    flow::Graph cold = LayeredGraph(32, s, t, seed);  // identical arc ids
+    flow::Dinic(warm, s, t);
+
+    // Cut the capacity of every 3rd machine->sink arc below its flow.
+    Rng rng(seed * 31 + 1);
+    const auto arcs = static_cast<std::int32_t>(warm.arc_count());
+    for (std::int32_t a = arcs - 64; a < arcs; a += 6) {
+      const ArcId arc(a);
+      const flow::Capacity want = rng.UniformInt(0, 4);
+      if (warm.Flow(arc) > want) {
+        const flow::Capacity excess = warm.Flow(arc) - want;
+        EXPECT_EQ(flow::CancelArcFlow(warm, arc, excess, s, t), excess);
+      }
+      warm.SetCapacity(arc, want);
+      cold.SetCapacity(arc, want);
+      const VertexId exempt[] = {s, t};
+      std::string error;
+      ASSERT_TRUE(warm.ValidateInvariants(exempt, &error)) << error;
+    }
+
+    const flow::Capacity residual_value = flow::Dinic(warm, s, t).value;
+    (void)residual_value;
+    const flow::Capacity cold_value = flow::Dinic(cold, s, t).value;
+    EXPECT_EQ(warm.NetOutflow(s), cold_value) << "seed " << seed;
+  }
+}
+
+TEST(MinCostFlow, DijkstraWithPotentialsMatchesSpfa) {
+  for (const std::uint64_t seed : {3u, 11u, 27u, 40u}) {
+    for (const bool negative : {false, true}) {
+      VertexId s, t;
+      flow::Graph a = LayeredGraph(24, s, t, seed, negative);
+      flow::Graph b = LayeredGraph(24, s, t, seed, negative);
+      const auto spfa = flow::MinCostMaxFlow(a, s, t);
+      flow::MinCostFlowOptions options;
+      options.pathfinder = flow::MinCostFlowOptions::Pathfinder::kDijkstra;
+      const auto dijkstra =
+          flow::MinCostMaxFlow(b, s, t, flow::kInfiniteCapacity, options);
+      EXPECT_FALSE(spfa.negative_cycle);
+      EXPECT_FALSE(dijkstra.negative_cycle);
+      EXPECT_EQ(dijkstra.flow, spfa.flow)
+          << "seed " << seed << " negative=" << negative;
+      EXPECT_EQ(dijkstra.cost, spfa.cost)
+          << "seed " << seed << " negative=" << negative;
+      const VertexId exempt[] = {s, t};
+      EXPECT_TRUE(b.ValidateInvariants(exempt));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aladdin

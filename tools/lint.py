@@ -14,7 +14,10 @@ Enforces the project idioms that generic tooling does not know about:
     headers never `using namespace` at file scope;
   * determinism guard: no std::rand / srand / rand / time(nullptr) /
     std::random_device — all randomness flows through common/rng.h with
-    explicit seeds so every experiment is replayable.
+    explicit seeds so every experiment is replayable;
+  * threading guard: no raw std::thread / std::jthread / std::async outside
+    src/common/thread_pool.* — ad-hoc threads bypass the pool's deterministic
+    fan-out contract (querying std::thread::hardware_concurrency is fine).
 
 Runs as a ctest case (`ctest -R lint`) and standalone:  tools/lint.py
 Exit status 0 = clean; 1 = violations (one per line, file:line: message).
@@ -47,6 +50,10 @@ BANNED_PATTERNS = [
     (re.compile(r"std::random_device\b"),
      "non-deterministic seed source; use an explicit seed (common/rng.h)"),
 ]
+
+# `std::thread::` (e.g. hardware_concurrency) is a query, not a thread.
+THREAD_CONSTRUCT = re.compile(r"std::(?:thread\b(?!\s*::)|jthread\b|async\b)")
+THREAD_POOL_FILES = {"thread_pool.h", "thread_pool.cpp"}
 
 STATIC_ASSERT = re.compile(r"\bstatic_assert\s*\(")
 INCLUDE = re.compile(r'#\s*include\s*(["<])([^">]+)[">]')
@@ -136,6 +143,14 @@ def lint_file(path: Path, errors: list[str]) -> None:
                 if not pattern.search(cleaned):
                     continue
             err(lineno, message)
+
+    # --- threading guard ---------------------------------------------------
+    if path.name not in THREAD_POOL_FILES:
+        for lineno, line in enumerate(lines, start=1):
+            if THREAD_CONSTRUCT.search(line):
+                err(lineno, "raw thread construction; route parallelism "
+                            "through common/thread_pool.h (ThreadPool / "
+                            "ParallelFor)")
 
     # --- header rules ------------------------------------------------------
     if path.suffix in HEADER_EXTS:

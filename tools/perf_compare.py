@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare bench results against committed baselines.
+
+Usage:
+  tools/perf_compare.py BASELINE.json CURRENT.json [--max-ratio 2.0]
+
+Understands two formats:
+
+  * aladdin-bench-v1 — emitted by the bench binaries via common/bench_json.h
+    ("schema": "aladdin-bench-v1", flat "metrics" array). Time-like metrics
+    (unit ns/us/ms/s) are regression-checked; unit "count" metrics (pods
+    bound, audit numbers) are *identity*-checked instead, because a perf PR
+    must not change placement decisions; any other unit is informational.
+  * google-benchmark JSON (--benchmark_out) — "benchmarks" array; real_time
+    per benchmark is regression-checked.
+
+Exit status 0 = within bounds; 1 = a metric regressed past --max-ratio or
+an identity metric changed. Metrics present on only one side are reported
+but do not fail the comparison (benches grow new metrics over time).
+
+Absolute-floor guard: time metrics where both sides are below --floor-ms
+(default 1.0) are skipped — sub-millisecond timings on shared CI machines
+are noise, and a 0.1ms -> 0.3ms jump is not a regression worth a red build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_metrics(path: Path) -> tuple[dict[str, float], dict[str, str]]:
+    """Returns (name -> value, name -> unit) for either supported format."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    values: dict[str, float] = {}
+    units: dict[str, str] = {}
+    if data.get("schema") == "aladdin-bench-v1":
+        for m in data["metrics"]:
+            values[m["name"]] = float(m["value"])
+            units[m["name"]] = m.get("unit", "")
+    elif "benchmarks" in data:  # google-benchmark
+        for b in data["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            name = b["name"]
+            values[name] = float(b["real_time"])
+            units[name] = b.get("time_unit", "ns")
+    else:
+        raise ValueError(f"{path}: unrecognised bench JSON format")
+    return values, units
+
+
+TIME_UNITS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current/baseline exceeds this on any "
+                             "time metric (default 2.0)")
+    parser.add_argument("--floor-ms", type=float, default=1.0,
+                        help="ignore time metrics where both sides are below "
+                             "this many milliseconds (default 1.0)")
+    args = parser.parse_args()
+
+    base_values, base_units = load_metrics(args.baseline)
+    cur_values, _ = load_metrics(args.current)
+
+    failures: list[str] = []
+    for name in sorted(base_values):
+        if name not in cur_values:
+            print(f"  [missing] {name}: in baseline only")
+            continue
+        base, cur = base_values[name], cur_values[name]
+        unit = base_units.get(name, "")
+        if unit in TIME_UNITS:
+            base_ms = base * TIME_UNITS[unit]
+            cur_ms = cur * TIME_UNITS[unit]
+            if base_ms < args.floor_ms and cur_ms < args.floor_ms:
+                print(f"  [noise]   {name}: {base:g} -> {cur:g} {unit} "
+                      f"(below {args.floor_ms}ms floor)")
+                continue
+            ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+            verdict = "REGRESSED" if ratio > args.max_ratio else "ok"
+            print(f"  [{verdict:9}] {name}: {base:g} -> {cur:g} {unit} "
+                  f"(x{ratio:.2f})")
+            if ratio > args.max_ratio:
+                failures.append(
+                    f"{name}: {base:g} -> {cur:g} {unit} is "
+                    f"x{ratio:.2f} > x{args.max_ratio}")
+        elif unit == "count":
+            # Counters must match exactly: placement decisions are part of
+            # the contract, not a tunable.
+            if base != cur:
+                print(f"  [CHANGED ] {name}: {base:g} -> {cur:g}")
+                failures.append(f"{name}: counter changed {base:g} -> {cur:g}")
+            else:
+                print(f"  [{'ok':9}] {name}: {cur:g}")
+        else:
+            print(f"  [info]    {name}: {base:g} -> {cur:g} {unit}".rstrip())
+    for name in sorted(set(cur_values) - set(base_values)):
+        print(f"  [new]     {name}: {cur_values[name]:g}")
+
+    if failures:
+        print(f"\nperf_compare: {len(failures)} failure(s) vs "
+              f"{args.baseline.name}", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf_compare: OK vs {args.baseline.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
