@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "obs/cli.h"
 #include "common/table.h"
 #include "core/scheduler.h"
 #include "core/relaxation.h"
@@ -23,7 +24,9 @@ int main(int argc, char** argv) {
   Flags flags;
   auto& scale = flags.Double("scale", 0.04, "workload scale (1.0 = paper)");
   auto& seed = flags.Int64("seed", 42, "trace seed");
+  aladdin::obs::ObsCli obs_cli(flags);
   if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
 
   const trace::Workload workload =
       sim::MakeBenchWorkload(scale, static_cast<std::uint64_t>(seed));
@@ -162,5 +165,6 @@ int main(int argc, char** argv) {
                 bound.vertices, bound.edges,
                 workload.container_count() * config.machines);
   }
+  if (!obs_cli.Finish()) return 1;
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "baselines/gokube/scheduler.h"
 #include "baselines/medea/scheduler.h"
 #include "common/flags.h"
+#include "obs/cli.h"
 #include "core/scheduler.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
@@ -28,7 +29,9 @@ int main(int argc, char** argv) {
   Flags flags;
   auto& scale = flags.Double("scale", 0.04, "workload scale (1.0 = paper)");
   auto& seed = flags.Int64("seed", 42, "trace seed");
+  aladdin::obs::ObsCli obs_cli(flags);
   if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
 
   // --- 1. Heterogeneous cluster. ------------------------------------------
   sim::PrintExperimentHeader(
@@ -100,5 +103,6 @@ int main(int argc, char** argv) {
                 "by a small constant factor (the paper's linear-in-c "
                 "argument), not the placement quality.\n");
   }
+  if (!obs_cli.Finish()) return 1;
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "baselines/gokube/scheduler.h"
 #include "baselines/medea/scheduler.h"
 #include "common/flags.h"
+#include "obs/cli.h"
 #include "common/table.h"
 #include "core/scheduler.h"
 #include "sim/experiment.h"
@@ -36,7 +37,9 @@ int main(int argc, char** argv) {
   auto& headroom = flags.Double(
       "headroom", 1.15,
       "extra machines so repair churn does not mask the search cost");
+  aladdin::obs::ObsCli obs_cli(flags);
   if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
 
   sim::PrintExperimentHeader(
       "Fig. 12",
@@ -99,5 +102,6 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: QUINCY flat ~50ms; Aladdin policies hundreds of ms with IL+DL "
       "~50%% below plain; Go-Kube/Medea exceed 1s as the cluster grows.\n");
+  if (!obs_cli.Finish()) return 1;
   return 0;
 }

@@ -14,10 +14,15 @@
 #include "cluster/audit.h"
 #include "common/bench_json.h"
 #include "common/flags.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/timer.h"
+#include "core/relaxation.h"
 #include "k8s/simulator.h"
+#include "obs/cli.h"
+#include "obs/trace.h"
 #include "sim/report.h"
 
 using namespace aladdin;
@@ -56,7 +61,9 @@ int main(int argc, char** argv) {
                               "1 = serial)");
   auto& json = flags.String("json", "",
                             "write BENCH json results to this path");
+  obs::ObsCli obs_cli(flags);
   if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
 
   sim::PrintExperimentHeader(
       "Online", "streaming waves through EHC -> MA -> RE (Fig. 6 stack)");
@@ -72,7 +79,11 @@ int main(int argc, char** argv) {
   Rng rng(static_cast<std::uint64_t>(seed));
   Sample resolve_ms;
   double total_seconds = 0.0;
+  double total_tick_seconds = 0.0;
   std::int64_t total_bindings = 0;
+  const std::vector<obs::PhaseDelta> phases_before =
+      obs::MetricsEnabled() ? obs::CapturePhases()
+                            : std::vector<obs::PhaseDelta>{};
   Table table({"tick", "pending", "bound", "migr", "preempt", "unsched",
                "batch done", "resolve ms"});
   std::int64_t app_counter = 0;
@@ -100,7 +111,9 @@ int main(int argc, char** argv) {
                        cluster::ResourceVector::Cores(1, 2),
                        /*lifetime_ticks=*/2);
 
+    WallTimer tick_timer;
     const k8s::ResolveStats stats = sim.Tick();
+    total_tick_seconds += tick_timer.ElapsedSeconds();
     resolve_ms.Add(stats.wall_seconds * 1e3);
     total_seconds += stats.wall_seconds;
     total_bindings += static_cast<std::int64_t>(stats.new_bindings);
@@ -115,6 +128,41 @@ int main(int argc, char** argv) {
         .EndRow();
   }
   table.Print();
+
+  // Where the tick time went, from the obs phase registry. The exclusive
+  // rows partition the ticks, so their coverage row should land within a
+  // few percent of the measured tick wall time (tools/check_trace.py and
+  // the obs tests pin this down).
+  if (obs::MetricsEnabled()) {
+    const std::vector<obs::PhaseDelta> run_phases =
+        obs::DiffPhases(phases_before, obs::CapturePhases());
+    std::printf("\nper-tick phase breakdown (%lld ticks, %.3f ms total):\n",
+                static_cast<long long>(ticks), total_tick_seconds * 1e3);
+    sim::PrintPhaseTable(run_phases, total_tick_seconds);
+    const double covered = obs::ExclusiveSeconds(run_phases);
+    std::printf("phase coverage: %.1f%% of measured tick time\n",
+                total_tick_seconds > 0.0
+                    ? covered / total_tick_seconds * 100.0
+                    : 0.0);
+  }
+
+  // Relaxation-bound witness (outside tick timing): solve the max-flow
+  // relaxation of the final cluster once, so a --trace of this bench also
+  // exercises the flow/ solver phases (core/relax_* -> flow/dinic).
+  if (obs::CurrentMode() != 0) {
+    cluster::ClusterState relax_state =
+        sim.adaptor().workload().MakeState(sim.adaptor().topology());
+    for (k8s::PodUid uid : sim.adaptor().BoundPods()) {
+      const k8s::Pod* pod = sim.adaptor().FindPod(uid);
+      relax_state.Deploy(sim.adaptor().ContainerOf(uid),
+                         sim.adaptor().MachineOf(pod->node));
+    }
+    const core::RelaxationBound bound =
+        core::SolveRelaxation(sim.adaptor().workload(), relax_state);
+    std::printf("relaxation bound: placeable=%lld demand=%lld cpu-millis\n",
+                static_cast<long long>(bound.placeable_cpu_millis),
+                static_cast<long long>(bound.demand_cpu_millis));
+  }
 
   std::printf("resolve latency ms: p50=%.2f p99=%.2f max=%.2f "
               "(goal: sub-second at production scale)\n",
@@ -138,8 +186,8 @@ int main(int argc, char** argv) {
               audit.unplaced_scheduler, audit.colocation_violations,
               audit.ViolationPercent());
 
-  if (!json.empty()) {
-    BenchJson out("online");
+  BenchJson out("online");
+  {
     out.Tag("nodes", nodes);
     out.Tag("ticks", ticks);
     out.Tag("lla_wave", lla_wave);
@@ -165,8 +213,16 @@ int main(int argc, char** argv) {
     out.Metric("audit_unplaced", static_cast<double>(audit.unplaced), "count");
     out.Metric("audit_colocation_violations",
                static_cast<double>(audit.colocation_violations), "count");
+  }
+
+  // Flush the obs layer: trace file, --metrics stdout dump, and the metrics
+  // registry appended to the bench json (counters identity-checked by
+  // tools/perf_compare.py, phase times ratio-checked).
+  if (!obs_cli.Finish(json.empty() ? nullptr : &out)) return 1;
+
+  if (!json.empty()) {
     if (!out.WriteFile(json)) {
-      std::fprintf(stderr, "failed to write %s\n", json.c_str());
+      LOG_ERROR << "failed to write " << json;
       return 1;
     }
     std::printf("bench json written to %s\n", json.c_str());

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "obs/cli.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/scheduler.h"
@@ -23,7 +24,9 @@ int main(int argc, char** argv) {
       flags.Double("scale", 0.04, "largest sweep point (1.0 = paper's 10k)");
   auto& steps = flags.Int64("steps", 4, "sweep points");
   auto& seed = flags.Int64("seed", 42, "trace seed");
+  aladdin::obs::ObsCli obs_cli(flags);
   if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
 
   sim::PrintExperimentHeader(
       "Fig. 13(a)", "Aladdin+IL+DL total runtime (ms) vs cluster size per "
@@ -75,5 +78,6 @@ int main(int argc, char** argv) {
       "paper: runtime grows linearly with cluster size; CSA is the worst "
       "case and CLA ~30%% cheaper; migrations stay below ~1.7%% of "
       "containers.\n");
+  if (!obs_cli.Finish()) return 1;
   return 0;
 }

@@ -23,6 +23,7 @@
 #include "baselines/gokube/scheduler.h"
 #include "baselines/medea/scheduler.h"
 #include "common/flags.h"
+#include "obs/cli.h"
 #include "core/scheduler.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
@@ -56,7 +57,9 @@ int main(int argc, char** argv) {
   auto& ls_budget =
       flags.Double("medea_ls_seconds", 0.5, "Medea local-search budget");
   auto& csv = flags.String("csv", "", "append machine-readable rows here");
+  aladdin::obs::ObsCli obs_cli(flags);
   if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
 
   PrintTableOne();
 
@@ -147,5 +150,6 @@ int main(int argc, char** argv) {
         .EndRow();
   }
   share.Print();
+  if (!obs_cli.Finish()) return 1;
   return 0;
 }

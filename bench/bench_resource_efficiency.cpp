@@ -18,6 +18,7 @@
 #include "baselines/gokube/scheduler.h"
 #include "baselines/medea/scheduler.h"
 #include "common/flags.h"
+#include "obs/cli.h"
 #include "core/scheduler.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
@@ -31,7 +32,9 @@ int main(int argc, char** argv) {
   auto& headroom = flags.Double(
       "headroom", 1.6, "machine pool size as a multiple of the paper ratio");
   auto& csv = flags.String("csv", "", "append machine-readable rows here");
+  aladdin::obs::ObsCli obs_cli(flags);
   if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
 
   const trace::Workload workload =
       sim::MakeBenchWorkload(scale, static_cast<std::uint64_t>(seed));
@@ -93,5 +96,6 @@ int main(int argc, char** argv) {
     }
     util.Print();
   }
+  if (!obs_cli.Finish()) return 1;
   return 0;
 }

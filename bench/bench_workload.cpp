@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "obs/cli.h"
 #include "common/table.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
@@ -18,7 +19,9 @@ int main(int argc, char** argv) {
   Flags flags;
   auto& scale = flags.Double("scale", 1.0, "workload scale (1.0 = paper)");
   auto& seed = flags.Int64("seed", 42, "trace seed");
+  aladdin::obs::ObsCli obs_cli(flags);
   if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
 
   trace::AlibabaTraceOptions options;
   options.scale = scale;
@@ -93,5 +96,6 @@ int main(int argc, char** argv) {
       .Cell(static_cast<std::int64_t>(sizes.size()))
       .EndRow();
   cdf.Print();
+  if (!obs_cli.Finish()) return 1;
   return 0;
 }

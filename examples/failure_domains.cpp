@@ -15,6 +15,8 @@
 #include "cluster/audit.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/flags.h"
+#include "obs/cli.h"
 #include "core/scheduler.h"
 #include "sim/experiment.h"
 
@@ -56,7 +58,12 @@ std::size_t WorstColocation(const cluster::ClusterState& state,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags;
+  obs::ObsCli obs_cli(flags, /*with_obs=*/false);
+  if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
+
   // 8 racks of 10 machines.
   const cluster::Topology topology = cluster::Topology::Uniform(
       80, cluster::ResourceVector::Cores(32, 64), /*machines_per_rack=*/10,

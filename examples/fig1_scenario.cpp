@@ -16,13 +16,19 @@
 #include "baselines/firmament/scheduler.h"
 #include "baselines/medea/scheduler.h"
 #include "cluster/audit.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "core/scheduler.h"
+#include "obs/cli.h"
 #include "sim/experiment.h"
 
 using namespace aladdin;
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags;
+  obs::ObsCli obs_cli(flags, /*with_obs=*/false);
+  if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
   // Two machines, sized so that the three containers only fit if some pair
   // shares a machine — the tension Fig. 1 is about.
   cluster::Topology topo;

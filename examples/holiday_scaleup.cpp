@@ -14,6 +14,7 @@
 #include "cluster/audit.h"
 #include "common/flags.h"
 #include "core/scheduler.h"
+#include "obs/cli.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 
@@ -23,7 +24,9 @@ int main(int argc, char** argv) {
   Flags flags;
   auto& machines = flags.Int64("machines", 600, "cluster size");
   auto& surge = flags.Int64("surge", 100, "scale-up factor for the flagship");
+  obs::ObsCli obs_cli(flags, /*with_obs=*/false);
   if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
 
   const cluster::Topology topology = trace::MakeAlibabaCluster(
       static_cast<std::size_t>(machines));

@@ -12,11 +12,18 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "common/flags.h"
+#include "obs/cli.h"
 #include "k8s/simulator.h"
 
 using namespace aladdin;
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags;
+  obs::ObsCli obs_cli(flags, /*with_obs=*/false);
+  if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
+
   k8s::ClusterSimulator sim;
   Table log({"tick", "event", "pending", "bound", "migr", "preempt",
              "unsched", "batch done"});

@@ -9,13 +9,20 @@
 // Run:  build/examples/quickstart
 #include <cstdio>
 
+#include "common/flags.h"
+#include "obs/cli.h"
 #include "core/scheduler.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 
 using namespace aladdin;
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags;
+  obs::ObsCli obs_cli(flags, /*with_obs=*/false);
+  if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
+
   // A toy cluster: 8 machines of 32 CPU / 64 GB across 2 racks.
   const cluster::Topology topology = cluster::Topology::Uniform(
       /*machines=*/8, cluster::ResourceVector::Cores(32, 64),

@@ -13,6 +13,8 @@
 #include "baselines/gokube/scheduler.h"
 #include "baselines/medea/scheduler.h"
 #include "common/flags.h"
+#include "common/log.h"
+#include "obs/cli.h"
 #include "core/scheduler.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
@@ -74,12 +76,14 @@ int main(int argc, char** argv) {
   auto& cluster_file = flags.String(
       "cluster", "", "load a topology file (see SaveTopology) instead of the "
                      "scaled homogeneous cluster");
+  obs::ObsCli obs_cli(flags);
   if (!flags.Parse(argc, argv)) return 1;
+  if (!obs_cli.Apply()) return 1;
 
   trace::Workload workload;
   if (!load.empty()) {
     if (!trace::LoadWorkloadFromFile(load, workload)) {
-      std::fprintf(stderr, "failed to load %s\n", load.c_str());
+      LOG_ERROR << "failed to load " << load;
       return 1;
     }
   } else {
@@ -95,7 +99,7 @@ int main(int argc, char** argv) {
 
   auto scheduler = MakeScheduler(scheduler_name, reschd, medea_c);
   if (!scheduler) {
-    std::fprintf(stderr, "unknown scheduler: %s\n", scheduler_name.c_str());
+    LOG_ERROR << "unknown scheduler: " << scheduler_name;
     return 1;
   }
 
@@ -103,8 +107,7 @@ int main(int argc, char** argv) {
   cluster::Topology topology;
   if (!cluster_file.empty()) {
     if (!trace::LoadTopologyFromFile(cluster_file, topology)) {
-      std::fprintf(stderr, "failed to load cluster %s\n",
-                   cluster_file.c_str());
+      LOG_ERROR << "failed to load cluster " << cluster_file;
       return 1;
     }
   } else {
@@ -121,5 +124,6 @@ int main(int argc, char** argv) {
   const sim::RunMetrics metrics =
       sim::RunExperimentOn(*scheduler, workload, topology, order, 1);
   sim::PrintRunTable({metrics});
+  if (!obs_cli.Finish()) return 1;
   return 0;
 }

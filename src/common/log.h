@@ -5,6 +5,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace aladdin {
 
@@ -12,6 +13,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses "debug" / "info" / "warn" / "error" (case-sensitive) into *level.
+// Returns false, leaving *level untouched, on anything else.
+[[nodiscard]] bool ParseLogLevel(std::string_view text, LogLevel* level);
 
 namespace internal {
 void Emit(LogLevel level, const std::string& message);

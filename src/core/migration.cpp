@@ -4,6 +4,8 @@
 #include <deque>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace aladdin::core {
 
 namespace {
@@ -127,6 +129,8 @@ bool RepairEngine::RepairOnMachine(cluster::ContainerId c,
 
   state.RecordMigrations(static_cast<std::int64_t>(moved.size()));
   state.RecordPreemptions(static_cast<std::int64_t>(preempted.size()));
+  ALADDIN_METRIC_ADD("core/migrations", moved.size());
+  ALADDIN_METRIC_ADD("core/preemptions", preempted.size());
   requeue.insert(requeue.end(), preempted.begin(), preempted.end());
   return true;
 }
@@ -286,6 +290,7 @@ int RepairEngine::Compact(const SearchOptions& search,
         continue;
       }
       state.RecordMigrations(static_cast<std::int64_t>(moved.size()));
+      ALADDIN_METRIC_ADD("core/migrations", moved.size());
       migration_budget -= static_cast<std::int64_t>(moved.size());
       ++freed_this_pass;
     }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace aladdin::core {
 
@@ -19,6 +20,8 @@ AggregatedNetwork::AggregatedNetwork(const cluster::Topology& topology)
     : topology_(&topology) {}
 
 void AggregatedNetwork::Attach(cluster::ClusterState* state) {
+  ALADDIN_PHASE_SCOPE("core/net_build");
+  ALADDIN_METRIC_ADD("core/net_builds", 1);
   ALADDIN_CHECK(state != nullptr);
   ALADDIN_CHECK(&state->topology() == topology_);
   state_ = state;
@@ -71,6 +74,12 @@ void AggregatedNetwork::Sync() {
     Attach(state_);  // cursor fell off the retained window; full rebuild
     return;
   }
+  // Scoped below the overflow branch so the exclusive net_build phase the
+  // rebuild records never nests inside net_sync (exclusive phases must stay
+  // disjoint for the tick-coverage sum).
+  ALADDIN_PHASE_SCOPE("core/net_sync");
+  ALADDIN_METRIC_ADD("core/net_syncs", 1);
+  ALADDIN_METRIC_ADD("core/net_sync_dirty", dirty.size());
   for (cluster::MachineId m : dirty) Reindex(m);
   dirty_cursor_ = state_->DirtyLogEnd();
 }
@@ -161,6 +170,7 @@ cluster::MachineId AggregatedNetwork::FindMachine(cluster::ContainerId c,
                                                   const SearchOptions& options,
                                                   SearchCounters& counters,
                                                   cluster::MachineId exclude) {
+  ALADDIN_TRACE_SCOPE("core/find_machine");
   ALADDIN_CHECK(state_ != nullptr);
   // DL changes the traversal (first saturating path wins); without it the
   // search enumerates every candidate path through the aggregates. Both

@@ -4,11 +4,13 @@
 
 #include "common/check.h"
 #include "flow/max_flow.h"
+#include "obs/trace.h"
 
 namespace aladdin::core {
 
 RelaxationNetwork BuildRelaxationNetwork(const trace::Workload& workload,
                                          const cluster::ClusterState& state) {
+  ALADDIN_TRACE_SCOPE("core/relax_build");
   const cluster::Topology& topology = state.topology();
   RelaxationNetwork net;
   flow::Graph& g = net.graph;
@@ -82,6 +84,7 @@ RelaxationNetwork BuildRelaxationNetwork(const trace::Workload& workload,
 
 RelaxationBound SolveRelaxation(const trace::Workload& workload,
                                 const cluster::ClusterState& state) {
+  ALADDIN_TRACE_SCOPE("core/relax_solve");
   RelaxationNetwork net = BuildRelaxationNetwork(workload, state);
   RelaxationBound bound;
   bound.vertices = net.graph.vertex_count();
@@ -98,6 +101,7 @@ RelaxationBound SolveRelaxation(const trace::Workload& workload,
 
 RelaxationBound IncrementalRelaxation::Solve(
     const trace::Workload& workload, const cluster::ClusterState& state) {
+  ALADDIN_TRACE_SCOPE("core/relax_solve");
   // The A_j fan-out is fixed at build time, so a changed application set
   // (or a different state object entirely) forces a rebuild; everything
   // else — free capacities, placements, appended containers — refreshes in

@@ -9,6 +9,7 @@
 #include "cluster/audit.h"
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace aladdin::core {
 
@@ -94,23 +95,33 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
     const sim::ScheduleRequest& request, cluster::ClusterState& state) {
   const trace::Workload& workload = *request.workload;
   sim::ScheduleOutcome outcome;
+  const std::vector<obs::PhaseDelta> phases_before =
+      obs::MetricsEnabled() ? obs::CapturePhases()
+                            : std::vector<obs::PhaseDelta>{};
 
 #if ALADDIN_DCHECK_IS_ON()
   // Violations already present on entry (online mode re-schedules into a
-  // populated cluster) are not ours to answer for.
-  const std::vector<cluster::ContainerId> pre_existing_violations =
-      cluster::CollectColocationViolations(state);
+  // populated cluster) are not ours to answer for. The full-cluster audit
+  // scans are debug-build work, but they still get their own exclusive
+  // phase so the tick-coverage sum stays honest in DCHECK builds.
+  const std::vector<cluster::ContainerId> pre_existing_violations = [&] {
+    ALADDIN_PHASE_SCOPE("core/verify");
+    return cluster::CollectColocationViolations(state);
+  }();
 #endif
 
   // Eq. 3–5: priority weights. The evaluation's knob is a geometric base;
   // base 0 derives the minimal valid weights from the workload itself.
-  weights_ = options_.weight_base > 0
-                 ? MakeGeometricWeights(cluster::kPriorityClasses,
-                                        options_.weight_base)
-                 : ComputeMinimalWeights(workload);
-  if (!SatisfiesEq5(weights_, workload)) {
-    LOG_WARN << name() << ": weights violate Eq. 5 for this workload; "
-             << "priority safety of preemption is not guaranteed";
+  {
+    ALADDIN_PHASE_SCOPE("core/weights");
+    weights_ = options_.weight_base > 0
+                   ? MakeGeometricWeights(cluster::kPriorityClasses,
+                                          options_.weight_base)
+                   : ComputeMinimalWeights(workload);
+    if (!SatisfiesEq5(weights_, workload)) {
+      LOG_WARN << name() << ": weights violate Eq. 5 for this workload; "
+               << "priority safety of preemption is not guaranteed";
+    }
   }
 
   SearchOptions search{options_.enable_il, options_.enable_dl};
@@ -126,26 +137,30 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
   // which is why the four arrival characteristics of §V.C produce identical
   // placements-per-machine-count but different migration/overhead costs
   // (Fig. 13): adversarial tie orders (CSA) leave more repair work.
-  std::vector<cluster::ContainerId> order = *request.arrival;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](cluster::ContainerId a, cluster::ContainerId b) {
-                     const auto& ca =
-                         workload.containers()[static_cast<std::size_t>(
-                             a.value())];
-                     const auto& cb =
-                         workload.containers()[static_cast<std::size_t>(
-                             b.value())];
-                     return weights_.WeightedFlow(ca) >
-                            weights_.WeightedFlow(cb);
-                   });
-
+  ALADDIN_TRACE_COUNTER("core/containers", request.arrival->size());
   std::vector<cluster::ContainerId> pending;
-  for (cluster::ContainerId c : order) {
-    const cluster::MachineId m = network.FindMachine(c, search, counters);
-    if (m.valid()) {
-      network.Deploy(c, m);
-    } else {
-      pending.push_back(c);
+  {
+    ALADDIN_PHASE_SCOPE("core/augment");
+    std::vector<cluster::ContainerId> order = *request.arrival;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](cluster::ContainerId a, cluster::ContainerId b) {
+                       const auto& ca =
+                           workload.containers()[static_cast<std::size_t>(
+                               a.value())];
+                       const auto& cb =
+                           workload.containers()[static_cast<std::size_t>(
+                               b.value())];
+                       return weights_.WeightedFlow(ca) >
+                              weights_.WeightedFlow(cb);
+                     });
+
+    for (cluster::ContainerId c : order) {
+      const cluster::MachineId m = network.FindMachine(c, search, counters);
+      if (m.valid()) {
+        network.Deploy(c, m);
+      } else {
+        pending.push_back(c);
+      }
     }
   }
   outcome.rounds = 1;
@@ -156,6 +171,7 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
   // earlier pass gave up on, so we iterate until a pass makes no progress.
   RepairEngine repair(network, weights_, options_.repair);
   if (options_.enable_repair) {
+    ALADDIN_PHASE_SCOPE("core/repair");
     for (int pass = 0; pass < options_.max_repair_passes && !pending.empty();
          ++pass) {
       const std::size_t before = pending.size();
@@ -167,6 +183,7 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
 
   // --- Phase 3: packing compaction. --------------------------------------
   if (options_.enable_compaction) {
+    ALADDIN_PHASE_SCOPE("core/compact");
     const auto budget = static_cast<std::int64_t>(std::llround(
         options_.compaction_migration_fraction *
         static_cast<double>(workload.container_count())));
@@ -182,8 +199,20 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
   outcome.explored_paths = counters.explored_paths;
   outcome.il_prunes = counters.il_prunes;
   outcome.dl_stops = counters.dl_stops;
+  if (obs::MetricsEnabled()) {
+    // Search counters are deterministic (PR2 guarantees serial == parallel),
+    // so bulk-adding them keeps the registry bit-identical across --threads.
+    ALADDIN_METRIC_ADD("core/search_explored", counters.explored_paths);
+    ALADDIN_METRIC_ADD("core/search_il_prunes", counters.il_prunes);
+    ALADDIN_METRIC_ADD("core/search_dl_stops", counters.dl_stops);
+    ALADDIN_METRIC_ADD("core/unplaced", outcome.unplaced.size());
+    outcome.phases = obs::DiffPhases(phases_before, obs::CapturePhases());
+  }
 #if ALADDIN_DCHECK_IS_ON()
-  CrossCheckOutcome(state, outcome, pre_existing_violations);
+  {
+    ALADDIN_PHASE_SCOPE("core/verify");
+    CrossCheckOutcome(state, outcome, pre_existing_violations);
+  }
 #endif
   return outcome;
 }

@@ -1,5 +1,7 @@
 #include "core/task_scheduler.h"
 
+#include "obs/trace.h"
+
 namespace aladdin::core {
 
 const char* TaskPlacementPolicyName(TaskPlacementPolicy policy) {
@@ -59,6 +61,7 @@ cluster::MachineId TaskScheduler::PlaceOne(cluster::ClusterState& state,
   if (target.valid()) {
     state.Deploy(task, target);
     index.OnChanged(target);
+    ALADDIN_METRIC_ADD("core/task_placed", 1);
   }
   return target;
 }

@@ -5,10 +5,12 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace aladdin::flow {
 
 MaxFlowResult EdmondsKarp(Graph& graph, VertexId source, VertexId sink) {
+  ALADDIN_TRACE_SCOPE("flow/edmonds_karp");
   ALADDIN_CHECK(source != sink);
   MaxFlowResult result;
   const std::size_t n = graph.vertex_count();
@@ -135,8 +137,11 @@ class DinicSolver {
 }  // namespace
 
 MaxFlowResult Dinic(Graph& graph, VertexId source, VertexId sink) {
+  ALADDIN_TRACE_SCOPE("flow/dinic");
   ALADDIN_CHECK(source != sink);
-  return DinicSolver(graph, source, sink).Run();
+  const MaxFlowResult result = DinicSolver(graph, source, sink).Run();
+  ALADDIN_METRIC_ADD("flow/dinic_phases", result.augmentations);
+  return result;
 }
 
 std::vector<ArcId> MinCutArcs(const Graph& graph, VertexId source) {

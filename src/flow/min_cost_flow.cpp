@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace aladdin::flow {
 
@@ -120,14 +121,19 @@ MinCostFlowResult SolveDijkstra(Graph& graph, VertexId source, VertexId sink,
 MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
                                  Capacity flow_limit,
                                  MinCostFlowOptions options) {
+  ALADDIN_TRACE_SCOPE("flow/ssp");
   ALADDIN_CHECK(source != sink);
+  MinCostFlowResult result;
   switch (options.pathfinder) {
     case MinCostFlowOptions::Pathfinder::kDijkstra:
-      return SolveDijkstra(graph, source, sink, flow_limit);
+      result = SolveDijkstra(graph, source, sink, flow_limit);
+      break;
     case MinCostFlowOptions::Pathfinder::kSpfa:
+      result = SolveSpfa(graph, source, sink, flow_limit);
       break;
   }
-  return SolveSpfa(graph, source, sink, flow_limit);
+  ALADDIN_METRIC_ADD("flow/ssp_iterations", result.iterations);
+  return result;
 }
 
 }  // namespace aladdin::flow

@@ -9,8 +9,28 @@
 #include "common/log.h"
 #include "common/timer.h"
 #include "core/task_scheduler.h"
+#include "obs/trace.h"
 
 namespace aladdin::k8s {
+
+namespace {
+
+// Shared epilogue of both Resolve() arms: stamp the wall time, diff the
+// phase registry into stats.phases, and feed the per-resolve metrics.
+void FinishStats(ResolveStats& stats, const WallTimer& timer,
+                 const std::vector<obs::PhaseDelta>& phases_before) {
+  stats.wall_seconds = timer.ElapsedSeconds();
+  if (!obs::MetricsEnabled()) return;
+  stats.phases = obs::DiffPhases(phases_before, obs::CapturePhases());
+  ALADDIN_METRIC_ADD("k8s/resolves", 1);
+  ALADDIN_METRIC_ADD("k8s/bindings", stats.new_bindings);
+  ALADDIN_METRIC_ADD("k8s/migrations", stats.migrations);
+  ALADDIN_METRIC_ADD("k8s/preemptions", stats.preemptions);
+  ALADDIN_METRIC_ADD("k8s/unschedulable", stats.unschedulable);
+  ALADDIN_METRIC_OBSERVE("k8s/resolve_ms", "ms", stats.wall_seconds * 1e3);
+}
+
+}  // namespace
 
 Resolver::Resolver(ModelAdaptor& adaptor, core::AladdinOptions options)
     : Resolver(adaptor, ResolverOptions{options, true}) {}
@@ -73,6 +93,9 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
   WallTimer timer;
   ResolveStats stats;
   stats.tick = tick;
+  const std::vector<obs::PhaseDelta> phases_before =
+      obs::MetricsEnabled() ? obs::CapturePhases()
+                            : std::vector<obs::PhaseDelta>{};
 
   if (!options_.incremental) {
     // Historical rebuild-everything path, kept as the equivalence baseline
@@ -85,29 +108,32 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
 
     // Pre-deploy bound pods; remember where everything was.
     std::unordered_map<PodUid, std::string> previous_node;
-    for (PodUid uid : adaptor_.BoundPods()) {
-      const Pod* pod = adaptor_.FindPod(uid);
-      const auto c = adaptor_.ContainerOf(uid);
-      const auto m = adaptor_.MachineOf(pod->node);
-      if (!c.valid() || !m.valid() || !state.Fits(c, m)) {
-        adaptor_.MutablePod(uid)->phase = PodPhase::kPending;
-        adaptor_.MutablePod(uid)->node.clear();
-        continue;
-      }
-      state.Deploy(c, m);
-      previous_node[uid] = pod->node;
-    }
-
     std::vector<cluster::ContainerId> long_lived;
     std::vector<PodUid> short_lived;
     const auto pending = adaptor_.PendingPods();
     stats.pending_before = pending.size();
-    for (PodUid uid : pending) {
-      const Pod* pod = adaptor_.FindPod(uid);
-      if (pod->spec.short_lived()) {
-        short_lived.push_back(uid);
-      } else {
-        long_lived.push_back(adaptor_.ContainerOf(uid));
+    ALADDIN_TRACE_COUNTER("k8s/pending", pending.size());
+    {
+      ALADDIN_PHASE_SCOPE("k8s/sync_state");
+      for (PodUid uid : adaptor_.BoundPods()) {
+        const Pod* pod = adaptor_.FindPod(uid);
+        const auto c = adaptor_.ContainerOf(uid);
+        const auto m = adaptor_.MachineOf(pod->node);
+        if (!c.valid() || !m.valid() || !state.Fits(c, m)) {
+          adaptor_.MutablePod(uid)->phase = PodPhase::kPending;
+          adaptor_.MutablePod(uid)->node.clear();
+          continue;
+        }
+        state.Deploy(c, m);
+        previous_node[uid] = pod->node;
+      }
+      for (PodUid uid : pending) {
+        const Pod* pod = adaptor_.FindPod(uid);
+        if (pod->spec.short_lived()) {
+          short_lived.push_back(uid);
+        } else {
+          long_lived.push_back(adaptor_.ContainerOf(uid));
+        }
       }
     }
 
@@ -117,6 +143,7 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
       scheduler.Schedule(request, state);
     }
     if (!short_lived.empty()) {
+      ALADDIN_PHASE_SCOPE("core/task");
       cluster::FreeIndex index;
       index.Attach(state);
       for (PodUid uid : short_lived) {
@@ -125,6 +152,106 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
       }
     }
 
+    {
+      ALADDIN_PHASE_SCOPE("k8s/reconcile");
+      for (PodUid uid : pending) {
+        Pod* pod = adaptor_.MutablePod(uid);
+        const auto c = adaptor_.ContainerOf(uid);
+        if (state.IsPlaced(c)) {
+          pod->phase = PodPhase::kBound;
+          pod->node = adaptor_.NodeOfMachine(state.PlacementOf(c));
+          pod->bound_at_tick = tick;
+          ++stats.new_bindings;
+          if (bindings != nullptr) {
+            bindings->push_back(Binding{uid, pod->node});
+          }
+        } else {
+          ++stats.unschedulable;
+        }
+      }
+      for (const auto& [uid, old_node] : previous_node) {
+        Pod* pod = adaptor_.MutablePod(uid);
+        const auto c = adaptor_.ContainerOf(uid);
+        if (!state.IsPlaced(c)) {
+          pod->phase = PodPhase::kPending;
+          pod->node.clear();
+          ++stats.preemptions;
+          continue;
+        }
+        const std::string& node = adaptor_.NodeOfMachine(state.PlacementOf(c));
+        if (node != old_node) {
+          pod->node = node;
+          pod->bound_at_tick = tick;
+          ++stats.migrations;
+          if (bindings != nullptr) bindings->push_back(Binding{uid, node});
+        }
+      }
+    }
+
+    FinishStats(stats, timer, phases_before);
+    return stats;
+  }
+
+  // --- incremental path --------------------------------------------------
+  std::vector<cluster::ContainerId> long_lived;
+  std::vector<PodUid> short_lived;
+  std::vector<PodUid> pending;
+  {
+    ALADDIN_PHASE_SCOPE("k8s/sync_state");
+    (void)adaptor_.workload();  // syncs the workload snapshot
+    if (!state_.has_value() ||
+        adaptor_.topology_version() != built_topology_version_) {
+      ALADDIN_TRACE_INSTANT("k8s/state_rebuild");
+      RebuildState();
+    } else {
+      SyncState();
+    }
+    ALADDIN_DCHECK(state_->placed_count() == adaptor_.BoundPods().size())
+        << "persistent state out of sync with the pod store";
+
+    // Split the pending set.
+    pending = adaptor_.PendingPods();
+    stats.pending_before = pending.size();
+    ALADDIN_TRACE_COUNTER("k8s/pending", pending.size());
+    for (PodUid uid : pending) {
+      const Pod* pod = adaptor_.FindPod(uid);
+      if (pod->spec.short_lived()) {
+        short_lived.push_back(uid);
+      } else {
+        long_lived.push_back(adaptor_.ContainerOf(uid));
+      }
+    }
+  }
+  const trace::Workload& workload = adaptor_.workload();  // already synced
+  cluster::ClusterState& state = *state_;
+
+  // Long-lived pods: the Aladdin core. The persistent scheduler reuses its
+  // aggregated network, replaying this state's dirty log (our evictions
+  // above included) instead of rebuilding it.
+  if (!long_lived.empty()) {
+    sim::ScheduleRequest request{&workload, &long_lived};
+    scheduler_.Schedule(request, state);
+  }
+
+  // Short-lived pods: the traditional task-based scheduler (§IV.D), on the
+  // persistent free index synced from the same dirty log.
+  if (!short_lived.empty()) {
+    ALADDIN_PHASE_SCOPE("core/task");
+    SyncFreeIndex();
+    for (PodUid uid : short_lived) {
+      core::TaskScheduler::PlaceOne(state, free_index_,
+                                    adaptor_.ContainerOf(uid),
+                                    core::TaskPlacementPolicy::kBestFit);
+    }
+  }
+
+  // Reconcile: pending pods first, then every other container the
+  // schedulers touched — the change journal replaces the full bound-pod
+  // scan, so reconciliation is O(pending + changes).
+  {
+    ALADDIN_PHASE_SCOPE("k8s/reconcile");
+    const std::unordered_set<PodUid> was_pending(pending.begin(),
+                                                 pending.end());
     for (PodUid uid : pending) {
       Pod* pod = adaptor_.MutablePod(uid);
       const auto c = adaptor_.ContainerOf(uid);
@@ -138,113 +265,30 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
         ++stats.unschedulable;
       }
     }
-    for (const auto& [uid, old_node] : previous_node) {
+    for (cluster::ContainerId c : state.TakeChangedContainers()) {
+      const PodUid uid = adaptor_.PodOfContainer(c);
+      if (uid < 0) continue;  // tombstone: pod already deleted
       Pod* pod = adaptor_.MutablePod(uid);
-      const auto c = adaptor_.ContainerOf(uid);
+      if (pod == nullptr || was_pending.contains(uid)) continue;
+      // A pod bound before this tick whose placement the scheduler touched.
       if (!state.IsPlaced(c)) {
+        // Preempted by a higher-weighted pending pod; back to the queue.
         pod->phase = PodPhase::kPending;
         pod->node.clear();
         ++stats.preemptions;
         continue;
       }
       const std::string& node = adaptor_.NodeOfMachine(state.PlacementOf(c));
-      if (node != old_node) {
+      if (node != pod->node) {
         pod->node = node;
         pod->bound_at_tick = tick;
         ++stats.migrations;
         if (bindings != nullptr) bindings->push_back(Binding{uid, node});
       }
     }
-
-    stats.wall_seconds = timer.ElapsedSeconds();
-    return stats;
   }
 
-  // --- incremental path --------------------------------------------------
-  const trace::Workload& workload = adaptor_.workload();  // syncs snapshot
-  if (!state_.has_value() ||
-      adaptor_.topology_version() != built_topology_version_) {
-    RebuildState();
-  } else {
-    SyncState();
-  }
-  cluster::ClusterState& state = *state_;
-  ALADDIN_DCHECK(state.placed_count() == adaptor_.BoundPods().size())
-      << "persistent state out of sync with the pod store";
-
-  // Split the pending set.
-  std::vector<cluster::ContainerId> long_lived;
-  std::vector<PodUid> short_lived;
-  const auto pending = adaptor_.PendingPods();
-  stats.pending_before = pending.size();
-  for (PodUid uid : pending) {
-    const Pod* pod = adaptor_.FindPod(uid);
-    if (pod->spec.short_lived()) {
-      short_lived.push_back(uid);
-    } else {
-      long_lived.push_back(adaptor_.ContainerOf(uid));
-    }
-  }
-
-  // Long-lived pods: the Aladdin core. The persistent scheduler reuses its
-  // aggregated network, replaying this state's dirty log (our evictions
-  // above included) instead of rebuilding it.
-  if (!long_lived.empty()) {
-    sim::ScheduleRequest request{&workload, &long_lived};
-    scheduler_.Schedule(request, state);
-  }
-
-  // Short-lived pods: the traditional task-based scheduler (§IV.D), on the
-  // persistent free index synced from the same dirty log.
-  if (!short_lived.empty()) {
-    SyncFreeIndex();
-    for (PodUid uid : short_lived) {
-      core::TaskScheduler::PlaceOne(state, free_index_,
-                                    adaptor_.ContainerOf(uid),
-                                    core::TaskPlacementPolicy::kBestFit);
-    }
-  }
-
-  // Reconcile: pending pods first, then every other container the
-  // schedulers touched — the change journal replaces the full bound-pod
-  // scan, so reconciliation is O(pending + changes).
-  const std::unordered_set<PodUid> was_pending(pending.begin(), pending.end());
-  for (PodUid uid : pending) {
-    Pod* pod = adaptor_.MutablePod(uid);
-    const auto c = adaptor_.ContainerOf(uid);
-    if (state.IsPlaced(c)) {
-      pod->phase = PodPhase::kBound;
-      pod->node = adaptor_.NodeOfMachine(state.PlacementOf(c));
-      pod->bound_at_tick = tick;
-      ++stats.new_bindings;
-      if (bindings != nullptr) bindings->push_back(Binding{uid, pod->node});
-    } else {
-      ++stats.unschedulable;
-    }
-  }
-  for (cluster::ContainerId c : state.TakeChangedContainers()) {
-    const PodUid uid = adaptor_.PodOfContainer(c);
-    if (uid < 0) continue;  // tombstone: pod already deleted
-    Pod* pod = adaptor_.MutablePod(uid);
-    if (pod == nullptr || was_pending.contains(uid)) continue;
-    // A pod bound before this tick whose placement the scheduler touched.
-    if (!state.IsPlaced(c)) {
-      // Preempted by a higher-weighted pending pod; back to the queue.
-      pod->phase = PodPhase::kPending;
-      pod->node.clear();
-      ++stats.preemptions;
-      continue;
-    }
-    const std::string& node = adaptor_.NodeOfMachine(state.PlacementOf(c));
-    if (node != pod->node) {
-      pod->node = node;
-      pod->bound_at_tick = tick;
-      ++stats.migrations;
-      if (bindings != nullptr) bindings->push_back(Binding{uid, node});
-    }
-  }
-
-  stats.wall_seconds = timer.ElapsedSeconds();
+  FinishStats(stats, timer, phases_before);
   return stats;
 }
 

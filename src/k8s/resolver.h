@@ -29,6 +29,7 @@
 #include "cluster/free_index.h"
 #include "core/scheduler.h"
 #include "k8s/adaptor.h"
+#include "obs/metrics.h"
 
 namespace aladdin::k8s {
 
@@ -40,6 +41,11 @@ struct ResolveStats {
   std::size_t preemptions = 0;    // bound pods returned to pending
   std::size_t unschedulable = 0;  // pending pods the resolver gave up on
   double wall_seconds = 0.0;
+
+  // Phase breakdown of this resolve from the obs registry (empty unless
+  // metrics were armed). Exclusive phases partition the resolve; their
+  // seconds-sum approximates wall_seconds (the bench coverage check).
+  std::vector<obs::PhaseDelta> phases;
 };
 
 struct ResolverOptions {

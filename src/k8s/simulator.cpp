@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace aladdin::k8s {
 
 ClusterSimulator::ClusterSimulator(core::AladdinOptions options)
@@ -111,19 +113,30 @@ std::size_t ClusterSimulator::ScaleDown(const std::string& app,
 }
 
 ResolveStats ClusterSimulator::Tick(std::vector<Binding>* bindings) {
+  ALADDIN_TRACE_SCOPE("k8s/tick");
+  ALADDIN_METRIC_ADD("k8s/ticks", 1);
   ++now_;
-  // Complete batch pods whose lifetime elapsed.
-  for (PodUid uid : adaptor_.BoundPods()) {
-    const Pod* pod = adaptor_.FindPod(uid);
-    if (!pod->spec.short_lived()) continue;
-    if (pod->bound_at_tick >= 0 &&
-        now_ >= pod->bound_at_tick + pod->spec.lifetime_ticks) {
-      ++completed_tasks_;
-      DeletePod(uid);
+  {
+    // Complete batch pods whose lifetime elapsed, then deliver the tick's
+    // queued cluster events — everything that happens "outside" the
+    // resolver, kept exclusive so the tick breakdown separates event
+    // handling from scheduling.
+    ALADDIN_PHASE_SCOPE("k8s/events");
+    for (PodUid uid : adaptor_.BoundPods()) {
+      const Pod* pod = adaptor_.FindPod(uid);
+      if (!pod->spec.short_lived()) continue;
+      if (pod->bound_at_tick >= 0 &&
+          now_ >= pod->bound_at_tick + pod->spec.lifetime_ticks) {
+        ++completed_tasks_;
+        DeletePod(uid);
+      }
     }
+    ehc_.DrainAndDispatch();
   }
-  ehc_.DrainAndDispatch();
   ResolveStats stats = resolver_.Resolve(now_, bindings);
+  ALADDIN_METRIC_GAUGE_SET("k8s/pods_pending",
+                           stats.pending_before - stats.new_bindings);
+  ALADDIN_METRIC_GAUGE_SET("k8s/tasks_completed", completed_tasks_);
   history_.push_back(stats);
   return stats;
 }

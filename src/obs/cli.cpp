@@ -1,0 +1,74 @@
+#include "obs/cli.h"
+
+#include <cstdio>
+
+#include "common/bench_json.h"
+#include "common/flags.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aladdin::obs {
+
+ObsCli::ObsCli(Flags& flags, bool with_obs) {
+  log_level_ = &flags.String("log-level", "info",
+                             "log verbosity: debug|info|warn|error");
+  if (with_obs) {
+    metrics_ = &flags.Bool("metrics", false,
+                           "collect the metrics registry and dump it at exit");
+    trace_path_ = &flags.String(
+        "trace", "", "write a Chrome/Perfetto trace-event JSON to this path");
+    trace_ring_ = &flags.Int64("trace_ring",
+                               static_cast<std::int64_t>(
+                                   TraceOptions{}.ring_capacity),
+                               "per-thread trace ring capacity (records)");
+  }
+}
+
+bool ObsCli::Apply() {
+  LogLevel level = LogLevel::kInfo;
+  if (!ParseLogLevel(*log_level_, &level)) {
+    LOG_ERROR << "unknown --log-level value \"" << *log_level_
+              << "\" (want debug|info|warn|error)";
+    return false;
+  }
+  SetLogLevel(level);
+  if (metrics_ != nullptr && *metrics_) SetMetricsEnabled(true);
+  if (trace_path_ != nullptr && !trace_path_->empty()) {
+    TraceOptions options;
+    if (*trace_ring_ > 0) {
+      options.ring_capacity = static_cast<std::size_t>(*trace_ring_);
+    }
+    StartTracing(options);
+    // Tracing needs the phase-time half of the registry armed too, so the
+    // per-tick breakdown matches what the trace shows.
+    SetMetricsEnabled(true);
+  }
+  return true;
+}
+
+bool ObsCli::Finish(BenchJson* json) {
+  bool ok = true;
+  if (trace_path_ != nullptr && !trace_path_->empty()) {
+    StopTracing();
+    if (WriteTrace(*trace_path_)) {
+      LOG_INFO << "trace written to " << *trace_path_
+               << " (dropped=" << DroppedTraceEvents() << ")";
+    } else {
+      ok = false;
+    }
+  }
+  if (metrics_ != nullptr && *metrics_) {
+    const std::string dump = FormatMetrics();
+    std::fwrite(dump.data(), 1, dump.size(), stdout);
+  }
+  if (json != nullptr && MetricsEnabled()) ExportMetrics(*json);
+  return ok;
+}
+
+const std::string& ObsCli::trace_path() const {
+  static const std::string empty;
+  return trace_path_ != nullptr ? *trace_path_ : empty;
+}
+
+}  // namespace aladdin::obs

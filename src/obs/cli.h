@@ -1,0 +1,54 @@
+// Shared flag wiring for the observability layer, so every bench / sim /
+// tool binary grows the same switches with three lines:
+//
+//   Flags flags;
+//   obs::ObsCli obs_cli(flags);                  // --log-level --metrics
+//   ...                                          // --trace --trace_ring
+//   if (!flags.Parse(argc, argv)) return 1;
+//   if (!obs_cli.Apply()) return 1;              // arm what was requested
+//   ...run...
+//   obs_cli.Finish(&json);                       // flush trace + metrics
+//
+// Binaries that only want --log-level (generators, offline tools) pass
+// with_obs = false.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aladdin {
+class BenchJson;
+class Flags;
+}  // namespace aladdin
+
+namespace aladdin::obs {
+
+class ObsCli {
+ public:
+  explicit ObsCli(Flags& flags, bool with_obs = true);
+
+  // Call once after Flags::Parse succeeded. Sets the log level and arms
+  // metrics / tracing as requested. Returns false (after logging the
+  // offending value) on an unknown --log-level.
+  [[nodiscard]] bool Apply();
+
+  // End of run: stops tracing and writes --trace's file (logging the path),
+  // prints the --metrics dump to stdout, and, when `json` is given, appends
+  // the metrics registry to it for perf_compare.py. Safe to call when
+  // nothing was enabled. Returns false if the trace file could not be
+  // written.
+  [[nodiscard]] bool Finish(BenchJson* json = nullptr);
+
+  [[nodiscard]] bool metrics_requested() const {
+    return metrics_ != nullptr && *metrics_;
+  }
+  [[nodiscard]] const std::string& trace_path() const;
+
+ private:
+  std::string* log_level_ = nullptr;
+  std::string* trace_path_ = nullptr;
+  bool* metrics_ = nullptr;
+  std::int64_t* trace_ring_ = nullptr;
+};
+
+}  // namespace aladdin::obs

@@ -1,0 +1,29 @@
+#include "obs/runtime.h"
+
+#include <atomic>
+
+namespace aladdin::obs {
+
+namespace {
+std::atomic<std::uint32_t> g_mode{0};
+}  // namespace
+
+std::uint32_t CurrentMode() {
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  internal::SetModeBit(kMetrics, enabled);
+}
+
+namespace internal {
+void SetModeBit(std::uint32_t bit, bool enabled) {
+  if (enabled) {
+    g_mode.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    g_mode.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+}  // namespace internal
+
+}  // namespace aladdin::obs

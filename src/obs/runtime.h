@@ -1,0 +1,52 @@
+// Observability kill switches.
+//
+// The obs layer (metrics registry + scoped tracing) must cost nothing when
+// nobody is looking at it, so it is gated twice:
+//
+//  * compile time — building with -DALADDIN_OBS_ENABLED=0 (CMake option
+//    ALADDIN_OBS=OFF) compiles every ALADDIN_TRACE_* / ALADDIN_METRIC_*
+//    macro down to nothing; the obs library still links so the snapshot /
+//    export API keeps working (it just reports an empty registry);
+//  * run time — a process-global mode mask, read with one relaxed atomic
+//    load at the top of every instrumented scope. With both bits clear a
+//    scope is a load + branch; no clock is read, no cell is touched.
+//
+// The two bits are independent: kMetrics arms the counters, gauges,
+// histograms and phase-time accumulators; kTracing arms the per-thread
+// trace-event ring buffers. Benches typically enable both (--metrics /
+// --trace); the library default is everything off.
+#pragma once
+
+#include <cstdint>
+
+#ifndef ALADDIN_OBS_ENABLED
+#define ALADDIN_OBS_ENABLED 1
+#endif
+
+namespace aladdin::obs {
+
+enum ModeBits : std::uint32_t {
+  kMetrics = 1u << 0,  // counters / gauges / histograms / phase timers
+  kTracing = 1u << 1,  // trace-event ring buffers
+};
+
+// Current mode mask (relaxed load; safe from any thread).
+[[nodiscard]] std::uint32_t CurrentMode();
+
+[[nodiscard]] inline bool MetricsEnabled() {
+  return (CurrentMode() & kMetrics) != 0;
+}
+[[nodiscard]] inline bool TracingEnabled() {
+  return (CurrentMode() & kTracing) != 0;
+}
+
+// Arms / disarms the metrics side. Cheap; callable at any time.
+void SetMetricsEnabled(bool enabled);
+
+// The tracing bit is owned by StartTracing()/StopTracing() in obs/trace.h —
+// internal setter shared with that module.
+namespace internal {
+void SetModeBit(std::uint32_t bit, bool enabled);
+}  // namespace internal
+
+}  // namespace aladdin::obs

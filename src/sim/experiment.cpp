@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace aladdin::sim {
 
@@ -22,6 +23,7 @@ RunMetrics RunExperimentOn(Scheduler& scheduler,
                            const cluster::Topology& topology,
                            trace::ArrivalOrder order,
                            std::uint64_t arrival_seed) {
+  ALADDIN_TRACE_SCOPE("sim/replay");
   const auto arrival =
       trace::MakeArrivalSequence(workload, order, arrival_seed);
   cluster::ClusterState state = workload.MakeState(topology);

@@ -103,4 +103,40 @@ bool AppendMetricsCsv(const std::string& path, const std::string& experiment,
   return static_cast<bool>(os);
 }
 
+Table BuildPhaseTable(const std::vector<obs::PhaseDelta>& phases,
+                      double total_seconds) {
+  Table table({"phase", "kind", "ms", "calls", "share_pct"});
+  // Exclusive phases first (they partition the run), each group by time.
+  std::vector<obs::PhaseDelta> sorted = phases;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const obs::PhaseDelta& a, const obs::PhaseDelta& b) {
+                     if (a.exclusive != b.exclusive) return a.exclusive;
+                     return a.ns > b.ns;
+                   });
+  for (const obs::PhaseDelta& phase : sorted) {
+    const double share = total_seconds > 0.0
+                             ? phase.seconds() / total_seconds * 100.0
+                             : 0.0;
+    table.Cell(phase.name)
+        .Cell(phase.exclusive ? "excl" : "nested")
+        .Cell(phase.seconds() * 1e3, 3)
+        .Cell(phase.calls)
+        .Cell(share, 1)
+        .EndRow();
+  }
+  const double covered = obs::ExclusiveSeconds(sorted);
+  table.Cell("(exclusive coverage)")
+      .Cell("")
+      .Cell(covered * 1e3, 3)
+      .Cell(std::int64_t{0})
+      .Cell(total_seconds > 0.0 ? covered / total_seconds * 100.0 : 0.0, 1)
+      .EndRow();
+  return table;
+}
+
+void PrintPhaseTable(const std::vector<obs::PhaseDelta>& phases,
+                     double total_seconds) {
+  BuildPhaseTable(phases, total_seconds).Print();
+}
+
 }  // namespace aladdin::sim

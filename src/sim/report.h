@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "obs/metrics.h"
 #include "sim/metrics.h"
 
 namespace aladdin::sim {
@@ -35,5 +36,16 @@ void PrintEfficiencyTable(const std::vector<RunMetrics>& metrics);
 bool AppendMetricsCsv(const std::string& path, const std::string& experiment,
                       const std::string& label,
                       const std::vector<RunMetrics>& metrics);
+
+// Where-the-time-went breakdown from the obs phase registry (see
+// obs/metrics.h). One row per phase: total ms, calls, share of
+// `total_seconds` (the measured wall time the deltas are judged against),
+// and whether the phase is exclusive (partitions the run) or nested detail.
+// Exclusive rows print first; their share-sum is the coverage figure
+// bench_online checks against its tick wall time.
+Table BuildPhaseTable(const std::vector<obs::PhaseDelta>& phases,
+                      double total_seconds);
+void PrintPhaseTable(const std::vector<obs::PhaseDelta>& phases,
+                     double total_seconds);
 
 }  // namespace aladdin::sim

@@ -1,0 +1,24 @@
+// Shared gtest main for every Aladdin test binary. Tests run with the log
+// level at kWarn by default (common/log.h documents this contract) so
+// expected-warning code paths don't drown the gtest output; export
+// ALADDIN_LOG_LEVEL=debug|info|warn|error to override when chasing a
+// failure.
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+
+#include "common/log.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  aladdin::LogLevel level = aladdin::LogLevel::kWarn;
+  const char* env = std::getenv("ALADDIN_LOG_LEVEL");
+  const bool env_bad =
+      env != nullptr && !aladdin::ParseLogLevel(env, &level);
+  aladdin::SetLogLevel(level);
+  if (env_bad) {
+    LOG_WARN << "unrecognised ALADDIN_LOG_LEVEL=\"" << env
+             << "\"; using \"warn\"";
+  }
+  return RUN_ALL_TESTS();
+}

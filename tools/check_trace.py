@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by the obs layer
+(--trace=FILE on the bench binaries).
+
+Checks, in order:
+
+  * the file parses as JSON and has the object-format shape
+    {"traceEvents": [...]} that Perfetto / chrome://tracing load;
+  * every event carries name/ph/ts/pid, with a tid on all non-metadata
+    events;
+  * timestamps are globally non-decreasing across the whole file
+    (metadata "M" events excluded) — the writer's k-way merge contract;
+  * per (pid, tid), duration events obey stack discipline: every "E"
+    closes the most recent open "B" *with the same name*, and nothing is
+    left open at the end of the file;
+  * counter events carry a numeric args.value;
+  * optionally (--min-phases N) at least N distinct duration-scope names
+    appear, and (--require-prefix core/ --require-prefix flow/ ...) every
+    given prefix is represented — the bench_online acceptance gate that a
+    run trace spans the whole pipeline, not just one layer.
+
+Exit status 0 = valid; 1 = violations (one per line).
+
+Usage:
+  tools/check_trace.py TRACE.json [--min-phases 6] \\
+      [--require-prefix core/ --require-prefix flow/ --require-prefix k8s/]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def validate(doc, min_phases: int = 0,
+             require_prefixes: list[str] | None = None) -> list[str]:
+    """Returns a list of violation strings; empty = valid."""
+    errors: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["top level is not an object with a traceEvents array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents is not an array"]
+
+    stacks: dict[tuple, list[str]] = {}
+    scope_names: set[str] = set()
+    last_ts = None
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        ph = event.get("ph")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing name")
+            continue
+        where = f"event {index} ({ph} {name})"
+        if ph not in ("B", "E", "i", "C", "M"):
+            errors.append(f"{where}: unsupported phase {ph!r}")
+            continue
+        if "pid" not in event:
+            errors.append(f"{where}: missing pid")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: missing numeric ts")
+            continue
+        if ph == "M":
+            continue  # metadata sorts first regardless of ts
+        if "tid" not in event:
+            errors.append(f"{where}: missing tid")
+            continue
+        if last_ts is not None and ts < last_ts:
+            errors.append(f"{where}: ts {ts} regresses below {last_ts}")
+        last_ts = ts
+
+        key = (event.get("pid"), event["tid"])
+        if ph == "B":
+            stacks.setdefault(key, []).append(name)
+            scope_names.add(name)
+        elif ph == "E":
+            stack = stacks.setdefault(key, [])
+            if not stack:
+                errors.append(f"{where}: E without an open B on tid {key[1]}")
+            elif stack[-1] != name:
+                errors.append(f"{where}: E closes {stack[-1]!r}, not {name!r} "
+                              f"(tid {key[1]})")
+                stack.pop()
+            else:
+                stack.pop()
+        elif ph == "C":
+            value = event.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                errors.append(f"{where}: counter without numeric args.value")
+
+    for (pid, tid), stack in sorted(stacks.items()):
+        if stack:
+            errors.append(f"tid {tid}: {len(stack)} unclosed scope(s), "
+                          f"innermost {stack[-1]!r}")
+
+    if min_phases and len(scope_names) < min_phases:
+        errors.append(f"only {len(scope_names)} distinct phase name(s) "
+                      f"{sorted(scope_names)}, need {min_phases}")
+    for prefix in require_prefixes or []:
+        if not any(name.startswith(prefix) for name in scope_names):
+            errors.append(f"no phase named under {prefix!r} — the trace does "
+                          f"not span that pipeline layer")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", type=Path)
+    parser.add_argument("--min-phases", type=int, default=0,
+                        help="require at least this many distinct scope names")
+    parser.add_argument("--require-prefix", action="append", default=[],
+                        metavar="PREFIX",
+                        help="require at least one scope under this prefix "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    try:
+        doc = json.loads(args.trace.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_trace: {args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    errors = validate(doc, min_phases=args.min_phases,
+                      require_prefixes=args.require_prefix)
+    if errors:
+        print(f"check_trace: {args.trace}: {len(errors)} violation(s)",
+              file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+
+    events = doc["traceEvents"]
+    scopes = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "B")
+    names = {e["name"] for e in events
+             if isinstance(e, dict) and e.get("ph") == "B"}
+    print(f"check_trace: {args.trace}: OK — {len(events)} events, "
+          f"{scopes} scopes, {len(names)} distinct phases")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,12 @@ Enforces the project idioms that generic tooling does not know about:
     explicit seeds so every experiment is replayable;
   * threading guard: no raw std::thread / std::jthread / std::async outside
     src/common/thread_pool.* — ad-hoc threads bypass the pool's deterministic
-    fan-out contract (querying std::thread::hardware_concurrency is fine).
+    fan-out contract (querying std::thread::hardware_concurrency is fine);
+  * diagnostics guard: no raw writes to stderr (std::fprintf(stderr, ...) /
+    std::cerr) outside common/log.*, common/check.* and common/flags.* —
+    everything diagnostic goes through LOG_* so --log-level can silence it
+    globally (tests run at kWarn). This rule also covers bench/ and
+    examples/, which are otherwise exempt from src/ lint.
 
 Runs as a ctest case (`ctest -R lint`) and standalone:  tools/lint.py
 Exit status 0 = clean; 1 = violations (one per line, file:line: message).
@@ -54,6 +59,14 @@ BANNED_PATTERNS = [
 # `std::thread::` (e.g. hardware_concurrency) is a query, not a thread.
 THREAD_CONSTRUCT = re.compile(r"std::(?:thread\b(?!\s*::)|jthread\b|async\b)")
 THREAD_POOL_FILES = {"thread_pool.h", "thread_pool.cpp"}
+
+# Raw stderr writes bypass the leveled logger (common/log.h). Only the
+# logger itself, the check-failure path (which must not allocate or lock
+# during static destruction) and the flag parser (usage text before logging
+# is configured) may write to stderr directly.
+STDERR_WRITE = re.compile(r"(?:std::)?fprintf\s*\(\s*stderr\b|std::cerr\b")
+STDERR_ALLOWED_FILES = {"log.h", "log.cpp", "check.h", "check.cpp",
+                        "flags.h", "flags.cpp"}
 
 STATIC_ASSERT = re.compile(r"\bstatic_assert\s*\(")
 INCLUDE = re.compile(r'#\s*include\s*(["<])([^">]+)[">]')
@@ -119,6 +132,27 @@ def strip_comments(text: str) -> str:
     return "".join(out)
 
 
+def lint_stderr_writes(path: Path, lines: list[str], err) -> None:
+    if path.parent.name == "common" and path.name in STDERR_ALLOWED_FILES:
+        return
+    for lineno, line in enumerate(lines, start=1):
+        if STDERR_WRITE.search(line):
+            err(lineno, "raw stderr write; route diagnostics through LOG_* "
+                        "(common/log.h) so --log-level can silence them")
+
+
+def lint_aux_file(path: Path, errors: list[str]) -> None:
+    """bench/ and examples/ drivers: only the diagnostics guard applies —
+    they print results on stdout and own their include style."""
+    rel = path.relative_to(REPO_ROOT)
+    code = strip_comments(path.read_text(encoding="utf-8"))
+
+    def err(lineno: int, message: str) -> None:
+        errors.append(f"{rel}:{lineno}: {message}")
+
+    lint_stderr_writes(path, code.split("\n"), err)
+
+
 def lint_file(path: Path, errors: list[str]) -> None:
     rel = path.relative_to(REPO_ROOT)
     raw = path.read_text(encoding="utf-8")
@@ -151,6 +185,9 @@ def lint_file(path: Path, errors: list[str]) -> None:
                 err(lineno, "raw thread construction; route parallelism "
                             "through common/thread_pool.h (ThreadPool / "
                             "ParallelFor)")
+
+    # --- diagnostics guard -------------------------------------------------
+    lint_stderr_writes(path, lines, err)
 
     # --- header rules ------------------------------------------------------
     if path.suffix in HEADER_EXTS:
@@ -204,6 +241,13 @@ def main() -> int:
     errors: list[str] = []
     for path in files:
         lint_file(path, errors)
+
+    aux_files = []
+    for directory in ("bench", "examples"):
+        aux_files.extend(sorted((REPO_ROOT / directory).glob("*.cpp")))
+    for path in aux_files:
+        lint_aux_file(path, errors)
+    files.extend(aux_files)
 
     if errors:
         print(f"lint: {len(errors)} violation(s)", file=sys.stderr)

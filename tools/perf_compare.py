@@ -55,6 +55,54 @@ def load_metrics(path: Path) -> tuple[dict[str, float], dict[str, str]]:
 TIME_UNITS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
 
+def compare(base_values: dict[str, float], base_units: dict[str, str],
+            cur_values: dict[str, float], max_ratio: float = 2.0,
+            floor_ms: float = 1.0) -> tuple[list[str], list[str]]:
+    """The comparison policy, importable for tests: time-unit metrics are
+    ratio-checked against max_ratio (below floor_ms on both sides = noise),
+    unit "count" metrics are identity-checked (the obs registry's counters
+    and the audit numbers are placement decisions, not timings), and any
+    other unit — "gauge", "rate", histogram units — is informational.
+
+    Returns (report_lines, failures); empty failures = within bounds."""
+    lines: list[str] = []
+    failures: list[str] = []
+    for name in sorted(base_values):
+        if name not in cur_values:
+            lines.append(f"  [missing] {name}: in baseline only")
+            continue
+        base, cur = base_values[name], cur_values[name]
+        unit = base_units.get(name, "")
+        if unit in TIME_UNITS:
+            base_ms = base * TIME_UNITS[unit]
+            cur_ms = cur * TIME_UNITS[unit]
+            if base_ms < floor_ms and cur_ms < floor_ms:
+                lines.append(f"  [noise]   {name}: {base:g} -> {cur:g} {unit} "
+                             f"(below {floor_ms}ms floor)")
+                continue
+            ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+            verdict = "REGRESSED" if ratio > max_ratio else "ok"
+            lines.append(f"  [{verdict:9}] {name}: {base:g} -> {cur:g} {unit} "
+                         f"(x{ratio:.2f})")
+            if ratio > max_ratio:
+                failures.append(f"{name}: {base:g} -> {cur:g} {unit} is "
+                                f"x{ratio:.2f} > x{max_ratio}")
+        elif unit == "count":
+            # Counters must match exactly: placement decisions are part of
+            # the contract, not a tunable.
+            if base != cur:
+                lines.append(f"  [CHANGED ] {name}: {base:g} -> {cur:g}")
+                failures.append(f"{name}: counter changed {base:g} -> {cur:g}")
+            else:
+                lines.append(f"  [{'ok':9}] {name}: {cur:g}")
+        else:
+            lines.append(f"  [info]    {name}: {base:g} -> {cur:g} "
+                         f"{unit}".rstrip())
+    for name in sorted(set(cur_values) - set(base_values)):
+        lines.append(f"  [new]     {name}: {cur_values[name]:g}")
+    return lines, failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=Path)
@@ -70,40 +118,11 @@ def main() -> int:
     base_values, base_units = load_metrics(args.baseline)
     cur_values, _ = load_metrics(args.current)
 
-    failures: list[str] = []
-    for name in sorted(base_values):
-        if name not in cur_values:
-            print(f"  [missing] {name}: in baseline only")
-            continue
-        base, cur = base_values[name], cur_values[name]
-        unit = base_units.get(name, "")
-        if unit in TIME_UNITS:
-            base_ms = base * TIME_UNITS[unit]
-            cur_ms = cur * TIME_UNITS[unit]
-            if base_ms < args.floor_ms and cur_ms < args.floor_ms:
-                print(f"  [noise]   {name}: {base:g} -> {cur:g} {unit} "
-                      f"(below {args.floor_ms}ms floor)")
-                continue
-            ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
-            verdict = "REGRESSED" if ratio > args.max_ratio else "ok"
-            print(f"  [{verdict:9}] {name}: {base:g} -> {cur:g} {unit} "
-                  f"(x{ratio:.2f})")
-            if ratio > args.max_ratio:
-                failures.append(
-                    f"{name}: {base:g} -> {cur:g} {unit} is "
-                    f"x{ratio:.2f} > x{args.max_ratio}")
-        elif unit == "count":
-            # Counters must match exactly: placement decisions are part of
-            # the contract, not a tunable.
-            if base != cur:
-                print(f"  [CHANGED ] {name}: {base:g} -> {cur:g}")
-                failures.append(f"{name}: counter changed {base:g} -> {cur:g}")
-            else:
-                print(f"  [{'ok':9}] {name}: {cur:g}")
-        else:
-            print(f"  [info]    {name}: {base:g} -> {cur:g} {unit}".rstrip())
-    for name in sorted(set(cur_values) - set(base_values)):
-        print(f"  [new]     {name}: {cur_values[name]:g}")
+    lines, failures = compare(base_values, base_units, cur_values,
+                              max_ratio=args.max_ratio,
+                              floor_ms=args.floor_ms)
+    for line in lines:
+        print(line)
 
     if failures:
         print(f"\nperf_compare: {len(failures)} failure(s) vs "

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Unit tests for the perf_compare policy: unit "count" metrics are
+identity-checked, time-unit metrics are ratio-checked (with the noise
+floor), everything else is informational. Registered as a ctest case.
+
+Run standalone:  python3 tools/test_perf_compare.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import perf_compare
+
+
+def run_compare(base, cur, **kwargs):
+    values_b = {name: value for name, (value, _) in base.items()}
+    units_b = {name: unit for name, (_, unit) in base.items()}
+    values_c = {name: value for name, (value, _) in cur.items()}
+    return perf_compare.compare(values_b, units_b, values_c, **kwargs)
+
+
+class CounterIdentityTest(unittest.TestCase):
+    def test_equal_counters_pass(self):
+        _, failures = run_compare({"pods_bound": (100.0, "count")},
+                                  {"pods_bound": (100.0, "count")})
+        self.assertEqual(failures, [])
+
+    def test_any_counter_drift_fails(self):
+        # Even a tiny drift fails: counters are placement decisions, and the
+        # obs registry guarantees them bit-identical across thread counts.
+        _, failures = run_compare({"core/migrations": (100.0, "count")},
+                                  {"core/migrations": (101.0, "count")})
+        self.assertEqual(len(failures), 1)
+        self.assertIn("core/migrations", failures[0])
+
+    def test_counters_are_never_ratio_excused(self):
+        # A 1% drift would sail through any ratio check; identity catches it.
+        _, failures = run_compare({"audit_placed": (10000.0, "count")},
+                                  {"audit_placed": (10100.0, "count")},
+                                  max_ratio=10.0)
+        self.assertEqual(len(failures), 1)
+
+
+class TimeRatioTest(unittest.TestCase):
+    def test_small_slowdown_passes(self):
+        _, failures = run_compare({"resolve_ms_p50": (100.0, "ms")},
+                                  {"resolve_ms_p50": (150.0, "ms")},
+                                  max_ratio=2.0)
+        self.assertEqual(failures, [])
+
+    def test_large_slowdown_fails(self):
+        _, failures = run_compare({"resolve_ms_p50": (100.0, "ms")},
+                                  {"resolve_ms_p50": (250.0, "ms")},
+                                  max_ratio=2.0)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("resolve_ms_p50", failures[0])
+
+    def test_times_are_not_identity_checked(self):
+        # The same 1% drift that fails a counter is fine on a timing.
+        _, failures = run_compare({"total_resolve_s": (10.0, "s")},
+                                  {"total_resolve_s": (10.1, "s")})
+        self.assertEqual(failures, [])
+
+    def test_noise_floor_skips_sub_ms_jitter(self):
+        lines, failures = run_compare({"k8s/events_ms": (0.1, "ms")},
+                                      {"k8s/events_ms": (0.9, "ms")},
+                                      max_ratio=2.0, floor_ms=1.0)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("[noise]" in line for line in lines))
+
+    def test_unit_conversion(self):
+        # 500us -> 1.5ms crosses the floor and is a x3 regression.
+        _, failures = run_compare({"step": (500.0, "us")},
+                                  {"step": (1500.0, "us")},
+                                  max_ratio=2.0, floor_ms=1.0)
+        self.assertEqual(len(failures), 1)
+
+
+class InformationalTest(unittest.TestCase):
+    def test_gauges_and_rates_never_fail(self):
+        lines, failures = run_compare(
+            {"k8s/pods_pending": (5.0, "gauge"),
+             "bindings_per_s": (1000.0, "rate")},
+            {"k8s/pods_pending": (50.0, "gauge"),
+             "bindings_per_s": (10.0, "rate")})
+        self.assertEqual(failures, [])
+        self.assertEqual(sum("[info]" in line for line in lines), 2)
+
+    def test_one_sided_metrics_reported_not_failed(self):
+        lines, failures = run_compare({"old_metric": (1.0, "count")},
+                                      {"new_metric": (2.0, "count")})
+        self.assertEqual(failures, [])
+        self.assertTrue(any("[missing]" in line for line in lines))
+        self.assertTrue(any("[new]" in line for line in lines))
+
+
+class LoadMetricsTest(unittest.TestCase):
+    def test_bench_v1_roundtrip(self):
+        doc = {"schema": "aladdin-bench-v1", "name": "online",
+               "metrics": [{"name": "pods_bound", "value": 7, "unit": "count"},
+                           {"name": "p50", "value": 1.5, "unit": "ms"}]}
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "bench.json"
+            path.write_text(json.dumps(doc), encoding="utf-8")
+            values, units = perf_compare.load_metrics(path)
+        self.assertEqual(values, {"pods_bound": 7.0, "p50": 1.5})
+        self.assertEqual(units, {"pods_bound": "count", "p50": "ms"})
+
+
+if __name__ == "__main__":
+    unittest.main()
