@@ -6,46 +6,52 @@ namespace aladdin::cluster {
 
 void FreeIndex::Attach(const ClusterState& state) {
   state_ = &state;
-  by_free_.clear();
   const auto& machines = state.topology().machines();
+
+  std::int64_t max_capacity = 0;
+  for (const Machine& m : machines) {
+    max_capacity = std::max(max_capacity, m.capacity.cpu_millis());
+  }
+  // Width such that the largest possible free value maps inside the table.
+  bucket_width_ = std::max<std::int64_t>(
+      1, max_capacity / static_cast<std::int64_t>(kBuckets) + 1);
+
+  buckets_.assign(kBuckets, {});
   indexed_free_.assign(machines.size(), 0);
   for (const Machine& m : machines) {
     const std::int64_t free = state.Free(m.id).cpu_millis();
     indexed_free_[static_cast<std::size_t>(m.id.value())] = free;
-    by_free_.insert({free, m.id.value()});
+    buckets_[BucketOf(free)].keys.push_back({free, m.id.value()});
+  }
+  for (Bucket& bucket : buckets_) {
+    std::sort(bucket.keys.begin(), bucket.keys.end());
   }
 }
 
 void FreeIndex::OnChanged(MachineId m) {
   ALADDIN_CHECK(state_ != nullptr);
   const auto mi = static_cast<std::size_t>(m.value());
+  const std::int64_t old_free = indexed_free_[mi];
   const std::int64_t now = state_->Free(m).cpu_millis();
-  if (now == indexed_free_[mi]) return;
-  by_free_.erase({indexed_free_[mi], m.value()});
-  by_free_.insert({now, m.value()});
+  if (now == old_free) return;
+
+  Bucket& from = buckets_[BucketOf(old_free)];
+  const auto it =
+      std::lower_bound(from.begin(), from.end(), Key{old_free, m.value()});
+  ALADDIN_DCHECK(it != from.end() && *it == (Key{old_free, m.value()}));
+  from.Erase(it);
+
+  buckets_[BucketOf(now)].Insert({now, m.value()});
   indexed_free_[mi] = now;
 }
 
-bool FreeIndex::ScanAscending(std::int64_t min_free_cpu,
-                              const std::function<bool(MachineId)>& fn) const {
-  for (auto it = by_free_.lower_bound({min_free_cpu, -1}); it != by_free_.end();
-       ++it) {
-    if (fn(MachineId(it->second))) return true;
-  }
-  return false;
-}
-
-bool FreeIndex::ScanDescending(const std::function<bool(MachineId)>& fn) const {
-  for (auto it = by_free_.rbegin(); it != by_free_.rend(); ++it) {
-    if (fn(MachineId(it->second))) return true;
-  }
-  return false;
-}
-
 MachineId FreeIndex::TightestWithAtLeast(std::int64_t need) const {
-  const auto it = by_free_.lower_bound({need, -1});
-  if (it == by_free_.end()) return MachineId::Invalid();
-  return MachineId(it->second);
+  MachineId found = MachineId::Invalid();
+  ScanAscending(need, [&found](MachineId m) {
+    found = m;
+    return true;
+  });
+  return found;
 }
 
 }  // namespace aladdin::cluster

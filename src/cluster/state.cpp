@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
@@ -86,7 +87,15 @@ void ClusterState::Deploy(ContainerId c, MachineId m) {
   ALADDIN_DCHECK(!free_[Idx(m)].AnyNegative())
       << "Deploy: machine " << m << " over-committed";
   deployed_[Idx(m)].push_back(c);
-  ++apps_on_[Idx(m)][container.app.value()];
+  AppCounts& apps = apps_on_[Idx(m)];
+  const std::int32_t app = container.app.value();
+  const auto slot = std::find_if(apps.begin(), apps.end(),
+                                 [app](const auto& e) { return e.first == app; });
+  if (slot != apps.end()) {
+    ++slot->second;
+  } else {
+    apps.emplace_back(app, 1);
+  }
   placement_[Idx(c)] = m;
   ++placed_count_;
   MarkMachine(m);
@@ -104,11 +113,19 @@ void ClusterState::Evict(ContainerId c) {
       << "Evict: container " << c << " missing from machine " << m
       << "'s deployed list (placement map out of sync)";
   list.erase(entry);
-  auto it = apps_on_[Idx(m)].find(container.app.value());
-  ALADDIN_CHECK(it != apps_on_[Idx(m)].end())
+  AppCounts& apps = apps_on_[Idx(m)];
+  const std::int32_t app = container.app.value();
+  const auto it = std::find_if(apps.begin(), apps.end(),
+                               [app](const auto& e) { return e.first == app; });
+  ALADDIN_CHECK(it != apps.end())
       << "Evict: app " << container.app << " missing from machine " << m
       << "'s app counts";
-  if (--it->second == 0) apps_on_[Idx(m)].erase(it);
+  if (--it->second == 0) {
+    // Swap-with-back erase: entry order is unspecified, and pop_back keeps
+    // the vector's capacity so steady-state churn never reallocates.
+    *it = apps.back();
+    apps.pop_back();
+  }
   placement_[Idx(c)] = MachineId::Invalid();
   --placed_count_;
   MarkMachine(m);
@@ -225,7 +242,12 @@ bool ClusterState::CheckConsistency(std::string* error) const {
          << " != capacity minus placed " << free.ToString();
       return Fail(error, os);
     }
-    if (apps != apps_on_[mi]) {
+    std::unordered_map<std::int32_t, std::int32_t> cached;
+    bool duplicate_entry = false;
+    for (const auto& [app, count] : apps_on_[mi]) {
+      if (!cached.emplace(app, count).second) duplicate_entry = true;
+    }
+    if (duplicate_entry || cached != apps) {
       std::ostringstream os;
       os << "machine " << mi << ": app-count map disagrees with a recount of "
          << deployed_[mi].size() << " deployed containers";
@@ -265,7 +287,7 @@ void ClusterState::Clear() {
   free_.clear();
   for (const Machine& m : topology_->machines()) free_.push_back(m.capacity);
   for (auto& list : deployed_) list.clear();
-  for (auto& map : apps_on_) map.clear();
+  for (auto& apps : apps_on_) apps.clear();
   std::fill(placement_.begin(), placement_.end(), MachineId::Invalid());
   placed_count_ = 0;
   migrations_ = 0;

@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/application.h"
@@ -99,9 +99,15 @@ class ClusterState {
   [[nodiscard]] std::span<const ContainerId> DeployedOn(MachineId m) const {
     return deployed_[Idx(m)];
   }
+  // Per-machine application counts: (app id, container count) entries, one
+  // per distinct application present, in unspecified order. Flat vectors
+  // rather than hash maps: machines host few distinct apps, so a linear
+  // scan beats hashing and the blacklist probe (hot path of every placement
+  // search) touches one contiguous cache line instead of chasing buckets.
+  using AppCounts = std::vector<std::pair<std::int32_t, std::int32_t>>;
+
   // Distinct applications with at least one container on `m`, with counts.
-  [[nodiscard]] const std::unordered_map<std::int32_t, std::int32_t>& AppsOn(
-      MachineId m) const {
+  [[nodiscard]] const AppCounts& AppsOn(MachineId m) const {
     return apps_on_[Idx(m)];
   }
 
@@ -191,9 +197,7 @@ class ClusterState {
 
   std::vector<ResourceVector> free_;                // per machine
   std::vector<std::vector<ContainerId>> deployed_;  // per machine
-  // per machine: app id -> container count (small maps; machines host few
-  // distinct apps, so blacklist checks iterate these).
-  std::vector<std::unordered_map<std::int32_t, std::int32_t>> apps_on_;
+  std::vector<AppCounts> apps_on_;                  // per machine
   std::vector<MachineId> placement_;  // per container
   std::size_t placed_count_ = 0;
   std::int64_t migrations_ = 0;

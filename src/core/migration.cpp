@@ -1,8 +1,6 @@
 #include "core/migration.h"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_map>
 
 #include "obs/trace.h"
 
@@ -17,8 +15,24 @@ std::size_t Idx(T id) {
 
 RepairEngine::RepairEngine(AggregatedNetwork& network,
                            const PriorityWeights& weights,
-                           const RepairOptions& options)
-    : network_(network), weights_(weights), options_(options) {}
+                           const RepairOptions& options, Scratch* scratch)
+    : network_(network),
+      weights_(weights),
+      options_(options),
+      scratch_(scratch != nullptr ? *scratch : owned_scratch_) {}
+
+int& RepairEngine::AttemptCount(cluster::ContainerId c) {
+  const auto i = static_cast<std::size_t>(c.value());
+  if (i >= scratch_.attempt_stamp.size()) {
+    scratch_.attempt_stamp.resize(i + 1, 0);
+    scratch_.attempt_count.resize(i + 1, 0);
+  }
+  if (scratch_.attempt_stamp[i] != scratch_.attempt_epoch) {
+    scratch_.attempt_stamp[i] = scratch_.attempt_epoch;
+    scratch_.attempt_count[i] = 0;
+  }
+  return scratch_.attempt_count[i];
+}
 
 bool RepairEngine::RepairOnMachine(cluster::ContainerId c,
                                    cluster::MachineId m,
@@ -30,7 +44,10 @@ bool RepairEngine::RepairOnMachine(cluster::ContainerId c,
   const std::int64_t c_flow = weights_.WeightedFlow(cont);
 
   // Blockers that must leave: anti-affinity conflicts with c's application.
-  std::vector<cluster::ContainerId> victims;
+  // All four buffers below are per-tick scratch (cleared here, capacity
+  // retained across calls); `requeue` alone belongs to the caller.
+  std::vector<cluster::ContainerId>& victims = scratch_.victims;
+  victims.clear();
   for (cluster::ContainerId v : state.DeployedOn(m)) {
     const auto& vc = state.containers()[Idx(v)];
     if (state.constraints().Conflicts(cont.app, vc.app)) victims.push_back(v);
@@ -46,7 +63,8 @@ bool RepairEngine::RepairOnMachine(cluster::ContainerId c,
     available += state.containers()[Idx(v)].request;
   }
   if (!cont.request.FitsIn(available)) {
-    std::vector<cluster::ContainerId> fillers;
+    std::vector<cluster::ContainerId>& fillers = scratch_.fillers;
+    fillers.clear();
     for (cluster::ContainerId v : state.DeployedOn(m)) {
       if (std::find(victims.begin(), victims.end(), v) == victims.end()) {
         fillers.push_back(v);
@@ -98,8 +116,11 @@ bool RepairEngine::RepairOnMachine(cluster::ContainerId c,
               return weights_.WeightedFlow(state.containers()[Idx(a)]) >
                      weights_.WeightedFlow(state.containers()[Idx(b)]);
             });
-  std::vector<std::pair<cluster::ContainerId, cluster::MachineId>> moved;
-  std::vector<cluster::ContainerId> preempted;
+  std::vector<std::pair<cluster::ContainerId, cluster::MachineId>>& moved =
+      scratch_.moved;
+  moved.clear();
+  std::vector<cluster::ContainerId>& preempted = scratch_.preempted;
+  preempted.clear();
   std::int64_t preempted_flow = 0;
   for (cluster::ContainerId v : victims) {
     cluster::MachineId m2;
@@ -206,26 +227,34 @@ std::vector<cluster::ContainerId> RepairEngine::Repair(
               return a < b;
             });
 
-  std::deque<cluster::ContainerId> queue(pending.begin(), pending.end());
-  std::unordered_map<std::int32_t, int> attempts;
-  std::vector<cluster::ContainerId> unplaced;
-  while (!queue.empty()) {
-    const cluster::ContainerId c = queue.front();
-    queue.pop_front();
-    if (attempts[c.value()]++ >= options_.max_attempts_per_container) {
-      unplaced.push_back(c);
+  // FIFO over scratch: head cursor instead of deque pops (total pushes are
+  // bounded, see Scratch::queue). The moved-in `pending` buffer is recycled
+  // as the unplaced output, so a steady-state Repair() allocates nothing.
+  std::vector<cluster::ContainerId>& queue = scratch_.queue;
+  queue.assign(pending.begin(), pending.end());
+  std::size_t head = 0;
+  pending.clear();  // reused below as the unplaced list
+  if (++scratch_.attempt_epoch == 0) {  // u32 wrap: invalidate stale stamps
+    std::fill(scratch_.attempt_stamp.begin(), scratch_.attempt_stamp.end(),
+              0U);
+    scratch_.attempt_epoch = 1;
+  }
+  while (head < queue.size()) {
+    const cluster::ContainerId c = queue[head++];
+    if (AttemptCount(c)++ >= options_.max_attempts_per_container) {
+      pending.push_back(c);
       continue;
     }
-    std::vector<cluster::ContainerId> requeue;
-    if (TryPlace(c, search, counters, requeue)) {
+    scratch_.requeue.clear();
+    if (TryPlace(c, search, counters, scratch_.requeue)) {
       // Preempted victims re-enter the queue; their weighted flow is
       // strictly below c's, so preemption chains terminate.
-      for (cluster::ContainerId v : requeue) queue.push_back(v);
+      for (cluster::ContainerId v : scratch_.requeue) queue.push_back(v);
     } else {
-      unplaced.push_back(c);
+      pending.push_back(c);
     }
   }
-  return unplaced;
+  return pending;
 }
 
 int RepairEngine::Compact(const SearchOptions& search,
@@ -235,7 +264,9 @@ int RepairEngine::Compact(const SearchOptions& search,
   int freed_total = 0;
   for (int pass = 0; pass < max_passes; ++pass) {
     // Snapshot used machines, least-loaded first — cheapest to drain.
-    std::vector<std::pair<std::int64_t, cluster::MachineId>> used;
+    std::vector<std::pair<std::int64_t, cluster::MachineId>>& used =
+        scratch_.used;
+    used.clear();
     for (const auto& machine : state.topology().machines()) {
       const auto tenants = state.DeployedOn(machine.id);
       if (tenants.empty()) continue;
@@ -258,14 +289,16 @@ int RepairEngine::Compact(const SearchOptions& search,
       if (static_cast<std::int64_t>(tenants_span.size()) > migration_budget) {
         continue;
       }
-      std::vector<cluster::ContainerId> tenants(tenants_span.begin(),
-                                                tenants_span.end());
+      std::vector<cluster::ContainerId>& tenants = scratch_.tenants;
+      tenants.assign(tenants_span.begin(), tenants_span.end());
       std::sort(tenants.begin(), tenants.end(),
                 [&](cluster::ContainerId a, cluster::ContainerId b) {
                   return weights_.WeightedFlow(state.containers()[Idx(a)]) >
                          weights_.WeightedFlow(state.containers()[Idx(b)]);
                 });
-      std::vector<std::pair<cluster::ContainerId, cluster::MachineId>> moved;
+      std::vector<std::pair<cluster::ContainerId, cluster::MachineId>>&
+          moved = scratch_.moved;
+      moved.clear();
       bool ok = true;
       for (cluster::ContainerId v : tenants) {
         network_.Evict(v);

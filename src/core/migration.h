@@ -37,8 +37,33 @@ struct RepairOptions {
 
 class RepairEngine {
  public:
+  // Reusable per-tick scratch. A RepairEngine is cheap to construct (three
+  // pointers), so the scheduler rebuilds one per Schedule() — but its
+  // working buffers are not: hand the engine a Scratch that outlives it and
+  // every repair pass after warmup runs without heap allocation. Without an
+  // external Scratch the engine owns a private one (tests, one-shot use).
+  struct Scratch {
+    std::vector<cluster::ContainerId> victims;
+    std::vector<cluster::ContainerId> fillers;
+    std::vector<std::pair<cluster::ContainerId, cluster::MachineId>> moved;
+    std::vector<cluster::ContainerId> preempted;
+    std::vector<cluster::ContainerId> requeue;
+    // Repair's FIFO: a vector plus head cursor (total pushes are bounded by
+    // pending + preemption-chain length, so nothing is ever reclaimed
+    // mid-call and a deque's block allocations are pure overhead).
+    std::vector<cluster::ContainerId> queue;
+    // Per-container attempt counts, epoch-stamped so clearing between
+    // Repair() calls is O(1) instead of a rehash/fill.
+    std::vector<std::uint32_t> attempt_stamp;
+    std::vector<int> attempt_count;
+    std::uint32_t attempt_epoch = 0;
+    // Compact's per-pass machine snapshot.
+    std::vector<std::pair<std::int64_t, cluster::MachineId>> used;
+    std::vector<cluster::ContainerId> tenants;
+  };
+
   RepairEngine(AggregatedNetwork& network, const PriorityWeights& weights,
-               const RepairOptions& options);
+               const RepairOptions& options, Scratch* scratch = nullptr);
 
   // Attempts to place every container in `pending`, highest weighted flow
   // first. Preempted victims join the queue (always at strictly lower
@@ -68,9 +93,15 @@ class RepairEngine {
                        const SearchOptions& search, SearchCounters& counters,
                        std::vector<cluster::ContainerId>& requeue);
 
+  // Attempt slot for `c`, zeroed on first touch within the current epoch
+  // (Repair() bumps the epoch once per call).
+  int& AttemptCount(cluster::ContainerId c);
+
   AggregatedNetwork& network_;
   const PriorityWeights& weights_;
   RepairOptions options_;
+  Scratch owned_scratch_;  // used when no external scratch is supplied
+  Scratch& scratch_;
 };
 
 }  // namespace aladdin::core

@@ -38,7 +38,6 @@ void AggregatedNetwork::Attach(cluster::ClusterState* state) {
   subcluster_free_.assign(topology_->subcluster_count(), {});
   rack_max_.assign(topology_->rack_count(), 0);
   il_memo_.assign(state->applications().size(), {});
-  il_bitset_.assign(state->applications().size(), {});
 
   // Build rack multisets first, then seed sub-cluster maxima.
   for (const auto& machine : topology_->machines()) {
@@ -65,7 +64,6 @@ void AggregatedNetwork::Sync() {
   // the replay below.
   if (il_memo_.size() < state_->applications().size()) {
     il_memo_.resize(state_->applications().size());
-    il_bitset_.resize(state_->applications().size());
   }
   bool overflowed = false;
   const std::span<const cluster::MachineId> dirty =
@@ -94,20 +92,26 @@ void AggregatedNetwork::Reindex(cluster::MachineId m) {
   ++epoch_[Idx(m)];
   if (old_free == new_free) return;
 
-  by_free_.erase({old_free, m.value()});
-  by_free_.insert({new_free, m.value()});
+  // Re-key via node extraction: erase+insert would free and re-malloc a
+  // tree node per mutation, and Reindex runs once per Deploy/Evict.
+  auto nh = by_free_.extract({old_free, m.value()});
+  ALADDIN_DCHECK(!nh.empty());
+  nh.value() = {new_free, m.value()};
+  by_free_.insert(std::move(nh));
   indexed_free_[Idx(m)] = new_free;
 
   const cluster::RackId rack = topology_->machine(m).rack;
   auto& rset = rack_free_[Idx(rack)];
-  rset.erase(rset.find(old_free));
-  rset.insert(new_free);
+  auto rh = rset.extract(rset.find(old_free));
+  rh.value() = new_free;
+  rset.insert(std::move(rh));
   const std::int64_t new_rack_max = rset.empty() ? 0 : *rset.rbegin();
   if (new_rack_max != rack_max_[Idx(rack)]) {
     const auto g = topology_->RackSubCluster(rack);
     auto& gset = subcluster_free_[Idx(g)];
-    gset.erase(gset.find(rack_max_[Idx(rack)]));
-    gset.insert(new_rack_max);
+    auto gh = gset.extract(gset.find(rack_max_[Idx(rack)]));
+    gh.value() = new_rack_max;
+    gset.insert(std::move(gh));
     rack_max_[Idx(rack)] = new_rack_max;
   }
 }
@@ -151,19 +155,16 @@ void AggregatedNetwork::Preempt(cluster::ContainerId c) {
 
 bool AggregatedNetwork::IlPruned(cluster::ApplicationId app,
                                  cluster::MachineId m) const {
-  const auto& bits = il_bitset_[Idx(app)];
-  if (bits.empty() || !bits[Idx(m)]) return false;  // cheap common case
   const auto& memo = il_memo_[Idx(app)];
-  const auto it = memo.find(m.value());
-  return it != memo.end() && it->second == epoch_[Idx(m)];
+  if (memo.empty()) return false;  // app never recorded a failure
+  return memo[Idx(m)] == epoch_[Idx(m)] + 1;
 }
 
 void AggregatedNetwork::RecordIlFailure(cluster::ApplicationId app,
                                         cluster::MachineId m) {
-  auto& bits = il_bitset_[Idx(app)];
-  if (bits.empty()) bits.assign(topology_->machine_count(), false);
-  bits[Idx(m)] = true;
-  il_memo_[Idx(app)][m.value()] = epoch_[Idx(m)];
+  auto& memo = il_memo_[Idx(app)];
+  if (memo.empty()) memo.assign(topology_->machine_count(), 0);
+  memo[Idx(m)] = epoch_[Idx(m)] + 1;
 }
 
 cluster::MachineId AggregatedNetwork::FindMachine(cluster::ContainerId c,
@@ -282,13 +283,9 @@ cluster::MachineId AggregatedNetwork::BestFitWalkParallel(
   // machine is visited at most once and memo entries are per (app,machine).
   // Counters are charged exactly for the prefix the serial walk would have
   // visited, so results AND counters are bit-identical to the serial walk.
-  struct Item {
-    std::int32_t machine;
-    bool pruned;  // IL-pruned at gather time (not scored)
-  };
-  std::vector<Item> items;
-  std::vector<std::size_t> eval;  // indices into `items`, gather order
-  std::vector<std::uint8_t> admitted;
+  std::vector<WalkItem>& items = walk_items_;
+  std::vector<std::size_t>& eval = walk_eval_;  // indices into `items`
+  std::vector<std::uint8_t>& admitted = walk_admitted_;
 
   auto it = by_free_.lower_bound({need, -1});
   const auto end = by_free_.end();
@@ -304,7 +301,7 @@ cluster::MachineId AggregatedNetwork::BestFitWalkParallel(
       const cluster::MachineId m(it->second);
       if (m == exclude) continue;  // serial walk skips silently
       const bool pruned = use_il && IlPruned(app, m);
-      items.push_back(Item{m.value(), pruned});
+      items.push_back(WalkItem{m.value(), pruned});
       if (!pruned) eval.push_back(items.size() - 1);
     }
     admitted.assign(eval.size(), 0);
@@ -324,7 +321,7 @@ cluster::MachineId AggregatedNetwork::BestFitWalkParallel(
     // Replay the serial accounting over the visited prefix only.
     for (std::size_t i = 0; i < std::min(winner_item + 1, items.size());
          ++i) {
-      const Item& item = items[i];
+      const WalkItem& item = items[i];
       if (item.pruned) {
         ++counters.il_prunes;
         continue;
@@ -363,17 +360,13 @@ cluster::MachineId AggregatedNetwork::EnumerateParallel(
   // reads — each machine is visited once). The reduction then runs in
   // sub-cluster order: counter sums are order-independent, the global best
   // is a strict (free, machine-id) minimum, and memoised failures land in
-  // the exact serial order.
-  struct SubResult {
-    std::int64_t explored = 0;
-    std::int64_t il_prunes = 0;
-    std::int32_t best = -1;
-    std::int64_t best_free = 0;
-    std::vector<std::int32_t> il_failures;  // blacklisted probes, walk order
-  };
-  std::vector<SubResult> results(subcluster_free_.size());
+  // the exact serial order. SubResult slots (and their il_failures buffers)
+  // persist in enum_results_; each task clears only its own slot.
+  std::vector<SubResult>& results = enum_results_;
+  results.resize(subcluster_free_.size());
   ParallelFor(*options.pool, 0, subcluster_free_.size(), [&](std::size_t g) {
     SubResult& out = results[g];
+    out.Clear();
     ++out.explored;  // G vertex probe
     const auto& gset = subcluster_free_[g];
     if (gset.empty() || *gset.rbegin() < need) return;
@@ -420,25 +413,6 @@ cluster::MachineId AggregatedNetwork::EnumerateParallel(
     }
   }
   return best;
-}
-
-void AggregatedNetwork::ScanDescending(
-    int limit, const std::function<bool(cluster::MachineId)>& fn) const {
-  int seen = 0;
-  for (auto it = by_free_.rbegin(); it != by_free_.rend() && seen < limit;
-       ++it, ++seen) {
-    if (fn(cluster::MachineId(it->second))) return;
-  }
-}
-
-void AggregatedNetwork::ScanAscending(
-    std::int64_t min_free_cpu, int limit,
-    const std::function<bool(cluster::MachineId)>& fn) const {
-  int seen = 0;
-  for (auto it = by_free_.lower_bound({min_free_cpu, -1});
-       it != by_free_.end() && seen < limit; ++it, ++seen) {
-    if (fn(cluster::MachineId(it->second))) return;
-  }
 }
 
 }  // namespace aladdin::core

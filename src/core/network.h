@@ -24,9 +24,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/state.h"
@@ -95,13 +93,27 @@ class AggregatedNetwork {
 
   // Repair-engine scan: visit machines in descending-free-CPU order (most
   // headroom first) until `fn` returns true or `limit` machines seen.
-  void ScanDescending(int limit,
-                      const std::function<bool(cluster::MachineId)>& fn) const;
+  // Templated on the callable so repair's capturing lambdas bind directly —
+  // a std::function here would heap-allocate per scan on the hot path.
+  template <typename Fn>
+  void ScanDescending(int limit, Fn&& fn) const {
+    int seen = 0;
+    for (auto it = by_free_.rbegin(); it != by_free_.rend() && seen < limit;
+         ++it, ++seen) {
+      if (fn(cluster::MachineId(it->second))) return;
+    }
+  }
 
   // Ascending-free (best-fit) scan from the first machine with free CPU >=
   // `min_free_cpu`.
-  void ScanAscending(std::int64_t min_free_cpu, int limit,
-                     const std::function<bool(cluster::MachineId)>& fn) const;
+  template <typename Fn>
+  void ScanAscending(std::int64_t min_free_cpu, int limit, Fn&& fn) const {
+    int seen = 0;
+    for (auto it = by_free_.lower_bound({min_free_cpu, -1});
+         it != by_free_.end() && seen < limit; ++it, ++seen) {
+      if (fn(cluster::MachineId(it->second))) return;
+    }
+  }
 
   [[nodiscard]] cluster::ClusterState* state() { return state_; }
   [[nodiscard]] std::uint32_t MachineEpoch(cluster::MachineId m) const {
@@ -135,13 +147,40 @@ class AggregatedNetwork {
                                          SearchCounters& counters,
                                          cluster::MachineId exclude);
 
+  // Per-call scratch for the pool-backed walks, hoisted to members so a
+  // steady-state search allocates nothing (capacities persist across
+  // Schedule() ticks). Written only by the calling thread; ParallelFor
+  // workers touch disjoint admitted_/result slots.
+  struct WalkItem {
+    std::int32_t machine;
+    bool pruned;  // IL-pruned at gather time (not scored)
+  };
+  struct SubResult {
+    std::int64_t explored = 0;
+    std::int64_t il_prunes = 0;
+    std::int32_t best = -1;
+    std::int64_t best_free = 0;
+    std::vector<std::int32_t> il_failures;  // blacklisted probes, walk order
+
+    void Clear() {
+      explored = 0;
+      il_prunes = 0;
+      best = -1;
+      best_free = 0;
+      il_failures.clear();  // keeps capacity
+    }
+  };
+  std::vector<WalkItem> walk_items_;
+  std::vector<std::size_t> walk_eval_;
+  std::vector<std::uint8_t> walk_admitted_;
+  std::vector<SubResult> enum_results_;
+
   // IL memo: (app, machine) -> machine epoch at failure. A probe is skipped
   // while the machine has not changed since the recorded failure. Only
   // *blacklist* failures are memoised: a resource-fit failure is two integer
   // compares — cheaper than any lookup — while a blacklist probe walks the
-  // machine's tenant map, which is exactly the cost isomorphic siblings
-  // should not pay twice. A per-app bitset gates the hash lookup so the
-  // common no-memo case costs one bit test.
+  // machine's tenant list, which is exactly the cost isomorphic siblings
+  // should not pay twice.
   [[nodiscard]] bool IlPruned(cluster::ApplicationId app,
                               cluster::MachineId m) const;
   void RecordIlFailure(cluster::ApplicationId app, cluster::MachineId m);
@@ -157,10 +196,15 @@ class AggregatedNetwork {
   std::vector<std::multiset<std::int64_t>> subcluster_free_;  // rack maxima
   std::vector<std::int64_t> rack_max_;  // cached current max per rack
 
-  mutable std::vector<std::unordered_map<std::int32_t, std::uint32_t>>
-      il_memo_;  // per app
-  // Lazily allocated per-app machine bitsets gating il_memo_ lookups.
-  mutable std::vector<std::vector<bool>> il_bitset_;
+  // Per-app memo arrays, lazily sized to machine_count on the app's first
+  // recorded failure: entry = machine epoch at failure + 1, 0 = no memo.
+  // A direct indexed load replaces the previous bitset + hash-map pair —
+  // the memo probe sits inside every search's inner loop, and hashing plus
+  // bucket chasing dominated it. 4 bytes/machine is only paid by apps that
+  // actually record a blacklist failure. An epoch wrap at most *loses* a
+  // memo entry (stored 0 means unset) — it never fabricates a prune beyond
+  // the exact-equality collision the hash map already had.
+  mutable std::vector<std::vector<std::uint32_t>> il_memo_;
 
   // Absolute cursor into state_'s machine dirty log: everything before it
   // has been reindexed here. The network's own mutation wrappers Reindex

@@ -117,10 +117,10 @@ RelaxationBound IncrementalRelaxation::Solve(
     state_instance_ = state.instance_id();
     application_count_ = workload.application_count();
     app_vertex_base_ = net_.first_app.value();
-    flow::Dinic(net_.graph, net_.source, net_.sink);
+    flow::Dinic(net_.graph, net_.source, net_.sink, ws_);
   } else {
     Refresh(workload, state);
-    flow::Dinic(net_.graph, net_.source, net_.sink);  // warm start
+    flow::Dinic(net_.graph, net_.source, net_.sink, ws_);  // warm start
   }
 
   RelaxationBound bound;
@@ -148,7 +148,8 @@ void IncrementalRelaxation::Refresh(const trace::Workload& workload,
     const flow::Capacity want = state.Free(machine.id).cpu_millis();
     if (g.arc(arc).capacity == want) continue;
     if (g.Flow(arc) > want) {
-      flow::CancelArcFlow(g, arc, g.Flow(arc) - want, net_.source, net_.sink);
+      flow::CancelArcFlow(g, arc, g.Flow(arc) - want, net_.source, net_.sink,
+                          ws_);
     }
     g.SetCapacity(arc, want);
   }
@@ -172,7 +173,8 @@ void IncrementalRelaxation::Refresh(const trace::Workload& workload,
     const flow::Capacity want = placed ? 0 : c.request.cpu_millis();
     if (g.arc(arc).capacity == want) continue;
     if (g.Flow(arc) > want) {
-      flow::CancelArcFlow(g, arc, g.Flow(arc) - want, net_.source, net_.sink);
+      flow::CancelArcFlow(g, arc, g.Flow(arc) - want, net_.source, net_.sink,
+                          ws_);
     }
     g.SetCapacity(arc, want);
   }

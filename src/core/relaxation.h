@@ -21,6 +21,7 @@
 
 #include "cluster/state.h"
 #include "flow/graph.h"
+#include "flow/workspace.h"
 #include "trace/workload.h"
 
 namespace aladdin::core {
@@ -82,6 +83,9 @@ class IncrementalRelaxation {
                const cluster::ClusterState& state);
 
   RelaxationNetwork net_;
+  // Long-lived solver scratch: with the network reused across ticks, a
+  // steady-state Solve() (CancelArcFlow + warm Dinic) allocates nothing.
+  flow::Workspace ws_;
   bool built_ = false;
   bool reused_last_ = false;
   std::uint64_t state_instance_ = 0;

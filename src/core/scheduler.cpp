@@ -138,23 +138,41 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
   // placements-per-machine-count but different migration/overhead costs
   // (Fig. 13): adversarial tie orders (CSA) leave more repair work.
   ALADDIN_TRACE_COUNTER("core/containers", request.arrival->size());
-  std::vector<cluster::ContainerId> pending;
+  arena_.Reset();  // per-tick arena: no arena-backed object is alive here
+  std::vector<cluster::ContainerId>& pending = pending_;
+  pending.clear();
   {
     ALADDIN_PHASE_SCOPE("core/augment");
-    std::vector<cluster::ContainerId> order = *request.arrival;
-    std::stable_sort(order.begin(), order.end(),
-                     [&](cluster::ContainerId a, cluster::ContainerId b) {
-                       const auto& ca =
-                           workload.containers()[static_cast<std::size_t>(
-                               a.value())];
-                       const auto& cb =
-                           workload.containers()[static_cast<std::size_t>(
-                               b.value())];
-                       return weights_.WeightedFlow(ca) >
-                              weights_.WeightedFlow(cb);
-                     });
+    // Sort (weighted flow, arrival position) keys instead of stable-sorting
+    // the id list: std::sort on the explicit tie-break reproduces the
+    // stable order exactly, computes each container's weighted flow once
+    // instead of O(n log n) times in a comparator, and — unlike
+    // std::stable_sort — needs no temporary merge buffer. The key list
+    // itself is a single bump allocation out of the per-tick arena.
+    struct SortKey {
+      std::int64_t weighted_flow;
+      std::int32_t arrival_pos;
+    };
+    ArenaVector<SortKey> keyed{ArenaAllocator<SortKey>(&arena_)};
+    keyed.reserve(request.arrival->size());
+    for (std::size_t i = 0; i < request.arrival->size(); ++i) {
+      const cluster::ContainerId c = (*request.arrival)[i];
+      const auto& cont =
+          workload.containers()[static_cast<std::size_t>(c.value())];
+      keyed.push_back(SortKey{weights_.WeightedFlow(cont),
+                              static_cast<std::int32_t>(i)});
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [](const SortKey& a, const SortKey& b) {
+                if (a.weighted_flow != b.weighted_flow) {
+                  return a.weighted_flow > b.weighted_flow;
+                }
+                return a.arrival_pos < b.arrival_pos;
+              });
 
-    for (cluster::ContainerId c : order) {
+    for (const SortKey& k : keyed) {
+      const cluster::ContainerId c =
+          (*request.arrival)[static_cast<std::size_t>(k.arrival_pos)];
       const cluster::MachineId m = network.FindMachine(c, search, counters);
       if (m.valid()) {
         network.Deploy(c, m);
@@ -169,7 +187,7 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
   // Augmenting the network keeps going "until f(i,j) = 0": each repair pass
   // migrates blockers around, which can open paths for containers an
   // earlier pass gave up on, so we iterate until a pass makes no progress.
-  RepairEngine repair(network, weights_, options_.repair);
+  RepairEngine repair(network, weights_, options_.repair, &repair_scratch_);
   if (options_.enable_repair) {
     ALADDIN_PHASE_SCOPE("core/repair");
     for (int pass = 0; pass < options_.max_repair_passes && !pending.empty();
@@ -195,7 +213,9 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
     }
   }
 
-  outcome.unplaced = std::move(pending);
+  // Copy (not move): the outcome's vector escapes the tick, the scratch
+  // buffer's capacity stays pooled for the next one.
+  outcome.unplaced.assign(pending.begin(), pending.end());
   outcome.explored_paths = counters.explored_paths;
   outcome.il_prunes = counters.il_prunes;
   outcome.dl_stops = counters.dl_stops;
@@ -206,6 +226,9 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
     ALADDIN_METRIC_ADD("core/search_il_prunes", counters.il_prunes);
     ALADDIN_METRIC_ADD("core/search_dl_stops", counters.dl_stops);
     ALADDIN_METRIC_ADD("core/unplaced", outcome.unplaced.size());
+    // Bytes bumped out of the per-tick arena. Arena use is confined to
+    // serial sections, so this is deterministic across --threads.
+    ALADDIN_METRIC_ADD("core/arena_bytes", arena_.bytes_used());
     outcome.phases = obs::DiffPhases(phases_before, obs::CapturePhases());
   }
 #if ALADDIN_DCHECK_IS_ON()

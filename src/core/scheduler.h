@@ -18,7 +18,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/arena.h"
 #include "common/thread_pool.h"
 #include "core/migration.h"
 #include "core/network.h"
@@ -100,6 +102,15 @@ class AladdinScheduler : public sim::Scheduler {
   std::uint64_t attached_state_id_ = 0;
   std::unique_ptr<ThreadPool> pool_;
   bool pool_created_ = false;
+
+  // Per-tick pooling: the arena backs Schedule()'s transient containers
+  // (reset at tick start, chunks retained), the repair scratch persists the
+  // RepairEngine's working buffers across ticks, and pending_ recycles the
+  // augmentation backlog buffer. After a warmup tick the steady-state
+  // Schedule() leaves only the escaping outcome allocations.
+  Arena arena_;
+  RepairEngine::Scratch repair_scratch_;
+  std::vector<cluster::ContainerId> pending_;
 };
 
 }  // namespace aladdin::core

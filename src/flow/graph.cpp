@@ -3,36 +3,84 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace aladdin::flow {
 
 VertexId Graph::AddVertex() {
-  adjacency_.emplace_back();
-  return VertexId(static_cast<std::int32_t>(adjacency_.size() - 1));
+  ALADDIN_CHECK(vertex_count_ < kMaxVertices)
+      << "Graph: vertex count would exceed the int32 id domain ("
+      << kMaxVertices << ")";
+  csr_dirty_ = true;
+  return VertexId(static_cast<std::int32_t>(vertex_count_++));
 }
 
 VertexId Graph::AddVertices(std::size_t n) {
-  const VertexId first(static_cast<std::int32_t>(adjacency_.size()));
-  adjacency_.resize(adjacency_.size() + n);
+  ALADDIN_CHECK(n <= kMaxVertices - vertex_count_)
+      << "Graph: adding " << n << " vertices to " << vertex_count_
+      << " would exceed the int32 id domain (" << kMaxVertices << ")";
+  const VertexId first(static_cast<std::int32_t>(vertex_count_));
+  vertex_count_ += n;
+  if (n > 0) csr_dirty_ = true;
   return first;
+}
+
+void Graph::CheckCanAddArcPair(std::size_t current_arc_slots) {
+  // Each AddArc appends two slots (forward + residual twin); every slot id
+  // must fit the int32 CSR entries and ShortestPathTree::parent_arc. This is
+  // the boundary that used to overflow silently when adjacency stored the
+  // truncated int32 of a wider arc index.
+  ALADDIN_CHECK(current_arc_slots + 2 <= kMaxArcSlots)
+      << "Graph: arc slot count " << current_arc_slots
+      << " is at the int32 id domain limit (" << kMaxArcSlots
+      << "); cannot add another arc pair";
 }
 
 ArcId Graph::AddArc(VertexId tail, VertexId head, Capacity capacity,
                     Cost cost) {
   ALADDIN_DCHECK(tail.valid() &&
-                 static_cast<std::size_t>(tail.value()) < adjacency_.size())
+                 static_cast<std::size_t>(tail.value()) < vertex_count_)
       << "AddArc: bad tail " << tail;
   ALADDIN_DCHECK(head.valid() &&
-                 static_cast<std::size_t>(head.value()) < adjacency_.size())
+                 static_cast<std::size_t>(head.value()) < vertex_count_)
       << "AddArc: bad head " << head;
   ALADDIN_DCHECK(capacity >= 0) << "AddArc: negative capacity " << capacity;
+  CheckCanAddArcPair(arcs_.size());
   const auto forward_index = static_cast<std::int32_t>(arcs_.size());
   arcs_.push_back(Arc{head, capacity, 0, cost});
   arcs_.push_back(Arc{tail, 0, 0, -cost});
-  adjacency_[static_cast<std::size_t>(tail.value())].push_back(forward_index);
-  adjacency_[static_cast<std::size_t>(head.value())].push_back(forward_index +
-                                                               1);
+  csr_dirty_ = true;
   return ArcId(forward_index);
+}
+
+void Graph::RebuildCsr() const {
+  ALADDIN_METRIC_ADD("flow/csr_refreeze", 1);
+  // Counting sort by tail. Pass 1: out-degrees into offsets[tail + 1].
+  csr_offsets_.assign(vertex_count_ + 1, 0);  // lint:allow-alloc (amortized re-freeze)
+  for (std::size_t a = 0; a < arcs_.size(); ++a) {
+    const auto tail = static_cast<std::size_t>(arcs_[a ^ 1].head.value());
+    ++csr_offsets_[tail + 1];
+  }
+  // Pass 2: prefix sums -> start offsets.
+  for (std::size_t v = 0; v < vertex_count_; ++v) {
+    csr_offsets_[v + 1] += csr_offsets_[v];
+  }
+  // Pass 3: place arcs in ascending id order, bumping offsets[tail] as the
+  // write cursor. Ascending id within each tail reproduces the legacy
+  // nested-vector insertion order exactly (AddArc appended ids in order).
+  csr_arcs_.resize(arcs_.size());  // lint:allow-alloc (amortized re-freeze)
+  for (std::size_t a = 0; a < arcs_.size(); ++a) {
+    const auto tail = static_cast<std::size_t>(arcs_[a ^ 1].head.value());
+    csr_arcs_[static_cast<std::size_t>(csr_offsets_[tail]++)] =
+        static_cast<std::int32_t>(a);
+  }
+  // Pass 4: undo the cursor bumps — offsets[v] now holds end(v) == start(v+1),
+  // so shift everything one vertex right and restore offsets[0] = 0.
+  for (std::size_t v = vertex_count_; v > 0; --v) {
+    csr_offsets_[v] = csr_offsets_[v - 1];
+  }
+  if (!csr_offsets_.empty()) csr_offsets_[0] = 0;
+  csr_dirty_ = false;
 }
 
 void Graph::Push(ArcId a, Capacity amount) {
@@ -126,11 +174,28 @@ bool Graph::ValidateInvariants(std::span<const VertexId> exempt,
       return Fail(error, os);
     }
   }
-  // Adjacency audit: every arc id appears exactly once, in the adjacency of
-  // its tail (an arc's tail is its twin's head).
-  std::vector<std::uint8_t> seen(arcs_.size(), 0);
+  // CSR audit: freeze (no-op when clean — a test peer's corruption of the
+  // frozen arrays survives this), then check offsets shape and that every
+  // arc id appears exactly once, under its tail (an arc's tail is its twin's
+  // head).
+  Freeze();
+  if (csr_offsets_.size() != vertices + 1 || csr_offsets_.front() != 0 ||
+      static_cast<std::size_t>(csr_offsets_.back()) != arcs_.size() ||
+      csr_arcs_.size() != arcs_.size()) {
+    std::ostringstream os;
+    os << "CSR shape mismatch: " << csr_offsets_.size() << " offsets / "
+       << csr_arcs_.size() << " entries for " << vertices << " vertices / "
+       << arcs_.size() << " arcs";
+    return Fail(error, os);
+  }
+  std::vector<std::uint8_t> seen(arcs_.size(), 0);  // lint:allow-alloc
   for (std::size_t v = 0; v < vertices; ++v) {
-    for (std::int32_t raw : adjacency_[v]) {
+    if (csr_offsets_[v] > csr_offsets_[v + 1]) {
+      std::ostringstream os;
+      os << "CSR offsets not monotone at vertex " << v;
+      return Fail(error, os);
+    }
+    for (std::int32_t raw : OutArcs(VertexId(static_cast<std::int32_t>(v)))) {
       if (raw < 0 || static_cast<std::size_t>(raw) >= arcs_.size()) {
         std::ostringstream os;
         os << "vertex " << v << ": adjacency entry " << raw
@@ -159,7 +224,7 @@ bool Graph::ValidateInvariants(std::span<const VertexId> exempt,
     }
   }
   // Flow conservation at interior vertices.
-  std::vector<std::uint8_t> is_exempt(vertices, 0);
+  std::vector<std::uint8_t> is_exempt(vertices, 0);  // lint:allow-alloc
   for (VertexId v : exempt) {
     if (v.valid() && static_cast<std::size_t>(v.value()) < vertices) {
       is_exempt[static_cast<std::size_t>(v.value())] = 1;

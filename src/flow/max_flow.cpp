@@ -1,7 +1,6 @@
 #include "flow/max_flow.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 
 #include "common/check.h"
@@ -9,33 +8,38 @@
 
 namespace aladdin::flow {
 
-MaxFlowResult EdmondsKarp(Graph& graph, VertexId source, VertexId sink) {
+namespace {
+std::size_t Idx(VertexId v) { return static_cast<std::size_t>(v.value()); }
+}  // namespace
+
+MaxFlowResult EdmondsKarp(Graph& graph, VertexId source, VertexId sink,
+                          Workspace& ws) {
   ALADDIN_TRACE_SCOPE("flow/edmonds_karp");
   ALADDIN_CHECK(source != sink);
   MaxFlowResult result;
-  const std::size_t n = graph.vertex_count();
-  std::vector<std::int32_t> parent_arc(n);
+  ws.BeginRun(graph);
 
   for (;;) {
-    std::fill(parent_arc.begin(), parent_arc.end(), -1);
-    std::deque<VertexId> queue{source};
-    parent_arc[static_cast<std::size_t>(source.value())] = -2;  // visited mark
+    // ws.parent doubles as the visited mark: stamped == discovered this
+    // augmentation (-2 marks the source, which has no parent arc).
+    ws.parent.NextEpoch();
+    ws.queue.Clear();
+    ws.queue.PushBack(source.value());
+    ws.parent.Set(Idx(source), -2);
     bool found = false;
-    while (!queue.empty() && !found) {
-      const VertexId u = queue.front();
-      queue.pop_front();
+    while (!ws.queue.empty() && !found) {
+      const VertexId u{ws.queue.PopFront()};
       for (std::int32_t raw : graph.OutArcs(u)) {
         const ArcId a{raw};
         if (graph.Residual(a) <= 0) continue;
         const VertexId v = graph.arc(a).head;
-        auto& slot = parent_arc[static_cast<std::size_t>(v.value())];
-        if (slot != -1) continue;
-        slot = raw;
+        if (ws.parent.Stamped(Idx(v))) continue;
+        ws.parent.Set(Idx(v), raw);
         if (v == sink) {
           found = true;
           break;
         }
-        queue.push_back(v);
+        ws.queue.PushBack(v.value());
       }
     }
     if (!found) break;
@@ -43,12 +47,12 @@ MaxFlowResult EdmondsKarp(Graph& graph, VertexId source, VertexId sink) {
     // Walk back from sink to source to find the bottleneck, then push.
     Capacity bottleneck = std::numeric_limits<Capacity>::max();
     for (VertexId v = sink; v != source;) {
-      const ArcId a{parent_arc[static_cast<std::size_t>(v.value())]};
+      const ArcId a{ws.parent.Get(Idx(v), -1)};
       bottleneck = std::min(bottleneck, graph.Residual(a));
       v = graph.Tail(a);
     }
     for (VertexId v = sink; v != source;) {
-      const ArcId a{parent_arc[static_cast<std::size_t>(v.value())]};
+      const ArcId a{ws.parent.Get(Idx(v), -1)};
       graph.Push(a, bottleneck);
       v = graph.Tail(a);
     }
@@ -58,22 +62,23 @@ MaxFlowResult EdmondsKarp(Graph& graph, VertexId source, VertexId sink) {
   return result;
 }
 
+MaxFlowResult EdmondsKarp(Graph& graph, VertexId source, VertexId sink) {
+  return EdmondsKarp(graph, source, sink, ThreadLocalWorkspace());
+}
+
 namespace {
 
-// Dinic state bundled to avoid reallocating across phases.
+// Dinic over workspace scratch: level and the current-arc iterator reset per
+// phase via the epoch stamp (O(1)), never std::fill.
 class DinicSolver {
  public:
-  DinicSolver(Graph& graph, VertexId source, VertexId sink)
-      : graph_(graph),
-        source_(source),
-        sink_(sink),
-        level_(graph.vertex_count()),
-        next_arc_(graph.vertex_count()) {}
+  DinicSolver(Graph& graph, VertexId source, VertexId sink, Workspace& ws)
+      : graph_(graph), source_(source), sink_(sink), ws_(ws) {}
 
   MaxFlowResult Run() {
     MaxFlowResult result;
+    ws_.BeginRun(graph_);
     while (BuildLevels()) {
-      std::fill(next_arc_.begin(), next_arc_.end(), 0);
       for (;;) {
         const Capacity pushed =
             Push(source_, std::numeric_limits<Capacity>::max());
@@ -87,32 +92,34 @@ class DinicSolver {
 
  private:
   bool BuildLevels() {
-    std::fill(level_.begin(), level_.end(), -1);
-    std::deque<VertexId> queue{source_};
-    level_[Idx(source_)] = 0;
-    while (!queue.empty()) {
-      const VertexId u = queue.front();
-      queue.pop_front();
+    ws_.NextPhase();  // resets level + next_arc in O(1)
+    ws_.queue.Clear();
+    ws_.queue.PushBack(source_.value());
+    ws_.level.Set(Idx(source_), 0);
+    while (!ws_.queue.empty()) {
+      const VertexId u{ws_.queue.PopFront()};
       for (std::int32_t raw : graph_.OutArcs(u)) {
         const ArcId a{raw};
         if (graph_.Residual(a) <= 0) continue;
         const VertexId v = graph_.arc(a).head;
-        if (level_[Idx(v)] != -1) continue;
-        level_[Idx(v)] = level_[Idx(u)] + 1;
-        queue.push_back(v);
+        if (ws_.level.Stamped(Idx(v))) continue;
+        ws_.level.Set(Idx(v), ws_.level.Get(Idx(u), -1) + 1);
+        ws_.queue.PushBack(v.value());
       }
     }
-    return level_[Idx(sink_)] != -1;
+    return ws_.level.Stamped(Idx(sink_));
   }
 
   Capacity Push(VertexId u, Capacity limit) {
     if (u == sink_) return limit;
     const auto arcs = graph_.OutArcs(u);
-    for (auto& i = next_arc_[Idx(u)]; i < arcs.size(); ++i) {
-      const ArcId a{arcs[i]};
+    const std::int32_t lu = ws_.level.Get(Idx(u), -1);
+    for (auto& i = ws_.next_arc.Ref(Idx(u), 0);
+         static_cast<std::size_t>(i) < arcs.size(); ++i) {
+      const ArcId a{arcs[static_cast<std::size_t>(i)]};
       if (graph_.Residual(a) <= 0) continue;
       const VertexId v = graph_.arc(a).head;
-      if (level_[Idx(v)] != level_[Idx(u)] + 1) continue;
+      if (ws_.level.Get(Idx(v), -1) != lu + 1) continue;
       const Capacity pushed =
           Push(v, std::min(limit, graph_.Residual(a)));
       if (pushed > 0) {
@@ -130,23 +137,56 @@ class DinicSolver {
   Graph& graph_;
   VertexId source_;
   VertexId sink_;
-  std::vector<std::int32_t> level_;
-  std::vector<std::size_t> next_arc_;
+  Workspace& ws_;
 };
 
 }  // namespace
 
-MaxFlowResult Dinic(Graph& graph, VertexId source, VertexId sink) {
+MaxFlowResult Dinic(Graph& graph, VertexId source, VertexId sink,
+                    Workspace& ws) {
   ALADDIN_TRACE_SCOPE("flow/dinic");
   ALADDIN_CHECK(source != sink);
-  const MaxFlowResult result = DinicSolver(graph, source, sink).Run();
+  const MaxFlowResult result = DinicSolver(graph, source, sink, ws).Run();
   ALADDIN_METRIC_ADD("flow/dinic_phases", result.augmentations);
   return result;
 }
 
+MaxFlowResult Dinic(Graph& graph, VertexId source, VertexId sink) {
+  return Dinic(graph, source, sink, ThreadLocalWorkspace());
+}
+
+void ResidualReachableInto(const Graph& graph, VertexId source,
+                           Workspace& ws) {
+  ws.BeginRun(graph);
+  ws.queue.Clear();
+  ws.queue.PushBack(source.value());
+  ws.visited.Set(Idx(source), 1);
+  while (!ws.queue.empty()) {
+    const VertexId u{ws.queue.PopFront()};
+    for (std::int32_t raw : graph.OutArcs(u)) {
+      const ArcId a{raw};
+      if (graph.Residual(a) <= 0) continue;
+      const VertexId v = graph.arc(a).head;
+      if (ws.visited.Stamped(Idx(v))) continue;
+      ws.visited.Set(Idx(v), 1);
+      ws.queue.PushBack(v.value());
+    }
+  }
+}
+
+std::vector<bool> ResidualReachable(const Graph& graph, VertexId source) {
+  Workspace& ws = ThreadLocalWorkspace();
+  ResidualReachableInto(graph, source, ws);
+  std::vector<bool> seen(graph.vertex_count(), false);  // lint:allow-alloc
+  for (std::size_t v = 0; v < seen.size(); ++v) {
+    if (ws.visited.Stamped(v)) seen[v] = true;
+  }
+  return seen;
+}
+
 std::vector<ArcId> MinCutArcs(const Graph& graph, VertexId source) {
   const auto reachable = ResidualReachable(graph, source);
-  std::vector<ArcId> cut;
+  std::vector<ArcId> cut;  // lint:allow-alloc (cold audit path)
   for (std::size_t v = 0; v < graph.vertex_count(); ++v) {
     if (!reachable[v]) continue;
     for (std::int32_t raw :
@@ -164,7 +204,7 @@ std::vector<ArcId> MinCutArcs(const Graph& graph, VertexId source) {
 
 std::vector<FlowPath> DecomposePaths(Graph& graph, VertexId source,
                                      VertexId sink) {
-  std::vector<FlowPath> paths;
+  std::vector<FlowPath> paths;  // lint:allow-alloc (cold decode path)
   const std::size_t n = graph.vertex_count();
   for (;;) {
     // Walk greedily along arcs with positive flow from the source.
@@ -201,7 +241,7 @@ std::vector<FlowPath> DecomposePaths(Graph& graph, VertexId source,
 }
 
 Capacity CancelArcFlow(Graph& graph, ArcId a, Capacity amount,
-                       VertexId source, VertexId sink) {
+                       VertexId source, VertexId sink, Workspace& ws) {
   ALADDIN_CHECK(a.valid() && a.value() % 2 == 0)
       << "CancelArcFlow wants a forward arc";
   Capacity cancelled = 0;
@@ -212,7 +252,7 @@ Capacity CancelArcFlow(Graph& graph, ArcId a, Capacity amount,
     // flow *into* the current vertex. An incoming forward arc appears in
     // the vertex's adjacency as its residual twin (odd id, negative flow);
     // the first match in adjacency order keeps the walk deterministic.
-    std::vector<ArcId> back_twins;
+    ws.back_arcs.clear();
     VertexId v = graph.Tail(a);
     std::size_t steps = 0;
     while (v != source) {
@@ -227,14 +267,14 @@ Capacity CancelArcFlow(Graph& graph, ArcId a, Capacity amount,
       }
       ALADDIN_CHECK(found.valid())
           << "CancelArcFlow: conservation violated at vertex " << v;
-      back_twins.push_back(found);
+      ws.back_arcs.push_back(found);
       bottleneck = std::min(bottleneck, -graph.arc(found).flow);
       v = graph.arc(found).head;
     }
 
     // Forward segment: from head(a) to the sink, along forward arcs
     // carrying flow out of the current vertex.
-    std::vector<ArcId> fwd_arcs;
+    ws.fwd_arcs.clear();
     VertexId u = graph.arc(a).head;
     steps = 0;
     while (u != sink) {
@@ -249,38 +289,25 @@ Capacity CancelArcFlow(Graph& graph, ArcId a, Capacity amount,
       }
       ALADDIN_CHECK(found.valid())
           << "CancelArcFlow: conservation violated at vertex " << u;
-      fwd_arcs.push_back(found);
+      ws.fwd_arcs.push_back(found);
       bottleneck = std::min(bottleneck, graph.arc(found).flow);
       u = graph.arc(found).head;
     }
 
     ALADDIN_DCHECK(bottleneck > 0);
     // Unwind: pushing along a residual twin subtracts from its forward arc.
-    for (ArcId t : back_twins) graph.Push(t, bottleneck);
+    for (ArcId t : ws.back_arcs) graph.Push(t, bottleneck);
     graph.Push(Graph::Reverse(a), bottleneck);
-    for (ArcId f : fwd_arcs) graph.Push(Graph::Reverse(f), bottleneck);
+    for (ArcId f : ws.fwd_arcs) graph.Push(Graph::Reverse(f), bottleneck);
     cancelled += bottleneck;
   }
   return cancelled;
 }
 
-std::vector<bool> ResidualReachable(const Graph& graph, VertexId source) {
-  std::vector<bool> seen(graph.vertex_count(), false);
-  std::deque<VertexId> queue{source};
-  seen[static_cast<std::size_t>(source.value())] = true;
-  while (!queue.empty()) {
-    const VertexId u = queue.front();
-    queue.pop_front();
-    for (std::int32_t raw : graph.OutArcs(u)) {
-      const ArcId a{raw};
-      if (graph.Residual(a) <= 0) continue;
-      const VertexId v = graph.arc(a).head;
-      if (seen[static_cast<std::size_t>(v.value())]) continue;
-      seen[static_cast<std::size_t>(v.value())] = true;
-      queue.push_back(v);
-    }
-  }
-  return seen;
+Capacity CancelArcFlow(Graph& graph, ArcId a, Capacity amount,
+                       VertexId source, VertexId sink) {
+  return CancelArcFlow(graph, a, amount, source, sink,
+                       ThreadLocalWorkspace());
 }
 
 }  // namespace aladdin::flow

@@ -5,9 +5,15 @@
 //    oracle for the fancier solvers.
 //  * Dinic — level graph + blocking flow, O(V²·E); the workhorse where a raw
 //    scalar max flow is needed.
+//
+// Every solver has two overloads: one taking an explicit flow::Workspace
+// (zero steady-state allocations — the caller owns the scratch across runs,
+// e.g. core::IncrementalRelaxation) and a convenience overload using the
+// per-thread default workspace. Both are bit-identical in results.
 #pragma once
 
 #include "flow/graph.h"
+#include "flow/workspace.h"
 
 namespace aladdin::flow {
 
@@ -16,12 +22,20 @@ struct MaxFlowResult {
   std::int64_t augmentations = 0;  // number of augmenting paths / phases found
 };
 
+MaxFlowResult EdmondsKarp(Graph& graph, VertexId source, VertexId sink,
+                          Workspace& ws);
 MaxFlowResult EdmondsKarp(Graph& graph, VertexId source, VertexId sink);
 
+MaxFlowResult Dinic(Graph& graph, VertexId source, VertexId sink,
+                    Workspace& ws);
 MaxFlowResult Dinic(Graph& graph, VertexId source, VertexId sink);
 
-// Returns the set of vertices reachable from `source` in the residual graph
-// — the source side of a minimum cut once a max flow has been computed.
+// Marks the vertices reachable from `source` in the residual graph in
+// ws.visited (stamped == reachable) — the source side of a minimum cut once
+// a max flow has been computed. Allocation-free.
+void ResidualReachableInto(const Graph& graph, VertexId source, Workspace& ws);
+
+// Allocating wrapper over ResidualReachableInto for cold call sites.
 std::vector<bool> ResidualReachable(const Graph& graph, VertexId source);
 
 // The saturated forward arcs crossing the minimum cut after a max flow has
@@ -50,6 +64,8 @@ std::vector<FlowPath> DecomposePaths(Graph& graph, VertexId source,
 // re-augment from the warm flow. Requires the flow to be acyclic (true for
 // anything our solvers produce on the layered scheduling networks).
 // Returns the amount actually cancelled (min of `amount` and the arc flow).
+Capacity CancelArcFlow(Graph& graph, ArcId a, Capacity amount,
+                       VertexId source, VertexId sink, Workspace& ws);
 Capacity CancelArcFlow(Graph& graph, ArcId a, Capacity amount,
                        VertexId source, VertexId sink);
 

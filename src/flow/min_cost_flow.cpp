@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -32,18 +31,16 @@ bool Augment(Graph& graph, const std::vector<ArcId>& path, Capacity flow_limit,
 }
 
 MinCostFlowResult SolveSpfa(Graph& graph, VertexId source, VertexId sink,
-                            Capacity flow_limit) {
+                            Capacity flow_limit, Workspace& ws) {
   MinCostFlowResult result;
   while (result.flow < flow_limit) {
-    ShortestPathTree tree = Spfa(graph, source);
-    if (tree.negative_cycle) {
+    const ShortestPathStats stats = SpfaInto(graph, source, ws);
+    if (stats.negative_cycle) {
       result.negative_cycle = true;
       break;
     }
-    if (!Augment(graph, ExtractPath(graph, tree, source, sink), flow_limit,
-                 result)) {
-      break;
-    }
+    ExtractPathInto(graph, source, sink, ws);
+    if (!Augment(graph, ws.path, flow_limit, result)) break;
   }
   return result;
 }
@@ -52,64 +49,66 @@ MinCostFlowResult SolveSpfa(Graph& graph, VertexId source, VertexId sink,
 // every residual arc has non-negative reduced cost, so a binary heap works.
 // Vertices with pi == kUnreachable were unreachable when the potentials were
 // seeded; augmentations only add residual arcs along already-reachable
-// paths, so they stay unreachable and are skipped.
-ShortestPathTree DijkstraReduced(const Graph& graph, VertexId source,
-                                 const std::vector<Cost>& pi) {
-  const std::size_t n = graph.vertex_count();
-  ShortestPathTree tree;
-  tree.dist.assign(n, kUnreachable);
-  tree.parent_arc.assign(n, -1);
-  using Entry = std::pair<Cost, std::int32_t>;  // (reduced dist, vertex)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  tree.dist[static_cast<std::size_t>(source.value())] = 0;
-  heap.emplace(0, source.value());
-  while (!heap.empty()) {
-    const auto [d, raw_u] = heap.top();
-    heap.pop();
+// paths, so they stay unreachable and are skipped. Distances/parents land in
+// ws.dist / ws.parent; the binary heap lives in ws.heap (capacity persists
+// across augmentations). Allocation-free after warmup.
+std::int64_t DijkstraReducedInto(const Graph& graph, VertexId source,
+                                 Workspace& ws) {
+  std::int64_t relaxations = 0;
+  ws.BeginRun(graph);
+  // ws.heap entries are (reduced dist, vertex) pairs, min-heap by distance.
+  const std::greater<> cmp;
+  ws.heap.clear();
+  ws.dist.Set(static_cast<std::size_t>(source.value()), 0);
+  ws.heap.emplace_back(0, source.value());
+  while (!ws.heap.empty()) {
+    std::pop_heap(ws.heap.begin(), ws.heap.end(), cmp);
+    const auto [d, raw_u] = ws.heap.back();
+    ws.heap.pop_back();
     const auto ui = static_cast<std::size_t>(raw_u);
-    if (d > tree.dist[ui]) continue;  // stale entry
+    if (d > ws.dist.Get(ui, kUnreachable)) continue;  // stale entry
     for (std::int32_t raw : graph.OutArcs(VertexId(raw_u))) {
       const ArcId a{raw};
       if (graph.Residual(a) <= 0) continue;
       const VertexId v = graph.arc(a).head;
       const auto vi = static_cast<std::size_t>(v.value());
-      if (pi[vi] >= kUnreachable) continue;
-      const Cost reduced = graph.arc(a).cost + pi[ui] - pi[vi];
+      if (ws.pi[vi] >= kUnreachable) continue;
+      const Cost reduced = graph.arc(a).cost + ws.pi[ui] - ws.pi[vi];
       ALADDIN_DCHECK(reduced >= 0)
           << "negative reduced cost " << reduced << " on arc " << a
           << " (stale potentials)";
-      ++tree.relaxations;
-      if (d + reduced < tree.dist[vi]) {
-        tree.dist[vi] = d + reduced;
-        tree.parent_arc[vi] = raw;
-        heap.emplace(tree.dist[vi], v.value());
+      ++relaxations;
+      if (d + reduced < ws.dist.Get(vi, kUnreachable)) {
+        ws.dist.Set(vi, d + reduced);
+        ws.parent.Set(vi, raw);
+        ws.heap.emplace_back(d + reduced, v.value());
+        std::push_heap(ws.heap.begin(), ws.heap.end(), cmp);
       }
     }
   }
-  return tree;
+  return relaxations;
 }
 
 MinCostFlowResult SolveDijkstra(Graph& graph, VertexId source, VertexId sink,
-                                Capacity flow_limit) {
+                                Capacity flow_limit, Workspace& ws) {
   MinCostFlowResult result;
   // Seed potentials with one Bellman–Ford pass (costs may be negative).
+  // Cold: runs once per solve, not per augmentation.
   ShortestPathTree seed = BellmanFord(graph, source);
   if (seed.negative_cycle) {
     result.negative_cycle = true;
     return result;
   }
-  std::vector<Cost> pi = std::move(seed.dist);
+  ws.pi.assign(seed.dist.begin(), seed.dist.end());  // lint:allow-alloc (warm capacity reused)
   while (result.flow < flow_limit) {
-    ShortestPathTree tree = DijkstraReduced(graph, source, pi);
-    if (!Augment(graph, ExtractPath(graph, tree, source, sink), flow_limit,
-                 result)) {
-      break;
-    }
+    DijkstraReducedInto(graph, source, ws);
+    ExtractPathInto(graph, source, sink, ws);
+    if (!Augment(graph, ws.path, flow_limit, result)) break;
     // pi' = pi + dist keeps reduced costs non-negative on the new residual
     // graph; unreached vertices keep their old potential (never visited).
-    for (std::size_t v = 0; v < pi.size(); ++v) {
-      if (tree.dist[v] < kUnreachable && pi[v] < kUnreachable) {
-        pi[v] += tree.dist[v];
+    for (std::size_t v = 0; v < ws.pi.size(); ++v) {
+      if (ws.dist.Stamped(v) && ws.pi[v] < kUnreachable) {
+        ws.pi[v] += ws.dist.Get(v, kUnreachable);
       }
     }
   }
@@ -120,20 +119,27 @@ MinCostFlowResult SolveDijkstra(Graph& graph, VertexId source, VertexId sink,
 
 MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
                                  Capacity flow_limit,
-                                 MinCostFlowOptions options) {
+                                 MinCostFlowOptions options, Workspace& ws) {
   ALADDIN_TRACE_SCOPE("flow/ssp");
   ALADDIN_CHECK(source != sink);
   MinCostFlowResult result;
   switch (options.pathfinder) {
     case MinCostFlowOptions::Pathfinder::kDijkstra:
-      result = SolveDijkstra(graph, source, sink, flow_limit);
+      result = SolveDijkstra(graph, source, sink, flow_limit, ws);
       break;
     case MinCostFlowOptions::Pathfinder::kSpfa:
-      result = SolveSpfa(graph, source, sink, flow_limit);
+      result = SolveSpfa(graph, source, sink, flow_limit, ws);
       break;
   }
   ALADDIN_METRIC_ADD("flow/ssp_iterations", result.iterations);
   return result;
+}
+
+MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
+                                 Capacity flow_limit,
+                                 MinCostFlowOptions options) {
+  return MinCostMaxFlow(graph, source, sink, flow_limit, options,
+                        ThreadLocalWorkspace());
 }
 
 }  // namespace aladdin::flow

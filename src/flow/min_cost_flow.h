@@ -38,6 +38,12 @@ struct MinCostFlowResult {
 
 // Computes a maximum flow of minimum cost from source to sink, mutating the
 // graph's flows. `flow_limit` caps the amount routed (default: unlimited).
+// The Workspace overload is allocation-free in steady state (one SPFA /
+// Dijkstra per augmentation, all scratch reused); the other one borrows the
+// per-thread default workspace.
+MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
+                                 Capacity flow_limit, MinCostFlowOptions options,
+                                 Workspace& ws);
 MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
                                  Capacity flow_limit = kInfiniteCapacity,
                                  MinCostFlowOptions options = {});

@@ -4,7 +4,9 @@
 // Algorithm, a queue-driven Bellman–Ford) — reference [21] in the paper. We
 // provide both the textbook Bellman–Ford (the oracle; also detects negative
 // cycles) and SPFA (the fast path used inside min-cost flow and the Aladdin
-// search).
+// search). SPFA additionally has an allocation-free `SpfaInto` form that
+// leaves its tree in a flow::Workspace — the form the min-cost-flow inner
+// loop uses, since it runs one SPFA per augmentation.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "flow/graph.h"
+#include "flow/workspace.h"
 
 namespace aladdin::flow {
 
@@ -28,6 +31,13 @@ struct ShortestPathTree {
   std::int64_t relaxations = 0;  // instrumentation for the ablation bench
 };
 
+// Outcome of an Into-style run; distances/parents live in the workspace
+// (ws.dist / ws.parent, epoch-stamped: unstamped == unreachable).
+struct ShortestPathStats {
+  bool negative_cycle = false;
+  std::int64_t relaxations = 0;
+};
+
 // Textbook Bellman–Ford over residual arcs; O(V·E). Sets negative_cycle if
 // one is reachable from the source.
 ShortestPathTree BellmanFord(const Graph& graph, VertexId source);
@@ -35,7 +45,11 @@ ShortestPathTree BellmanFord(const Graph& graph, VertexId source);
 // SPFA: Bellman–Ford with a deque work-list and the SLF (smallest label
 // first) heuristic. Same output contract as BellmanFord for graphs without
 // negative cycles reachable from the source. A relaxation-count trip wire
-// (V·E bound) flags negative cycles.
+// (V·E bound) flags negative cycles. Allocation-free: results land in ws.
+ShortestPathStats SpfaInto(const Graph& graph, VertexId source, Workspace& ws);
+
+// Allocating wrapper over SpfaInto returning an owning tree (tests, oracle
+// comparisons, call sites that keep the tree beyond the next solver run).
 ShortestPathTree Spfa(const Graph& graph, VertexId source);
 
 // Reconstructs the arc ids of the path source -> target from a tree
@@ -43,5 +57,11 @@ ShortestPathTree Spfa(const Graph& graph, VertexId source);
 std::vector<ArcId> ExtractPath(const Graph& graph,
                                const ShortestPathTree& tree, VertexId source,
                                VertexId target);
+
+// Same reconstruction from workspace state (after SpfaInto or the Dijkstra
+// variant in min_cost_flow.cpp), written into ws.path. Allocation-free once
+// ws.path has warmed to the longest path length.
+void ExtractPathInto(const Graph& graph, VertexId source, VertexId target,
+                     Workspace& ws);
 
 }  // namespace aladdin::flow

@@ -1,8 +1,8 @@
 #include "k8s/resolver.h"
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "common/check.h"
@@ -193,8 +193,14 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
   }
 
   // --- incremental path --------------------------------------------------
-  std::vector<cluster::ContainerId> long_lived;
-  std::vector<PodUid> short_lived;
+  // Per-tick scratch: member buffers keep their capacity across resolves,
+  // the arena rewinds to its retained chunks. (`pending` stays a fresh
+  // vector — PendingPods() materialises it on the adaptor side.)
+  arena_.Reset();
+  std::vector<cluster::ContainerId>& long_lived = long_lived_;
+  long_lived.clear();
+  std::vector<PodUid>& short_lived = short_lived_;
+  short_lived.clear();
   std::vector<PodUid> pending;
   {
     ALADDIN_PHASE_SCOPE("k8s/sync_state");
@@ -250,8 +256,15 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
   // scan, so reconciliation is O(pending + changes).
   {
     ALADDIN_PHASE_SCOPE("k8s/reconcile");
-    const std::unordered_set<PodUid> was_pending(pending.begin(),
-                                                 pending.end());
+    // Sorted arena snapshot + binary search instead of an unordered_set:
+    // one bump allocation, no per-node hashing, same membership answers.
+    ArenaVector<PodUid> was_pending{ArenaAllocator<PodUid>(&arena_)};
+    was_pending.reserve(pending.size());
+    was_pending.assign(pending.begin(), pending.end());
+    std::sort(was_pending.begin(), was_pending.end());
+    const auto WasPending = [&](PodUid uid) {
+      return std::binary_search(was_pending.begin(), was_pending.end(), uid);
+    };
     for (PodUid uid : pending) {
       Pod* pod = adaptor_.MutablePod(uid);
       const auto c = adaptor_.ContainerOf(uid);
@@ -269,7 +282,7 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
       const PodUid uid = adaptor_.PodOfContainer(c);
       if (uid < 0) continue;  // tombstone: pod already deleted
       Pod* pod = adaptor_.MutablePod(uid);
-      if (pod == nullptr || was_pending.contains(uid)) continue;
+      if (pod == nullptr || WasPending(uid)) continue;
       // A pod bound before this tick whose placement the scheduler touched.
       if (!state.IsPlaced(c)) {
         // Preempted by a higher-weighted pending pod; back to the queue.
@@ -288,6 +301,9 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
     }
   }
 
+  if (obs::MetricsEnabled()) {
+    ALADDIN_METRIC_ADD("k8s/arena_bytes", arena_.bytes_used());
+  }
   FinishStats(stats, timer, phases_before);
   return stats;
 }

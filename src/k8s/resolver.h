@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cluster/free_index.h"
+#include "common/arena.h"
 #include "core/scheduler.h"
 #include "k8s/adaptor.h"
 #include "obs/metrics.h"
@@ -91,6 +92,14 @@ class Resolver {
   cluster::FreeIndex free_index_;
   std::uint64_t free_index_cursor_ = 0;
   std::int64_t built_topology_version_ = -1;
+
+  // Per-tick pooling for the incremental path: the long/short-lived splits
+  // persist as member scratch (long_lived_ must stay a std::vector — it is
+  // handed to ScheduleRequest by pointer), the reconcile-phase lookup table
+  // lives in the arena, reset each Resolve().
+  Arena arena_;
+  std::vector<cluster::ContainerId> long_lived_;
+  std::vector<PodUid> short_lived_;
 };
 
 }  // namespace aladdin::k8s

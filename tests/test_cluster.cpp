@@ -301,9 +301,11 @@ TEST_F(StateTest, AppsOnTracksCounts) {
   state.Deploy(C(batch_, 1), MachineId(0));
   const auto& apps = state.AppsOn(MachineId(0));
   ASSERT_EQ(apps.size(), 1u);
-  EXPECT_EQ(apps.at(batch_.value()), 2);
+  EXPECT_EQ(apps.front().first, batch_.value());
+  EXPECT_EQ(apps.front().second, 2);
   state.Evict(C(batch_, 0));
-  EXPECT_EQ(state.AppsOn(MachineId(0)).at(batch_.value()), 1);
+  ASSERT_EQ(state.AppsOn(MachineId(0)).size(), 1u);
+  EXPECT_EQ(state.AppsOn(MachineId(0)).front().second, 1);
   state.Evict(C(batch_, 1));
   EXPECT_TRUE(state.AppsOn(MachineId(0)).empty());
 }

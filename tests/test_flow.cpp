@@ -524,5 +524,60 @@ TEST(MultiDim, MaxFlowTerminates) {
   EXPECT_EQ(total, (DimVector{100, 200}));
 }
 
+// ------------------------------------------------------- CSR adjacency ----
+
+// Randomized oracle test for the frozen CSR layout: a nested
+// vector<vector<arc id>> adjacency — the legacy representation — is
+// maintained side by side through interleaved vertex adds, arc adds, and
+// adjacency reads (each read after a mutation forces a CSR re-freeze).
+// The CSR must reproduce the legacy per-vertex arc order exactly; solver
+// iteration order, and therefore every placement decision, rides on it.
+TEST(GraphFuzz, CsrMatchesNestedAdjacencyAcrossFreezeCycles) {
+  for (int seed = 1; seed <= 12; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    Graph g;
+    std::vector<std::vector<std::int32_t>> nested;
+    std::int32_t vertices = static_cast<std::int32_t>(rng.UniformInt(2, 6));
+    g.AddVertices(static_cast<std::size_t>(vertices));
+    nested.resize(static_cast<std::size_t>(vertices));
+
+    for (int round = 0; round < 8; ++round) {
+      for (std::int64_t i = rng.UniformInt(0, 3); i > 0; --i) {
+        g.AddVertex();
+        nested.emplace_back();
+        ++vertices;
+      }
+      for (std::int64_t i = rng.UniformInt(1, 12); i > 0; --i) {
+        const auto tail = static_cast<std::int32_t>(
+            rng.UniformInt(0, vertices - 1));
+        const auto head = static_cast<std::int32_t>(
+            rng.UniformInt(0, vertices - 1));
+        const ArcId a = g.AddArc(VertexId(tail), VertexId(head),
+                                 rng.UniformInt(1, 16), rng.UniformInt(0, 7));
+        nested[static_cast<std::size_t>(tail)].push_back(a.value());
+        nested[static_cast<std::size_t>(head)].push_back(
+            Graph::Reverse(a).value());
+      }
+      EXPECT_FALSE(g.frozen()) << "AddArc must dirty the CSR";
+      for (std::int32_t v = 0; v < vertices; ++v) {
+        const auto arcs = g.OutArcs(VertexId(v));  // freezes on first read
+        const std::vector<std::int32_t> got(arcs.begin(), arcs.end());
+        ASSERT_EQ(got, nested[static_cast<std::size_t>(v)])
+            << "seed " << seed << " round " << round << " vertex " << v;
+      }
+      EXPECT_TRUE(g.frozen());
+      ASSERT_TRUE(g.ValidateInvariants())
+          << "seed " << seed << " round " << round;
+    }
+
+    // Push some flow and re-validate: the CSR must stay consistent with the
+    // arc table after solver-style mutations (which touch flows only).
+    const VertexId s(0), t(1);
+    (void)Dinic(g, s, t);
+    const VertexId exempt[] = {s, t};
+    ASSERT_TRUE(g.ValidateInvariants(exempt)) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace aladdin::flow

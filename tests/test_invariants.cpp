@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,13 +19,24 @@
 namespace aladdin::flow {
 
 // Friend of Graph: reaches into private storage so tests can corrupt arcs
-// and adjacency to drive ValidateInvariants' failure paths.
+// and the frozen CSR adjacency to drive ValidateInvariants' failure paths.
 struct GraphTestPeer {
   static Arc& arc(Graph& g, ArcId a) {
     return g.arcs_[static_cast<std::size_t>(a.value())];
   }
-  static std::vector<std::int32_t>& adjacency(Graph& g, VertexId v) {
-    return g.adjacency_[static_cast<std::size_t>(v.value())];
+  // Mutable view of v's CSR slice. Freezes first so the corruption is not
+  // erased by a lazy rebuild (ValidateInvariants' Freeze() is then a no-op).
+  static std::span<std::int32_t> adjacency(Graph& g, VertexId v) {
+    g.Freeze();
+    const auto i = static_cast<std::size_t>(v.value());
+    const auto begin = static_cast<std::size_t>(g.csr_offsets_[i]);
+    const auto end = static_cast<std::size_t>(g.csr_offsets_[i + 1]);
+    return {g.csr_arcs_.data() + begin, end - begin};
+  }
+  // The arc-count boundary check, callable with a synthetic slot count so
+  // the int32 overflow limit is testable without 2^31 arcs of memory.
+  static void CheckCanAddArcPair(std::size_t current_arc_slots) {
+    Graph::CheckCanAddArcPair(current_arc_slots);
   }
 };
 
@@ -41,8 +53,7 @@ struct ClusterStateTestPeer {
   static std::vector<ContainerId>& deployed(ClusterState& s, MachineId m) {
     return s.deployed_[static_cast<std::size_t>(m.value())];
   }
-  static std::unordered_map<std::int32_t, std::int32_t>& apps_on(
-      ClusterState& s, MachineId m) {
+  static ClusterState::AppCounts& apps_on(ClusterState& s, MachineId m) {
     return s.apps_on_[static_cast<std::size_t>(m.value())];
   }
   static MachineId& placement(ClusterState& s, ContainerId c) {
@@ -167,22 +178,48 @@ TEST_F(GraphInvariantsTest, DetectsNonzeroResidualCapacity) {
 }
 
 TEST_F(GraphInvariantsTest, DetectsDuplicateAdjacencyEntry) {
-  GraphTestPeer::adjacency(graph_, s_).push_back(sa_.value());
+  // CSR slices are fixed-size, so a duplicate is injected by overwriting
+  // s_'s second entry (st_) with its first (sa_): sa_ is now listed twice.
+  auto adj_s = GraphTestPeer::adjacency(graph_, s_);
+  ASSERT_EQ(adj_s.size(), 2u);
+  adj_s[1] = sa_.value();
   std::string error;
   EXPECT_FALSE(graph_.ValidateInvariants(Endpoints(), &error));
   EXPECT_NE(error.find("more than once"), std::string::npos) << error;
 }
 
 TEST_F(GraphInvariantsTest, DetectsArcListedUnderWrongVertex) {
-  auto& adj_s = GraphTestPeer::adjacency(graph_, s_);
-  auto& adj_a = GraphTestPeer::adjacency(graph_, a_);
-  // Move at_ from a_'s adjacency into s_'s: the arc count stays right but
-  // the arc now sits under a vertex that is not its tail.
-  adj_a.erase(std::find(adj_a.begin(), adj_a.end(), at_.value()));
-  adj_s.push_back(at_.value());
+  auto adj_s = GraphTestPeer::adjacency(graph_, s_);
+  auto adj_a = GraphTestPeer::adjacency(graph_, a_);
+  // Swap at_ (tail a_) into s_'s slice and sa_ (tail s_) into a_'s: every
+  // arc is still listed exactly once, but two sit under the wrong tail.
+  auto slot_s = std::find(adj_s.begin(), adj_s.end(), sa_.value());
+  auto slot_a = std::find(adj_a.begin(), adj_a.end(), at_.value());
+  ASSERT_NE(slot_s, adj_s.end());
+  ASSERT_NE(slot_a, adj_a.end());
+  std::swap(*slot_s, *slot_a);
   std::string error;
   EXPECT_FALSE(graph_.ValidateInvariants(Endpoints(), &error));
   EXPECT_NE(error.find("but its tail is"), std::string::npos) << error;
+}
+
+TEST(GraphLimitsTest, ArcSlotLimitIsEnforcedAtTheInt32Boundary) {
+  // Two slots per AddArc; the last legal pair lands exactly at kMaxArcSlots.
+  GraphTestPeer::CheckCanAddArcPair(Graph::kMaxArcSlots - 2);  // last OK pair
+  EXPECT_DEATH(GraphTestPeer::CheckCanAddArcPair(Graph::kMaxArcSlots - 1),
+               "int32 id domain limit");
+  EXPECT_DEATH(GraphTestPeer::CheckCanAddArcPair(Graph::kMaxArcSlots),
+               "int32 id domain limit");
+}
+
+TEST(GraphLimitsTest, VertexLimitIsEnforced) {
+  // AddVertices is an O(1) counter bump (CSR is built lazily), so the graph
+  // can be driven to the id-domain edge without allocating per-vertex state.
+  Graph g;
+  EXPECT_EQ(g.AddVertices(Graph::kMaxVertices).value(), 0);
+  EXPECT_EQ(g.vertex_count(), Graph::kMaxVertices);
+  EXPECT_DEATH(g.AddVertex(), "int32 id domain");
+  EXPECT_DEATH(g.AddVertices(1), "int32 id domain");
 }
 
 #if ALADDIN_DCHECK_IS_ON()
@@ -269,7 +306,7 @@ TEST_F(StateConsistencyTest, DetectsPhantomPlacement) {
 TEST_F(StateConsistencyTest, DetectsAppCountDrift) {
   ClusterState state = wl_.MakeState(topo_);
   state.Deploy(C(0), MachineId(0));
-  ++ClusterStateTestPeer::apps_on(state, MachineId(0))[app_.value()];
+  ++ClusterStateTestPeer::apps_on(state, MachineId(0)).front().second;
   std::string error;
   EXPECT_FALSE(state.CheckConsistency(&error));
   EXPECT_NE(error.find("app-count map"), std::string::npos) << error;

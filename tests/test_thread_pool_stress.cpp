@@ -15,7 +15,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/thread_pool.h"
+#include "flow/max_flow.h"
+#include "flow/workspace.h"
 
 namespace aladdin {
 
@@ -205,6 +208,72 @@ TEST(ParallelFor, ConcurrentLoopsShareOnePool) {
   }
   for (auto& t : drivers) t.join();
   EXPECT_EQ(total.load(), 3 * 20 * 100);
+}
+
+// --------------------------------------------------- workspace reuse ----
+
+// Pool workers solving max flows concurrently, each over its own Graph copy
+// with its own reused Workspace. The shared template graph is frozen before
+// fan-out, so concurrent copies read an immutable CSR; each worker's
+// workspace goes through many BeginRun cycles (the epoch-stamp reset path).
+// Every solve must produce the serial reference value — and the suite runs
+// under the tsan preset, so any sharing bug in the workspace or the frozen
+// CSR shows up as a data race, not just a wrong answer.
+TEST(WorkspaceStress, ConcurrentReusedWorkspacesMatchSerialDinic) {
+  flow::Graph shared;
+  const VertexId s = shared.AddVertex();
+  const VertexId t = shared.AddVertex();
+  Rng rng(11);
+  constexpr std::int32_t kWidth = 48;
+  const VertexId mids = shared.AddVertices(2 * kWidth);
+  for (std::int32_t i = 0; i < kWidth; ++i) {
+    const VertexId a(mids.value() + i);
+    const VertexId b(mids.value() + kWidth + i);
+    shared.AddArc(s, a, rng.UniformInt(1, 9));
+    for (int d = 0; d < 4; ++d) {
+      const VertexId target(mids.value() + kWidth +
+                            static_cast<std::int32_t>(
+                                rng.UniformInt(0, kWidth - 1)));
+      shared.AddArc(a, target, rng.UniformInt(1, 9));
+    }
+    shared.AddArc(b, t, rng.UniformInt(1, 9));
+  }
+  shared.Freeze();
+
+  flow::Capacity expected = 0;
+  {
+    flow::Graph g = shared;
+    expected = flow::Dinic(g, s, t).value;
+  }
+
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 64;
+  constexpr int kRunsPerTask = 8;
+  std::vector<flow::Capacity> results(kTasks, -1);
+  ParallelFor(pool, 0, kTasks, [&](std::size_t i) {
+    flow::Graph local = shared;  // copies the frozen CSR
+    flow::Workspace ws;
+    flow::Capacity value = -1;
+    for (int run = 0; run < kRunsPerTask; ++run) {
+      local.ResetFlows();
+      value = flow::Dinic(local, s, t, ws).value;  // ws reused across runs
+    }
+    results[i] = value;
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(results[i], expected) << "task " << i;
+  }
+
+  // The per-thread default workspace path (no explicit ws) under the pool:
+  // thread-local scratch, same answers.
+  std::vector<flow::Capacity> tls_results(kTasks, -1);
+  ParallelFor(pool, 0, kTasks, [&](std::size_t i) {
+    flow::Graph local = shared;
+    tls_results[i] = flow::Dinic(local, s, t).value;
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(tls_results[i], expected) << "task " << i;
+  }
 }
 
 }  // namespace

@@ -23,6 +23,14 @@ Enforces the project idioms that generic tooling does not know about:
     everything diagnostic goes through LOG_* so --log-level can silence it
     globally (tests run at kWarn). This rule also covers bench/ and
     examples/, which are otherwise exempt from src/ lint.
+  * allocation guard (src/flow/*.cpp only): the solvers run on every
+    scheduler tick and must not heap-allocate in steady state — scratch
+    lives in flow::Workspace, adjacency in the frozen CSR. Nested
+    `std::vector<std::vector<` layouts are banned outright, and per-call
+    std::vector construction / .assign / .resize / .reserve inside function
+    bodies needs an explicit `// lint:allow-alloc (reason)` marker on the
+    line (reserved for cold paths: audits, oracles, the amortized
+    re-freeze).
 
 Runs as a ctest case (`ctest -R lint`) and standalone:  tools/lint.py
 Exit status 0 = clean; 1 = violations (one per line, file:line: message).
@@ -67,6 +75,21 @@ THREAD_POOL_FILES = {"thread_pool.h", "thread_pool.cpp"}
 STDERR_WRITE = re.compile(r"(?:std::)?fprintf\s*\(\s*stderr\b|std::cerr\b")
 STDERR_ALLOWED_FILES = {"log.h", "log.cpp", "check.h", "check.cpp",
                         "flags.h", "flags.cpp"}
+
+# Flow-solver allocation guard. Nested vectors are the pre-CSR adjacency
+# layout (one heap block + pointer-chase per vertex) and are banned from
+# flow/ sources outright. Vector construction and growth calls are flagged
+# only on indented lines: function-body statements, not signatures or
+# return types at column zero. `// lint:allow-alloc` on the raw line is the
+# escape hatch for cold paths.
+ALLOC_GUARD_GLOB = "src/flow/*.cpp"
+ALLOC_MARKER = "lint:allow-alloc"
+NESTED_VECTOR = re.compile(r"std::vector<\s*std::vector<")
+# A vector variable declaration/construction: the closing `>` of the
+# (possibly nested) template argument list followed by a name and an
+# initializer or `;`. References and iterators (`>&`, `>::`) do not match.
+VECTOR_CONSTRUCT = re.compile(r"std::vector<[^;]*>\s+\w+\s*[;({=]")
+GROWTH_CALL = re.compile(r"\.(?:assign|resize|reserve)\s*\(")
 
 STATIC_ASSERT = re.compile(r"\bstatic_assert\s*\(")
 INCLUDE = re.compile(r'#\s*include\s*(["<])([^">]+)[">]')
@@ -177,6 +200,21 @@ def lint_file(path: Path, errors: list[str]) -> None:
                 if not pattern.search(cleaned):
                     continue
             err(lineno, message)
+
+    # --- flow solver allocation guard --------------------------------------
+    if path.match(ALLOC_GUARD_GLOB):
+        raw_lines = raw.split("\n")
+        for lineno, line in enumerate(lines, start=1):
+            if ALLOC_MARKER in raw_lines[lineno - 1]:
+                continue
+            if NESTED_VECTOR.search(line):
+                err(lineno, "nested std::vector adjacency in flow/; use the "
+                            "frozen CSR (flow/graph.h) or flat arrays")
+            elif line[:1].isspace() and (VECTOR_CONSTRUCT.search(line)
+                                         or GROWTH_CALL.search(line)):
+                err(lineno, "per-call allocation in a flow solver body; use "
+                            "flow::Workspace scratch, or mark a cold path "
+                            "with // lint:allow-alloc (reason)")
 
     # --- threading guard ---------------------------------------------------
     if path.name not in THREAD_POOL_FILES:

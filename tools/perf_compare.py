@@ -64,12 +64,16 @@ def compare(base_values: dict[str, float], base_units: dict[str, str],
     and the audit numbers are placement decisions, not timings), and any
     other unit — "gauge", "rate", histogram units — is informational.
 
-    Returns (report_lines, failures); empty failures = within bounds."""
-    lines: list[str] = []
+    Returns (report_lines, failures); empty failures = within bounds. The
+    report is an aligned per-metric table (old, new, unit, ratio, verdict)
+    so a perf PR's wins are readable straight from the CI log."""
+    # (name, old, new, unit, ratio, verdict) — formatted into a table below.
+    rows: list[tuple[str, str, str, str, str, str]] = []
     failures: list[str] = []
     for name in sorted(base_values):
         if name not in cur_values:
-            lines.append(f"  [missing] {name}: in baseline only")
+            rows.append((name, f"{base_values[name]:g}", "-",
+                         base_units.get(name, ""), "", "[missing]"))
             continue
         base, cur = base_values[name], cur_values[name]
         unit = base_units.get(name, "")
@@ -77,13 +81,13 @@ def compare(base_values: dict[str, float], base_units: dict[str, str],
             base_ms = base * TIME_UNITS[unit]
             cur_ms = cur * TIME_UNITS[unit]
             if base_ms < floor_ms and cur_ms < floor_ms:
-                lines.append(f"  [noise]   {name}: {base:g} -> {cur:g} {unit} "
-                             f"(below {floor_ms}ms floor)")
+                rows.append((name, f"{base:g}", f"{cur:g}", unit, "",
+                             f"[noise] (< {floor_ms}ms floor)"))
                 continue
             ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
             verdict = "REGRESSED" if ratio > max_ratio else "ok"
-            lines.append(f"  [{verdict:9}] {name}: {base:g} -> {cur:g} {unit} "
-                         f"(x{ratio:.2f})")
+            rows.append((name, f"{base:g}", f"{cur:g}", unit,
+                         f"x{ratio:.2f}", f"[{verdict}]"))
             if ratio > max_ratio:
                 failures.append(f"{name}: {base:g} -> {cur:g} {unit} is "
                                 f"x{ratio:.2f} > x{max_ratio}")
@@ -91,15 +95,30 @@ def compare(base_values: dict[str, float], base_units: dict[str, str],
             # Counters must match exactly: placement decisions are part of
             # the contract, not a tunable.
             if base != cur:
-                lines.append(f"  [CHANGED ] {name}: {base:g} -> {cur:g}")
+                rows.append((name, f"{base:g}", f"{cur:g}", unit, "",
+                             "[CHANGED]"))
                 failures.append(f"{name}: counter changed {base:g} -> {cur:g}")
             else:
-                lines.append(f"  [{'ok':9}] {name}: {cur:g}")
+                rows.append((name, f"{base:g}", f"{cur:g}", unit, "=",
+                             "[ok]"))
         else:
-            lines.append(f"  [info]    {name}: {base:g} -> {cur:g} "
-                         f"{unit}".rstrip())
+            rows.append((name, f"{base:g}", f"{cur:g}", unit, "", "[info]"))
     for name in sorted(set(cur_values) - set(base_values)):
-        lines.append(f"  [new]     {name}: {cur_values[name]:g}")
+        rows.append((name, "-", f"{cur_values[name]:g}",
+                     base_units.get(name, ""), "", "[new]"))
+
+    header = ("metric", "old", "new", "unit", "ratio", "verdict")
+    widths = [max(len(header[c]), *(len(r[c]) for r in rows)) if rows
+              else len(header[c]) for c in range(len(header))]
+
+    def fmt(row: tuple[str, str, str, str, str, str]) -> str:
+        name_c, old_c, new_c, unit_c, ratio_c, verdict_c = row
+        return ("  "
+                f"{name_c:<{widths[0]}}  {old_c:>{widths[1]}}  "
+                f"{new_c:>{widths[2]}}  {unit_c:<{widths[3]}}  "
+                f"{ratio_c:>{widths[4]}}  {verdict_c}").rstrip()
+
+    lines = [fmt(header)] + [fmt(r) for r in rows]
     return lines, failures
 
 

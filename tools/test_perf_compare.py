@@ -101,6 +101,36 @@ class InformationalTest(unittest.TestCase):
         self.assertTrue(any("[new]" in line for line in lines))
 
 
+class TableFormatTest(unittest.TestCase):
+    """The report is an aligned old/new/unit/ratio/verdict table."""
+
+    def test_header_row_leads_the_report(self):
+        lines, _ = run_compare({"a_ms": (100.0, "ms")},
+                               {"a_ms": (50.0, "ms")})
+        for column in ("metric", "old", "new", "unit", "ratio", "verdict"):
+            self.assertIn(column, lines[0])
+
+    def test_time_rows_show_old_new_unit_and_ratio(self):
+        lines, _ = run_compare({"resolve_ms_p50": (100.0, "ms")},
+                               {"resolve_ms_p50": (50.0, "ms")})
+        self.assertRegex(
+            lines[1],
+            r"resolve_ms_p50\s+100\s+50\s+ms\s+x0\.50\s+\[ok\]")
+
+    def test_identical_counters_show_identity_ratio(self):
+        lines, _ = run_compare({"pods": (7.0, "count")},
+                               {"pods": (7.0, "count")})
+        self.assertRegex(lines[1], r"pods\s+7\s+7\s+count\s+=\s+\[ok\]")
+
+    def test_columns_align_across_rows(self):
+        lines, _ = run_compare(
+            {"short": (1.0, "ms"), "a_much_longer_metric": (2000.0, "ms")},
+            {"short": (1.5, "ms"), "a_much_longer_metric": (2100.0, "ms")})
+        # Same verdict tag starts at the same column on every data row.
+        offsets = {line.index("[ok]") for line in lines if "[ok]" in line}
+        self.assertEqual(len(offsets), 1)
+
+
 class LoadMetricsTest(unittest.TestCase):
     def test_bench_v1_roundtrip(self):
         doc = {"schema": "aladdin-bench-v1", "name": "online",
