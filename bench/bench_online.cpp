@@ -9,7 +9,10 @@
 // A/B baseline); --json=PATH emits a BENCH_*.json for tools/perf_compare.py.
 // Both modes bind the same pods to the same nodes — the final audit line
 // is the witness.
+#include <array>
 #include <cstdio>
+#include <optional>
+#include <utility>
 
 #include "cluster/audit.h"
 #include "common/bench_json.h"
@@ -40,6 +43,38 @@ cluster::AuditReport AuditFinalState(k8s::ModelAdaptor& adaptor) {
     state.Deploy(adaptor.ContainerOf(uid), adaptor.MachineOf(pod->node));
   }
   return cluster::Audit(state);
+}
+
+// Cluster occupancy recomputed from the adaptor snapshot for --timeseries:
+// O(bound pods + nodes) per tick, paid only when the flag is set.
+struct Occupancy {
+  std::size_t used_machines = 0;
+  double avg_util_pct = 0.0;
+};
+
+Occupancy MeasureOccupancy(k8s::ModelAdaptor& adaptor) {
+  const cluster::Topology& topology = adaptor.topology();
+  std::vector<cluster::ResourceVector> used(topology.machine_count());
+  for (k8s::PodUid uid : adaptor.BoundPods()) {
+    const k8s::Pod* pod = adaptor.FindPod(uid);
+    const cluster::MachineId m = adaptor.MachineOf(pod->node);
+    if (m.valid()) {
+      used[static_cast<std::size_t>(m.value())] += pod->spec.requests;
+    }
+  }
+  Occupancy occ;
+  double share_sum = 0.0;
+  for (const auto& machine : topology.machines()) {
+    const auto& u = used[static_cast<std::size_t>(machine.id.value())];
+    if (u.IsZero()) continue;
+    ++occ.used_machines;
+    share_sum += u.DominantShareOf(machine.capacity);
+  }
+  if (occ.used_machines > 0) {
+    occ.avg_util_pct =
+        share_sum / static_cast<double>(occ.used_machines) * 100.0;
+  }
+  return occ;
 }
 
 }  // namespace
@@ -75,6 +110,15 @@ int main(int argc, char** argv) {
   k8s::ClusterSimulator sim(options);
   sim.AddNodes(static_cast<std::size_t>(nodes),
                cluster::ResourceVector::Cores(32, 64));
+
+  std::optional<sim::TimeSeriesWriter> timeseries;
+  if (!obs_cli.timeseries_path().empty()) {
+    timeseries.emplace(obs_cli.timeseries_path());
+    if (!timeseries->ok()) return 1;
+  }
+  // Per-cause unschedulable totals across all ticks (provenance histogram).
+  std::array<std::int64_t, static_cast<std::size_t>(obs::Cause::kCount)>
+      cause_totals{};
 
   Rng rng(static_cast<std::uint64_t>(seed));
   Sample resolve_ms;
@@ -126,6 +170,30 @@ int main(int argc, char** argv) {
         .Cell(sim.completed_tasks())
         .Cell(stats.wall_seconds * 1e3, 2)
         .EndRow();
+    for (const auto& [cause, n] : stats.unschedulable_causes) {
+      cause_totals[static_cast<std::size_t>(cause)] +=
+          static_cast<std::int64_t>(n);
+    }
+    if (timeseries.has_value()) {
+      const Occupancy occ = MeasureOccupancy(sim.adaptor());
+      sim::TimeSeriesPoint point;
+      point.tick = stats.tick;
+      point.pending = stats.pending_before;
+      point.bindings = stats.new_bindings;
+      point.unschedulable = stats.unschedulable;
+      point.migrations = stats.migrations;
+      point.preemptions = stats.preemptions;
+      point.used_machines = occ.used_machines;
+      point.avg_util_pct = occ.avg_util_pct;
+      point.frag_pct =
+          occ.used_machines > 0 ? 100.0 - occ.avg_util_pct : 0.0;
+      point.wall_seconds = stats.wall_seconds;
+      point.phase_seconds = obs::ExclusiveSeconds(stats.phases);
+      if (!timeseries->Append(point)) {
+        LOG_ERROR << "failed writing " << obs_cli.timeseries_path();
+        return 1;
+      }
+    }
   }
   table.Print();
 
@@ -144,6 +212,23 @@ int main(int argc, char** argv) {
                 total_tick_seconds > 0.0
                     ? covered / total_tick_seconds * 100.0
                     : 0.0);
+  }
+
+  // Why pods went unschedulable, accumulated across all ticks from the
+  // resolver's per-cause breakdown (the decision journal's vocabulary).
+  std::vector<std::pair<obs::Cause, std::int64_t>> cause_counts;
+  for (std::size_t i = 0; i < cause_totals.size(); ++i) {
+    if (cause_totals[i] > 0) {
+      cause_counts.emplace_back(static_cast<obs::Cause>(i), cause_totals[i]);
+    }
+  }
+  if (!cause_counts.empty()) {
+    std::printf("\nunschedulable cause histogram (all ticks):\n");
+    sim::PrintCauseTable(cause_counts);
+  }
+  if (timeseries.has_value()) {
+    std::printf("timeseries written to %s\n",
+                obs_cli.timeseries_path().c_str());
   }
 
   // Relaxation-bound witness (outside tick timing): solve the max-flow

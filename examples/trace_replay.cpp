@@ -6,8 +6,10 @@
 //   build/examples/trace_replay --scheduler=aladdin --scale=0.05
 //   build/examples/trace_replay --save=/tmp/trace.csv            # export
 //   build/examples/trace_replay --load=/tmp/trace.csv --scheduler=medea
+#include <array>
 #include <cstdio>
 #include <memory>
+#include <utility>
 
 #include "baselines/firmament/scheduler.h"
 #include "baselines/gokube/scheduler.h"
@@ -124,6 +126,54 @@ int main(int argc, char** argv) {
   const sim::RunMetrics metrics =
       sim::RunExperimentOn(*scheduler, workload, topology, order, 1);
   sim::PrintRunTable({metrics});
+
+  // One-shot replay: the outcome's terminal diagnosis is the cause
+  // histogram (every unplaced container carries exactly one cause).
+  {
+    std::array<std::int64_t, static_cast<std::size_t>(obs::Cause::kCount)>
+        totals{};
+    const auto& causes = metrics.outcome.unplaced_causes;
+    for (const obs::Cause cause : causes) {
+      ++totals[static_cast<std::size_t>(cause)];
+    }
+    std::vector<std::pair<obs::Cause, std::int64_t>> counts;
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+      if (totals[i] > 0) {
+        counts.emplace_back(static_cast<obs::Cause>(i), totals[i]);
+      }
+    }
+    if (!counts.empty()) {
+      std::printf("\nunplaced cause histogram:\n");
+      sim::PrintCauseTable(counts);
+    }
+  }
+
+  // --timeseries degenerates to a single sample in one-shot mode; the
+  // column layout matches bench_online's per-tick stream.
+  if (!obs_cli.timeseries_path().empty()) {
+    sim::TimeSeriesWriter timeseries(obs_cli.timeseries_path());
+    if (!timeseries.ok()) return 1;
+    sim::TimeSeriesPoint point;
+    point.tick = 0;
+    point.pending = workload.container_count();
+    point.bindings = metrics.audit.placed;
+    point.unschedulable = metrics.audit.unplaced;
+    point.migrations = metrics.migrations;
+    point.preemptions = metrics.preemptions;
+    point.used_machines = metrics.used_machines;
+    point.avg_util_pct = metrics.util.avg_share * 100.0;
+    point.frag_pct =
+        metrics.used_machines > 0 ? 100.0 - point.avg_util_pct : 0.0;
+    point.wall_seconds = metrics.wall_seconds;
+    point.phase_seconds = obs::ExclusiveSeconds(metrics.outcome.phases);
+    if (!timeseries.Append(point)) {
+      LOG_ERROR << "failed writing " << obs_cli.timeseries_path();
+      return 1;
+    }
+    std::printf("timeseries written to %s\n",
+                obs_cli.timeseries_path().c_str());
+  }
+
   if (!obs_cli.Finish()) return 1;
   return 0;
 }

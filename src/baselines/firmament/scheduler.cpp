@@ -6,6 +6,7 @@
 
 #include "cluster/audit.h"
 #include "flow/min_cost_flow.h"
+#include "obs/journal.h"
 
 namespace aladdin::baselines {
 
@@ -322,6 +323,14 @@ sim::ScheduleOutcome FirmamentScheduler::Schedule(
   outcome.unplaced = std::move(queue);
   outcome.unplaced.insert(outcome.unplaced.end(), dropped.begin(),
                           dropped.end());
+  outcome.unplaced_causes.assign(outcome.unplaced.size(),
+                                 obs::Cause::kBaselineUnplaced);
+  if (obs::JournalEnabled()) {
+    for (cluster::ContainerId c : outcome.unplaced) {
+      obs::EmitDecision(obs::DecisionKind::kUnplaced,
+                        obs::Cause::kBaselineUnplaced, c.value());
+    }
+  }
   return outcome;
 }
 

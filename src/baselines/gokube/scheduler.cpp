@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "baselines/gokube/scoring.h"
+#include "obs/journal.h"
 
 namespace aladdin::baselines {
 
@@ -150,6 +151,14 @@ sim::ScheduleOutcome GoKubeScheduler::Schedule(
 
   outcome.rounds = 1;
   outcome.unplaced = std::move(unplaced);
+  outcome.unplaced_causes.assign(outcome.unplaced.size(),
+                                 obs::Cause::kBaselineUnplaced);
+  if (obs::JournalEnabled()) {
+    for (cluster::ContainerId c : outcome.unplaced) {
+      obs::EmitDecision(obs::DecisionKind::kUnplaced,
+                        obs::Cause::kBaselineUnplaced, c.value());
+    }
+  }
   return outcome;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cluster/free_index.h"
+#include "obs/journal.h"
 
 namespace aladdin::baselines {
 
@@ -95,6 +96,14 @@ sim::ScheduleOutcome MedeaScheduler::Schedule(
   }
 
   outcome.unplaced = std::move(unplaced);
+  outcome.unplaced_causes.assign(outcome.unplaced.size(),
+                                 obs::Cause::kBaselineUnplaced);
+  if (obs::JournalEnabled()) {
+    for (cluster::ContainerId c : outcome.unplaced) {
+      obs::EmitDecision(obs::DecisionKind::kUnplaced,
+                        obs::Cause::kBaselineUnplaced, c.value());
+    }
+  }
   return outcome;
 }
 

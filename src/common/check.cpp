@@ -1,8 +1,21 @@
 #include "common/check.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+
+namespace aladdin {
+
+namespace {
+std::atomic<CheckFailureHook> g_failure_hook{nullptr};
+}  // namespace
+
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook) {
+  return g_failure_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+}  // namespace aladdin
 
 namespace aladdin::internal {
 
@@ -21,6 +34,15 @@ CheckFailure::~CheckFailure() {
   // or under a held lock, and stdio is the least likely thing to deadlock.
   std::fprintf(stderr, "%s\n", message.c_str());
   std::fflush(stderr);
+  // Run the flight-recorder hook exactly once; a failure inside the hook
+  // (or a second failing thread) falls straight through to abort.
+  static std::atomic<bool> hook_ran{false};
+  if (!hook_ran.exchange(true, std::memory_order_acq_rel)) {
+    if (const CheckFailureHook hook =
+            g_failure_hook.load(std::memory_order_acquire)) {
+      hook();
+    }
+  }
   std::abort();
 }
 

@@ -27,6 +27,17 @@
 #define ALADDIN_DCHECK_IS_ON() 0
 #endif
 
+namespace aladdin {
+
+// Best-effort hook invoked once, after the failure message is printed and
+// before abort(). The obs journal installs its flight-recorder dump here so
+// a crashed run still leaves its last decisions on disk. The hook must not
+// CHECK (re-entry aborts immediately). Returns the previous hook.
+using CheckFailureHook = void (*)();
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook);
+
+}  // namespace aladdin
+
 namespace aladdin::internal {
 
 // Accumulates streamed context; the destructor prints everything and aborts.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/journal.h"
 #include "obs/trace.h"
 
 namespace aladdin::core {
@@ -152,6 +153,22 @@ bool RepairEngine::RepairOnMachine(cluster::ContainerId c,
   state.RecordPreemptions(static_cast<std::int64_t>(preempted.size()));
   ALADDIN_METRIC_ADD("core/migrations", moved.size());
   ALADDIN_METRIC_ADD("core/preemptions", preempted.size());
+  if (obs::JournalEnabled()) {
+    // Emitted only on commit, so rolled-back transactions leave no trace —
+    // the journal records what happened, not what was attempted.
+    obs::EmitDecision(obs::DecisionKind::kPlace,
+                      obs::Cause::kAdmittedAfterRepair, c.value(), m.value());
+    for (const auto& [v, m2] : moved) {
+      obs::EmitDecision(obs::DecisionKind::kMigrate,
+                        obs::Cause::kMigratedForRepair, v.value(), m2.value(),
+                        /*other=*/m.value());
+    }
+    for (cluster::ContainerId v : preempted) {
+      obs::EmitDecision(obs::DecisionKind::kPreempt,
+                        obs::Cause::kPreemptedByPriority, v.value(), m.value(),
+                        /*other=*/c.value());
+    }
+  }
   requeue.insert(requeue.end(), preempted.begin(), preempted.end());
   return true;
 }
@@ -164,6 +181,11 @@ bool RepairEngine::TryPlace(cluster::ContainerId c,
       network_.FindMachine(c, search, counters);
   if (direct.valid()) {
     network_.Deploy(c, direct);
+    if (obs::JournalEnabled()) {
+      obs::EmitDecision(obs::DecisionKind::kPlace,
+                        obs::Cause::kAdmittedAfterRepair, c.value(),
+                        direct.value());
+    }
     return true;
   }
   if (!options_.allow_migration && !options_.allow_preemption) return false;
@@ -242,6 +264,11 @@ std::vector<cluster::ContainerId> RepairEngine::Repair(
   while (head < queue.size()) {
     const cluster::ContainerId c = queue[head++];
     if (AttemptCount(c)++ >= options_.max_attempts_per_container) {
+      if (obs::JournalEnabled()) {
+        obs::EmitDecision(obs::DecisionKind::kReject,
+                          obs::Cause::kRepairAttemptBudget, c.value(), -1, -1,
+                          options_.max_attempts_per_container);
+      }
       pending.push_back(c);
       continue;
     }
@@ -324,6 +351,13 @@ int RepairEngine::Compact(const SearchOptions& search,
       }
       state.RecordMigrations(static_cast<std::int64_t>(moved.size()));
       ALADDIN_METRIC_ADD("core/migrations", moved.size());
+      if (obs::JournalEnabled()) {
+        for (const auto& [v, m2] : moved) {
+          obs::EmitDecision(obs::DecisionKind::kMigrate,
+                            obs::Cause::kMigratedForRebalance, v.value(),
+                            m2.value(), /*other=*/m.value());
+        }
+      }
       migration_budget -= static_cast<std::int64_t>(moved.size());
       ++freed_this_pass;
     }

@@ -186,6 +186,57 @@ cluster::MachineId AggregatedNetwork::FindMachine(cluster::ContainerId c,
                   : FindByEnumeration(c, options, counters, exclude);
 }
 
+obs::Cause AggregatedNetwork::DiagnoseFailure(cluster::ContainerId c) const {
+  ALADDIN_CHECK(state_ != nullptr);
+  const cluster::Container& container = state_->containers()[Idx(c)];
+  const std::int64_t need_cpu = container.request.cpu_millis();
+  // O(1) global-headroom check: by_free_ is sorted by free CPU, so the last
+  // key is the cluster's emptiest machine.
+  if (by_free_.empty() || by_free_.rbegin()->first < need_cpu) {
+    return obs::Cause::kCapacityExhaustedCpu;
+  }
+  const bool self_conflicts =
+      state_->constraints().Conflicts(container.app, container.app);
+  std::int64_t mem_blocked = 0;
+  std::int64_t intra_blocked = 0;
+  std::int64_t inter_blocked = 0;
+  for (auto it = by_free_.lower_bound({need_cpu, -1}); it != by_free_.end();
+       ++it) {
+    const cluster::MachineId m(it->second);
+    const CapacityCheck check = CapacityFunction::Evaluate(*state_, c, m);
+    if (check.Admits()) return obs::Cause::kNoAdmissiblePath;
+    if (!check.fits) {
+      ++mem_blocked;
+      continue;
+    }
+    // Blacklisted: attribute to the container's own application when its
+    // within-app anti-affinity is what blocks this machine, else to a
+    // conflicting foreign application.
+    bool intra = false;
+    if (self_conflicts) {
+      for (const auto& [app, count] : state_->AppsOn(m)) {
+        if (app == container.app.value() && count > 0) {
+          intra = true;
+          break;
+        }
+      }
+    }
+    ++(intra ? intra_blocked : inter_blocked);
+  }
+  // Dominant cause wins; anti-affinity outranks memory on ties (a blocked
+  // machine with the memory free is the more actionable explanation), and
+  // intra outranks inter (the container's own app is the simpler story).
+  const std::int64_t blacklist_blocked = intra_blocked + inter_blocked;
+  if (blacklist_blocked == 0 && mem_blocked == 0) {
+    return obs::Cause::kNoAdmissiblePath;  // nothing CPU-feasible after all
+  }
+  if (mem_blocked > blacklist_blocked) {
+    return obs::Cause::kCapacityExhaustedMem;
+  }
+  return intra_blocked >= inter_blocked ? obs::Cause::kAntiAffinityIntraApp
+                                        : obs::Cause::kAntiAffinityInterApp;
+}
+
 cluster::MachineId AggregatedNetwork::FindByEnumeration(
     cluster::ContainerId c, const SearchOptions& options,
     SearchCounters& counters, cluster::MachineId exclude) {

@@ -30,6 +30,7 @@
 #include "cluster/state.h"
 #include "common/thread_pool.h"
 #include "core/capacity.h"
+#include "obs/journal.h"
 
 namespace aladdin::core {
 
@@ -84,6 +85,18 @@ class AggregatedNetwork {
       cluster::ContainerId c, const SearchOptions& options,
       SearchCounters& counters,
       cluster::MachineId exclude = cluster::MachineId::Invalid());
+
+  // Terminal failure diagnosis for the provenance journal: explains,
+  // against the current state, why no admissible path exists for `c`.
+  // Classifies every CPU-feasible machine as memory-blocked or
+  // anti-affinity-blocked (intra- vs inter-application via the constraint
+  // set) and returns the dominant cause; kCapacityExhaustedCpu when not
+  // even the emptiest machine has the CPU headroom. Read-only: touches
+  // neither SearchCounters nor any registry metric, so perf-gated counter
+  // identities are unaffected. Cost is O(CPU-feasible machines), paid only
+  // per unplaced container. kNoAdmissiblePath is the defensive fallback
+  // (e.g. the state changed between the failed search and the diagnosis).
+  [[nodiscard]] obs::Cause DiagnoseFailure(cluster::ContainerId c) const;
 
   // State mutations, mirrored into the aggregate indices.
   void Deploy(cluster::ContainerId c, cluster::MachineId m);

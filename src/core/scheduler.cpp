@@ -9,6 +9,7 @@
 #include "cluster/audit.h"
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 
 namespace aladdin::core {
@@ -176,8 +177,18 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
       const cluster::MachineId m = network.FindMachine(c, search, counters);
       if (m.valid()) {
         network.Deploy(c, m);
+        if (obs::JournalEnabled()) {
+          obs::EmitDecision(obs::DecisionKind::kPlace,
+                            obs::Cause::kAdmittedDirect, c.value(), m.value());
+        }
       } else {
         pending.push_back(c);
+        if (obs::JournalEnabled()) {
+          // Non-terminal: repair may still admit it. The diagnosis explains
+          // what blocked the augmentation pass.
+          obs::EmitDecision(obs::DecisionKind::kReject,
+                            network.DiagnoseFailure(c), c.value());
+        }
       }
     }
   }
@@ -216,6 +227,31 @@ sim::ScheduleOutcome AladdinScheduler::Schedule(
   // Copy (not move): the outcome's vector escapes the tick, the scratch
   // buffer's capacity stays pooled for the next one.
   outcome.unplaced.assign(pending.begin(), pending.end());
+  // Terminal diagnosis, always on: cost is O(feasible machines) *per
+  // unplaced container*, zero on the perf-gated configs where everything
+  // places. Consumers (resolver stats, bench cause tables) need the causes
+  // even when the journal itself is off.
+  outcome.unplaced_causes.reserve(outcome.unplaced.size());
+  for (cluster::ContainerId c : outcome.unplaced) {
+    const obs::Cause cause = network.DiagnoseFailure(c);
+    outcome.unplaced_causes.push_back(cause);
+    if (obs::JournalEnabled()) {
+      obs::EmitDecision(obs::DecisionKind::kUnplaced, cause, c.value());
+    }
+  }
+  if (obs::JournalEnabled()) {
+    // Search-effort summaries: per-Schedule aggregates, not per-probe
+    // records — the hot search loops never emit.
+    if (counters.dl_stops > 0) {
+      obs::EmitDecision(obs::DecisionKind::kEvent, obs::Cause::kDepthLimitStop,
+                        -1, -1, -1, counters.dl_stops);
+    }
+    if (counters.il_prunes > 0) {
+      obs::EmitDecision(obs::DecisionKind::kEvent,
+                        obs::Cause::kIsomorphismPrune, -1, -1, -1,
+                        counters.il_prunes);
+    }
+  }
   outcome.explored_paths = counters.explored_paths;
   outcome.il_prunes = counters.il_prunes;
   outcome.dl_stops = counters.dl_stops;

@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace aladdin::k8s {
 
 const char* EventTypeName(EventType type) {
@@ -86,6 +88,9 @@ std::size_t EventsHandlingCenter::DrainAndDispatch() {
     ++dispatched;
   }
   dispatched_total_ += static_cast<std::int64_t>(dispatched);
+  ALADDIN_METRIC_ADD("k8s/events_dispatched", dispatched);
+  ALADDIN_METRIC_ADD("k8s/events_coalesced",
+                     queue_.size() - dispatched);
   queue_.clear();
   return dispatched;
 }

@@ -1,6 +1,7 @@
 #include "k8s/resolver.h"
 
 #include <algorithm>
+#include <array>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -9,17 +10,68 @@
 #include "common/log.h"
 #include "common/timer.h"
 #include "core/task_scheduler.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 
 namespace aladdin::k8s {
 
 namespace {
 
-// Shared epilogue of both Resolve() arms: stamp the wall time, diff the
-// phase registry into stats.phases, and feed the per-resolve metrics.
+// Per-resolve accumulator behind ResolveStats::unschedulable_causes.
+struct CauseCounts {
+  std::array<std::size_t, static_cast<std::size_t>(obs::Cause::kCount)>
+      counts{};
+
+  void Add(obs::Cause cause) { ++counts[static_cast<std::size_t>(cause)]; }
+
+  void FillStats(ResolveStats& stats) const {
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] > 0) {
+        stats.unschedulable_causes.emplace_back(static_cast<obs::Cause>(i),
+                                                counts[i]);
+      }
+    }
+  }
+};
+
+// Why the task-based scheduler could not place a short-lived container:
+// best-fit carries no constraint machinery, so the answer is a pure
+// resource question against the live state. O(machines), paid only per
+// *failed* short-lived placement.
+obs::Cause DiagnoseShortLived(const cluster::ClusterState& state,
+                              cluster::ContainerId c) {
+  const cluster::ResourceVector& request =
+      state.containers()[static_cast<std::size_t>(c.value())].request;
+  bool cpu_feasible = false;
+  for (const auto& machine : state.topology().machines()) {
+    const cluster::ResourceVector& free = state.Free(machine.id);
+    if (free.cpu_millis() < request.cpu_millis()) continue;
+    cpu_feasible = true;
+    // A full fit would contradict the failed placement (state raced);
+    // fall back to the catch-all rather than fabricate a cause.
+    if (request.FitsIn(free)) return obs::Cause::kNoAdmissiblePath;
+  }
+  return cpu_feasible ? obs::Cause::kCapacityExhaustedMem
+                      : obs::Cause::kCapacityExhaustedCpu;
+}
+
+// Shared epilogue of both Resolve() arms: stamp the wall time, surface the
+// unschedulable breakdown, diff the phase registry into stats.phases, and
+// feed the per-resolve metrics.
 void FinishStats(ResolveStats& stats, const WallTimer& timer,
                  const std::vector<obs::PhaseDelta>& phases_before) {
   stats.wall_seconds = timer.ElapsedSeconds();
+  if (stats.unschedulable > 0) {
+    std::string breakdown;
+    for (const auto& [cause, n] : stats.unschedulable_causes) {
+      if (!breakdown.empty()) breakdown += ' ';
+      breakdown += obs::CauseName(cause);
+      breakdown += '=';
+      breakdown += std::to_string(n);
+    }
+    LOG_INFO << "tick " << stats.tick << ": " << stats.unschedulable
+             << " unschedulable pod(s) [" << breakdown << "]";
+  }
   if (!obs::MetricsEnabled()) return;
   stats.phases = obs::DiffPhases(phases_before, obs::CapturePhases());
   ALADDIN_METRIC_ADD("k8s/resolves", 1);
@@ -74,6 +126,10 @@ void Resolver::SyncState() {
   // dirty log carries the change to the network and the free index.
   for (cluster::ContainerId c : adaptor_.TakeRetiredContainers()) {
     if (state_->IsPlaced(c)) state_->Evict(c);
+    if (obs::JournalEnabled()) {
+      obs::EmitDecision(obs::DecisionKind::kEvent, obs::Cause::kPodRetired,
+                        c.value());
+    }
   }
 }
 
@@ -93,6 +149,19 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
   WallTimer timer;
   ResolveStats stats;
   stats.tick = tick;
+  // Tick stamp for every journal record this resolve emits; with a JSONL
+  // sink configured this also drains the previous tick's rings.
+  if (obs::JournalEnabled()) obs::SetJournalTick(tick);
+  CauseCounts causes;
+  // Terminal cause per unplaced container, filled by the scheduling
+  // sections and consumed by reconcile (which owns the unschedulable
+  // count, so the breakdown always sums to it).
+  std::unordered_map<std::int32_t, obs::Cause> unplaced_cause;
+  const auto CauseOf = [&unplaced_cause](cluster::ContainerId c) {
+    const auto it = unplaced_cause.find(c.value());
+    return it != unplaced_cause.end() ? it->second
+                                      : obs::Cause::kNoAdmissiblePath;
+  };
   const std::vector<obs::PhaseDelta> phases_before =
       obs::MetricsEnabled() ? obs::CapturePhases()
                             : std::vector<obs::PhaseDelta>{};
@@ -140,15 +209,33 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
     if (!long_lived.empty()) {
       core::AladdinScheduler scheduler(options_.aladdin);
       sim::ScheduleRequest request{&workload, &long_lived};
-      scheduler.Schedule(request, state);
+      const sim::ScheduleOutcome outcome = scheduler.Schedule(request, state);
+      for (std::size_t i = 0; i < outcome.unplaced.size(); ++i) {
+        unplaced_cause[outcome.unplaced[i].value()] =
+            outcome.unplaced_causes[i];
+      }
     }
     if (!short_lived.empty()) {
       ALADDIN_PHASE_SCOPE("core/task");
       cluster::FreeIndex index;
       index.Attach(state);
       for (PodUid uid : short_lived) {
-        core::TaskScheduler::PlaceOne(state, index, adaptor_.ContainerOf(uid),
-                                      core::TaskPlacementPolicy::kBestFit);
+        const cluster::ContainerId c = adaptor_.ContainerOf(uid);
+        const cluster::MachineId m = core::TaskScheduler::PlaceOne(
+            state, index, c, core::TaskPlacementPolicy::kBestFit);
+        if (m.valid()) {
+          if (obs::JournalEnabled()) {
+            obs::EmitDecision(obs::DecisionKind::kPlace,
+                              obs::Cause::kShortLivedBestFit, c.value(),
+                              m.value());
+          }
+        } else {
+          const obs::Cause cause = DiagnoseShortLived(state, c);
+          unplaced_cause[c.value()] = cause;
+          if (obs::JournalEnabled()) {
+            obs::EmitDecision(obs::DecisionKind::kUnplaced, cause, c.value());
+          }
+        }
       }
     }
 
@@ -167,6 +254,7 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
           }
         } else {
           ++stats.unschedulable;
+          causes.Add(CauseOf(c));
         }
       }
       for (const auto& [uid, old_node] : previous_node) {
@@ -188,6 +276,7 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
       }
     }
 
+    causes.FillStats(stats);
     FinishStats(stats, timer, phases_before);
     return stats;
   }
@@ -236,7 +325,10 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
   // above included) instead of rebuilding it.
   if (!long_lived.empty()) {
     sim::ScheduleRequest request{&workload, &long_lived};
-    scheduler_.Schedule(request, state);
+    const sim::ScheduleOutcome outcome = scheduler_.Schedule(request, state);
+    for (std::size_t i = 0; i < outcome.unplaced.size(); ++i) {
+      unplaced_cause[outcome.unplaced[i].value()] = outcome.unplaced_causes[i];
+    }
   }
 
   // Short-lived pods: the traditional task-based scheduler (§IV.D), on the
@@ -245,9 +337,22 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
     ALADDIN_PHASE_SCOPE("core/task");
     SyncFreeIndex();
     for (PodUid uid : short_lived) {
-      core::TaskScheduler::PlaceOne(state, free_index_,
-                                    adaptor_.ContainerOf(uid),
-                                    core::TaskPlacementPolicy::kBestFit);
+      const cluster::ContainerId c = adaptor_.ContainerOf(uid);
+      const cluster::MachineId m = core::TaskScheduler::PlaceOne(
+          state, free_index_, c, core::TaskPlacementPolicy::kBestFit);
+      if (m.valid()) {
+        if (obs::JournalEnabled()) {
+          obs::EmitDecision(obs::DecisionKind::kPlace,
+                            obs::Cause::kShortLivedBestFit, c.value(),
+                            m.value());
+        }
+      } else {
+        const obs::Cause cause = DiagnoseShortLived(state, c);
+        unplaced_cause[c.value()] = cause;
+        if (obs::JournalEnabled()) {
+          obs::EmitDecision(obs::DecisionKind::kUnplaced, cause, c.value());
+        }
+      }
     }
   }
 
@@ -276,6 +381,7 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
         if (bindings != nullptr) bindings->push_back(Binding{uid, pod->node});
       } else {
         ++stats.unschedulable;
+        causes.Add(CauseOf(c));
       }
     }
     for (cluster::ContainerId c : state.TakeChangedContainers()) {
@@ -304,6 +410,7 @@ ResolveStats Resolver::Resolve(std::int64_t tick,
   if (obs::MetricsEnabled()) {
     ALADDIN_METRIC_ADD("k8s/arena_bytes", arena_.bytes_used());
   }
+  causes.FillStats(stats);
   FinishStats(stats, timer, phases_before);
   return stats;
 }

@@ -24,12 +24,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "cluster/free_index.h"
 #include "common/arena.h"
 #include "core/scheduler.h"
 #include "k8s/adaptor.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 
 namespace aladdin::k8s {
@@ -41,6 +43,11 @@ struct ResolveStats {
   std::size_t migrations = 0;     // bound pods moved to a different node
   std::size_t preemptions = 0;    // bound pods returned to pending
   std::size_t unschedulable = 0;  // pending pods the resolver gave up on
+  // Per-cause breakdown of `unschedulable` (non-zero causes only, in
+  // obs::Cause enum order; counts sum to `unschedulable`). Long-lived pods
+  // carry the Aladdin core's terminal diagnosis, short-lived pods a
+  // resource-only one (best-fit has no constraint machinery).
+  std::vector<std::pair<obs::Cause, std::size_t>> unschedulable_causes;
   double wall_seconds = 0.0;
 
   // Phase breakdown of this resolve from the obs registry (empty unless

@@ -5,6 +5,8 @@
 #include "common/bench_json.h"
 #include "common/flags.h"
 #include "common/log.h"
+#include "obs/export.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -22,8 +24,26 @@ ObsCli::ObsCli(Flags& flags, bool with_obs) {
                                static_cast<std::int64_t>(
                                    TraceOptions{}.ring_capacity),
                                "per-thread trace ring capacity (records)");
+    journal_path_ = &flags.String(
+        "journal", "",
+        "write the decision provenance journal (JSONL) to this path");
+    journal_ring_ = &flags.Int64("journal_ring",
+                                 static_cast<std::int64_t>(
+                                     JournalOptions{}.ring_capacity),
+                                 "per-thread journal ring capacity (records)");
+    timeseries_path_ = &flags.String(
+        "timeseries", "",
+        "write per-tick time-series snapshots (.csv or .jsonl) to this path");
+    prom_path_ = &flags.String(
+        "prom", "",
+        "write a Prometheus text-format metrics snapshot to this path at exit");
+    prom_port_ = &flags.Int64(
+        "prom_port", 0,
+        "serve live Prometheus metrics on 127.0.0.1:<port> (0 = off)");
   }
 }
+
+ObsCli::~ObsCli() = default;
 
 bool ObsCli::Apply() {
   LogLevel level = LogLevel::kInfo;
@@ -44,6 +64,31 @@ bool ObsCli::Apply() {
     // per-tick breakdown matches what the trace shows.
     SetMetricsEnabled(true);
   }
+  if (journal_path_ != nullptr && !journal_path_->empty()) {
+    JournalOptions options;
+    if (*journal_ring_ > 0) {
+      options.ring_capacity = static_cast<std::size_t>(*journal_ring_);
+    }
+    options.jsonl_path = *journal_path_;
+    StartJournal(options);
+    if (!JournalSinkOpen()) {  // StartJournal already logged the error
+      StopJournal();
+      return false;
+    }
+  }
+  const bool prom_file = prom_path_ != nullptr && !prom_path_->empty();
+  const bool prom_live = prom_port_ != nullptr && *prom_port_ > 0;
+  if (prom_file || prom_live) {
+    // Prometheus output is a view of the registry; arm it.
+    SetMetricsEnabled(true);
+  }
+  if (prom_live) {
+    listener_ = std::make_unique<PrometheusListener>();
+    if (!listener_->Start(static_cast<std::uint16_t>(*prom_port_))) {
+      listener_.reset();
+      return false;
+    }
+  }
   return true;
 }
 
@@ -54,6 +99,27 @@ bool ObsCli::Finish(BenchJson* json) {
     if (WriteTrace(*trace_path_)) {
       LOG_INFO << "trace written to " << *trace_path_
                << " (dropped=" << DroppedTraceEvents() << ")";
+    } else {
+      ok = false;
+    }
+  }
+  if (journal_path_ != nullptr && !journal_path_->empty()) {
+    const std::uint64_t emitted = EmittedJournalDecisions();
+    const std::uint64_t dropped = DroppedJournalDecisions();
+    if (FinishJournal()) {
+      LOG_INFO << "journal written to " << *journal_path_
+               << " (records=" << emitted << " dropped=" << dropped << ")";
+    } else {
+      ok = false;
+    }
+  }
+  if (listener_ != nullptr) {
+    listener_->Stop();
+    listener_.reset();
+  }
+  if (prom_path_ != nullptr && !prom_path_->empty()) {
+    if (WritePrometheusFile(*prom_path_)) {
+      LOG_INFO << "prometheus snapshot written to " << *prom_path_;
     } else {
       ok = false;
     }
@@ -69,6 +135,16 @@ bool ObsCli::Finish(BenchJson* json) {
 const std::string& ObsCli::trace_path() const {
   static const std::string empty;
   return trace_path_ != nullptr ? *trace_path_ : empty;
+}
+
+const std::string& ObsCli::journal_path() const {
+  static const std::string empty;
+  return journal_path_ != nullptr ? *journal_path_ : empty;
+}
+
+const std::string& ObsCli::timeseries_path() const {
+  static const std::string empty;
+  return timeseries_path_ != nullptr ? *timeseries_path_ : empty;
 }
 
 }  // namespace aladdin::obs

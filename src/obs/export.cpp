@@ -1,0 +1,192 @@
+#include "obs/export.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/log.h"
+#include "common/thread_pool.h"
+
+namespace aladdin::obs {
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's
+// slash-separated names map onto one flat namespace under aladdin_.
+std::string MetricName(const std::string& name) {
+  std::string out = "aladdin_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string EscapeLabel(const std::string& value) {
+  std::string out;
+  for (const char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+void AppendNumber(std::string& out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = MetricName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = MetricName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = MetricName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.snapshot.counts.size(); ++i) {
+      cumulative += h.snapshot.counts[i];
+      out += name + "_bucket{le=\"";
+      if (i + 1 == h.snapshot.counts.size()) {
+        out += "+Inf";
+      } else {
+        AppendNumber(out, h.snapshot.BucketHigh(i));
+      }
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum ";
+    AppendNumber(out, h.snapshot.sum);
+    out += "\n" + name + "_count " + std::to_string(h.snapshot.count) + "\n";
+  }
+  if (!snapshot.phases.empty()) {
+    out += "# TYPE aladdin_phase_seconds_total counter\n";
+    for (const auto& p : snapshot.phases) {
+      out += "aladdin_phase_seconds_total{phase=\"" + EscapeLabel(p.name) +
+             "\"} ";
+      AppendNumber(out, static_cast<double>(p.ns) * 1e-9);
+      out += "\n";
+    }
+    out += "# TYPE aladdin_phase_calls_total counter\n";
+    for (const auto& p : snapshot.phases) {
+      out += "aladdin_phase_calls_total{phase=\"" + EscapeLabel(p.name) +
+             "\"} " + std::to_string(p.calls) + "\n";
+    }
+  }
+  return out;
+}
+
+bool WritePrometheusFile(const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    LOG_ERROR << "cannot open prometheus file " << path;
+    return false;
+  }
+  file << RenderPrometheus(Registry::Get().Snapshot());
+  file.flush();
+  if (!file) {
+    LOG_ERROR << "failed writing prometheus file " << path;
+    return false;
+  }
+  return true;
+}
+
+PrometheusListener::PrometheusListener() = default;
+
+PrometheusListener::~PrometheusListener() { Stop(); }
+
+bool PrometheusListener::Start(std::uint16_t port) {
+  if (running()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    LOG_ERROR << "prometheus listener: socket() failed";
+    return false;
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 4) < 0) {
+    LOG_ERROR << "prometheus listener: cannot bind 127.0.0.1:" << port;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  pool_ = std::make_unique<ThreadPool>(1);
+  (void)pool_->Submit([this] { ServeLoop(); });
+  LOG_INFO << "prometheus metrics on http://127.0.0.1:" << port_ << "/";
+  return true;
+}
+
+void PrometheusListener::Stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  pool_.reset();  // joins the serve loop (returns on its next poll timeout)
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void PrometheusListener::ServeLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    // Drain whatever request line arrived; the response is the same for
+    // every method and path.
+    char request[1024];
+    (void)::recv(client, request, sizeof(request), 0);
+    const std::string body = RenderPrometheus(Registry::Get().Snapshot());
+    char header[160];
+    const int header_len = std::snprintf(
+        header, sizeof(header),
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+        body.size());
+    (void)::send(client, header, static_cast<std::size_t>(header_len), 0);
+    (void)::send(client, body.data(), body.size(), 0);
+    ::close(client);
+  }
+}
+
+}  // namespace aladdin::obs

@@ -1,0 +1,71 @@
+// Live metrics export: renders the obs registry in Prometheus text
+// exposition format (v0.0.4), either to a file per run or continuously via
+// a tiny optional HTTP listener.
+//
+//   obs::WritePrometheusFile("metrics.prom");          // one snapshot
+//
+//   obs::PrometheusListener listener;
+//   listener.Start(9464);                              // GET -> snapshot
+//   ... run ...
+//   listener.Stop();
+//
+// Metric names are sanitised ("core/unplaced" -> aladdin_core_unplaced);
+// counters map to `counter`, gauges to `gauge`, histograms to cumulative
+// `le`-bucketed `histogram` series with _sum/_count, phases to
+// aladdin_phase_seconds_total / aladdin_phase_calls_total labelled by phase.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace aladdin {
+class ThreadPool;
+}  // namespace aladdin
+
+namespace aladdin::obs {
+
+// Renders one snapshot as Prometheus text exposition format.
+[[nodiscard]] std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+// RenderPrometheus of the live registry, written (truncating) to `path`.
+// False (with a logged error) on I/O failure.
+[[nodiscard]] bool WritePrometheusFile(const std::string& path);
+
+// Minimal single-connection HTTP listener serving the live registry on
+// every request (any method/path). The accept loop runs on a dedicated
+// one-worker ThreadPool; Stop() (or destruction) shuts it down. Best-effort
+// by design: scrape failures are the scraper's problem, never the
+// scheduler's.
+class PrometheusListener {
+ public:
+  PrometheusListener();
+  ~PrometheusListener();
+  PrometheusListener(const PrometheusListener&) = delete;
+  PrometheusListener& operator=(const PrometheusListener&) = delete;
+
+  // Binds 127.0.0.1:port and starts serving. False if the socket could not
+  // be created/bound (logged).
+  [[nodiscard]] bool Start(std::uint16_t port);
+  void Stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+  // Port actually bound (useful with Start(0) picking an ephemeral port).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void ServeLoop();
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace aladdin::obs

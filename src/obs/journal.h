@@ -1,0 +1,147 @@
+// Decision provenance journal: a typed, per-tick event stream recording why
+// every container ended up where it did — placements, rejections,
+// migrations, preemptions and terminal give-ups, each stamped with a
+// structured cause code plus the machine/arc context at decision time.
+//
+//   obs::StartJournal({.jsonl_path = "run.journal.jsonl"});
+//   ... run the scheduler (resolver calls SetJournalTick per tick) ...
+//   obs::FinishJournal();                 // drain the rings to the sink
+//
+// Emission sites all live in *serial* sections of the pipeline (the
+// augmentation loop, repair/compaction transactions, reconcile) — parallel
+// search workers never emit — so the global sequence number is assigned in
+// program order and the drained stream is bit-identical for --threads 1 and
+// --threads N, the same guarantee the metrics registry gives (PR 2/3).
+//
+// Storage reuses the per-thread ring discipline of obs/trace: fixed-size
+// rings, oldest records overwritten, drops counted. With a JSONL sink
+// configured the rings are drained at every tick boundary (SetJournalTick)
+// so nothing wraps on long runs; without one they act as a bounded
+// flight recorder, dumped to disk by a common/check failure hook so a crash
+// leaves the last N decisions behind (see StartJournal).
+//
+// Cost when disabled: call sites guard on obs::JournalEnabled() — one
+// relaxed atomic load — and ALADDIN_OBS=OFF compiles that to `false`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/runtime.h"
+
+namespace aladdin::obs {
+
+// Structured cause codes. Every journal record and every
+// ScheduleOutcome::unplaced_causes entry carries one of these — free-form
+// cause strings in src/ are banned by tools/lint.py so the vocabulary stays
+// closed and greppable.
+enum class Cause : std::uint8_t {
+  kNone = 0,
+  // Placement causes.
+  kAdmittedDirect,       // admissible path found by Algorithm 1
+  kAdmittedAfterRepair,  // placed by the migration/preemption repair engine
+  kShortLivedBestFit,    // task-based scheduler placement (§IV.D)
+  // Rejection / give-up causes (terminal diagnosis against live state).
+  kCapacityExhaustedCpu,  // Eq. 6: no machine has the CPU headroom
+  kCapacityExhaustedMem,  // Eq. 6: CPU-feasible machines lack memory
+  kAntiAffinityIntraApp,  // Eq. 7–8: blocked by the container's own app
+  kAntiAffinityInterApp,  // Eq. 7–8: blocked by conflicting applications
+  kNoAdmissiblePath,      // mixed/unknown blockers (defensive fallback)
+  kRepairAttemptBudget,   // repair gave up after max_attempts_per_container
+  // Movement causes.
+  kMigratedForRepair,     // moved aside to admit a blocked container
+  kMigratedForRebalance,  // moved by the compaction pass (Fig. 7c)
+  kPreemptedByPriority,   // evicted by a strictly heavier aggressor (Eq. 5)
+  // Search-effort summary causes (per-Schedule aggregate events, §IV.A).
+  kDepthLimitStop,
+  kIsomorphismPrune,
+  // External / baseline causes.
+  kPodRetired,        // container retired by pod deletion / stale binding
+  kBaselineUnplaced,  // non-Aladdin engine gave up (catch-all)
+  kCount
+};
+
+[[nodiscard]] const char* CauseName(Cause cause);
+// Inverse of CauseName; returns kCount for unknown names.
+[[nodiscard]] Cause CauseFromName(const std::string& name);
+
+enum class DecisionKind : std::uint8_t {
+  kPlace = 0,  // container bound to a machine
+  kReject,     // a scheduling pass could not admit the container (not final)
+  kMigrate,    // container moved machine -> machine
+  kPreempt,    // container evicted back to pending
+  kUnplaced,   // terminal give-up for this Schedule()/Resolve()
+  kEvent,      // ambient event (retirements, search-effort summaries)
+  kCount
+};
+
+[[nodiscard]] const char* DecisionKindName(DecisionKind kind);
+
+// One journal record. Ids are raw int32 values of the cluster:: id types
+// (-1 = not applicable) so the record stays a flat POD the rings can copy.
+struct Decision {
+  std::uint64_t seq = 0;      // global emission order (deterministic)
+  std::int64_t tick = 0;      // resolver tick (0 for one-shot Schedule calls)
+  DecisionKind kind = DecisionKind::kEvent;
+  Cause cause = Cause::kNone;
+  std::int32_t container = -1;
+  std::int32_t machine = -1;  // destination / rejecting machine
+  std::int32_t other = -1;    // context id: source machine for migrations,
+                              // aggressor container for preemptions
+  std::int64_t detail = 0;    // numeric context (counts, free cpu-millis)
+};
+
+struct JournalOptions {
+  // Records retained per thread before the oldest are overwritten.
+  std::size_t ring_capacity = 1 << 16;
+  // JSONL sink; empty means flight-recorder mode (in-memory ring only).
+  std::string jsonl_path;
+};
+
+// Clears the rings, opens the sink (if any), installs the check-failure
+// flight-recorder hook, and arms the journal mode bit. A sink that fails
+// to open is reported and dropped (flight-recorder mode); callers that
+// must have the file check JournalSinkOpen() afterwards.
+void StartJournal(const JournalOptions& options = {});
+// True iff a JSONL sink is currently open.
+[[nodiscard]] bool JournalSinkOpen();
+// Disarms the bit. Buffered records stay readable until the next Start.
+void StopJournal();
+
+// Tick stamp for subsequent decisions. With a sink configured this also
+// drains the rings, so per-thread buffers never wrap across ticks.
+void SetJournalTick(std::int64_t tick);
+[[nodiscard]] std::int64_t JournalTick();
+
+// Appends one record (no-op unless the journal bit is armed). Must only be
+// called from serial sections — the seq counter is assigned in call order
+// and the bit-identity guarantee across --threads depends on it.
+void EmitDecision(DecisionKind kind, Cause cause, std::int32_t container,
+                  std::int32_t machine = -1, std::int32_t other = -1,
+                  std::int64_t detail = 0);
+
+// Everything currently buffered (sink-drained records excluded), in seq
+// order. Records overwritten by ring wraparound are gone; see Dropped.
+[[nodiscard]] std::vector<Decision> JournalSnapshot();
+[[nodiscard]] std::uint64_t DroppedJournalDecisions();
+// Records handed to EmitDecision since StartJournal (buffered + drained +
+// dropped).
+[[nodiscard]] std::uint64_t EmittedJournalDecisions();
+
+// One JSONL line (no trailing newline) / its inverse for round-trip tests
+// and offline tooling. FromJson returns false on malformed input.
+[[nodiscard]] std::string DecisionToJson(const Decision& decision);
+[[nodiscard]] bool DecisionFromJson(const std::string& line,
+                                    Decision* decision);
+
+// The current buffer serialised as JSONL (one record per line, seq order).
+[[nodiscard]] std::string JournalToJsonl();
+
+// Appends buffered records to the configured sink and clears the rings.
+// No-op (true) without a sink. False on I/O failure.
+bool FlushJournal();
+// StopJournal + final flush + sink close. False on I/O failure.
+bool FinishJournal();
+
+}  // namespace aladdin::obs

@@ -28,6 +28,7 @@ namespace aladdin::obs {
 enum ModeBits : std::uint32_t {
   kMetrics = 1u << 0,  // counters / gauges / histograms / phase timers
   kTracing = 1u << 1,  // trace-event ring buffers
+  kJournal = 1u << 2,  // decision provenance journal (obs/journal.h)
 };
 
 // Current mode mask (relaxed load; safe from any thread).
@@ -39,12 +40,20 @@ enum ModeBits : std::uint32_t {
 [[nodiscard]] inline bool TracingEnabled() {
   return (CurrentMode() & kTracing) != 0;
 }
+[[nodiscard]] inline bool JournalEnabled() {
+#if ALADDIN_OBS_ENABLED
+  return (CurrentMode() & kJournal) != 0;
+#else
+  return false;
+#endif
+}
 
 // Arms / disarms the metrics side. Cheap; callable at any time.
 void SetMetricsEnabled(bool enabled);
 
-// The tracing bit is owned by StartTracing()/StopTracing() in obs/trace.h —
-// internal setter shared with that module.
+// The tracing bit is owned by StartTracing()/StopTracing() in obs/trace.h,
+// the journal bit by StartJournal()/StopJournal() in obs/journal.h —
+// internal setter shared with those modules.
 namespace internal {
 void SetModeBit(std::uint32_t bit, bool enabled);
 }  // namespace internal

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/csv.h"
+#include "common/log.h"
 #include "common/strings.h"
 
 namespace aladdin::sim {
@@ -137,6 +138,84 @@ Table BuildPhaseTable(const std::vector<obs::PhaseDelta>& phases,
 void PrintPhaseTable(const std::vector<obs::PhaseDelta>& phases,
                      double total_seconds) {
   BuildPhaseTable(phases, total_seconds).Print();
+}
+
+Table BuildCauseTable(
+    const std::vector<std::pair<obs::Cause, std::int64_t>>& counts) {
+  std::int64_t total = 0;
+  for (const auto& [cause, n] : counts) total += n;
+  Table table({"cause", "count", "share_pct"});
+  for (const auto& [cause, n] : counts) {
+    if (n == 0) continue;
+    table.Cell(obs::CauseName(cause))
+        .Cell(n)
+        .Cell(total > 0 ? static_cast<double>(n) / static_cast<double>(total) *
+                              100.0
+                        : 0.0,
+              1)
+        .EndRow();
+  }
+  table.Cell("(total)").Cell(total).Cell(100.0, 1).EndRow();
+  return table;
+}
+
+void PrintCauseTable(
+    const std::vector<std::pair<obs::Cause, std::int64_t>>& counts) {
+  BuildCauseTable(counts).Print();
+}
+
+TimeSeriesWriter::TimeSeriesWriter(const std::string& path)
+    : os_(path, std::ios::out | std::ios::trunc) {
+  if (!os_) {
+    LOG_ERROR << "cannot open timeseries file " << path;
+    return;
+  }
+  const std::string_view suffix = ".jsonl";
+  jsonl_ = path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+bool TimeSeriesWriter::Append(const TimeSeriesPoint& p) {
+  if (!os_) return false;
+  if (jsonl_) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"tick\":%lld,\"pending\":%zu,\"bindings\":%zu,"
+        "\"unschedulable\":%zu,\"migrations\":%zu,\"preemptions\":%zu,"
+        "\"used_machines\":%zu,\"avg_util_pct\":%.3f,\"frag_pct\":%.3f,"
+        "\"wall_seconds\":%.6f,\"phase_seconds\":%.6f}",
+        static_cast<long long>(p.tick), p.pending, p.bindings, p.unschedulable,
+        p.migrations, p.preemptions, p.used_machines, p.avg_util_pct,
+        p.frag_pct, p.wall_seconds, p.phase_seconds);
+    os_ << buf << '\n';
+    return static_cast<bool>(os_);
+  }
+  CsvWriter writer(os_);
+  if (!wrote_header_) {
+    wrote_header_ = true;
+    for (const char* column :
+         {"tick", "pending", "bindings", "unschedulable", "migrations",
+          "preemptions", "used_machines", "avg_util_pct", "frag_pct",
+          "wall_seconds", "phase_seconds"}) {
+      writer.Field(std::string_view(column));
+    }
+    writer.EndRow();
+  }
+  writer.Field(p.tick)
+      .Field(static_cast<std::int64_t>(p.pending))
+      .Field(static_cast<std::int64_t>(p.bindings))
+      .Field(static_cast<std::int64_t>(p.unschedulable))
+      .Field(static_cast<std::int64_t>(p.migrations))
+      .Field(static_cast<std::int64_t>(p.preemptions))
+      .Field(static_cast<std::int64_t>(p.used_machines))
+      .Field(p.avg_util_pct)
+      .Field(p.frag_pct)
+      .Field(p.wall_seconds)
+      .Field(p.phase_seconds);
+  writer.EndRow();
+  return static_cast<bool>(os_);
 }
 
 }  // namespace aladdin::sim

@@ -2,10 +2,14 @@
 // EXPERIMENTS.md can be assembled straight from bench stdout.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "sim/metrics.h"
 
@@ -47,5 +51,46 @@ Table BuildPhaseTable(const std::vector<obs::PhaseDelta>& phases,
                       double total_seconds);
 void PrintPhaseTable(const std::vector<obs::PhaseDelta>& phases,
                      double total_seconds);
+
+// Cause histogram (journal provenance): one row per cause with its count
+// and share. Used by bench_online's final summary next to the phase
+// breakdown; `counts` entries with zero count are skipped.
+Table BuildCauseTable(
+    const std::vector<std::pair<obs::Cause, std::int64_t>>& counts);
+void PrintCauseTable(
+    const std::vector<std::pair<obs::Cause, std::int64_t>>& counts);
+
+// One per-tick time-series sample (bench_online --timeseries).
+struct TimeSeriesPoint {
+  std::int64_t tick = 0;
+  std::size_t pending = 0;        // pending pods before the resolve
+  std::size_t bindings = 0;       // new bindings this tick
+  std::size_t unschedulable = 0;  // give-ups this tick
+  std::size_t migrations = 0;
+  std::size_t preemptions = 0;
+  std::size_t used_machines = 0;
+  double avg_util_pct = 0.0;   // mean dominant share over used machines
+  double frag_pct = 0.0;       // 100 - avg_util_pct on used machines
+  double wall_seconds = 0.0;   // resolve wall time
+  double phase_seconds = 0.0;  // exclusive-phase coverage of the resolve
+};
+
+// Streams one row per Append() to `path` (truncating on open). The format
+// follows the extension: ".jsonl" writes one JSON object per line, anything
+// else CSV with a leading header row.
+class TimeSeriesWriter {
+ public:
+  explicit TimeSeriesWriter(const std::string& path);
+
+  // False (with a logged error) when the file could not be opened.
+  [[nodiscard]] bool ok() const { return static_cast<bool>(os_); }
+  // False on I/O failure.
+  bool Append(const TimeSeriesPoint& point);
+
+ private:
+  std::ofstream os_;
+  bool jsonl_ = false;
+  bool wrote_header_ = false;
+};
 
 }  // namespace aladdin::sim

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cluster/state.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "trace/arrival.h"
 #include "trace/workload.h"
@@ -24,6 +25,11 @@ struct ScheduleOutcome {
   // Containers the scheduler gave up on. Everything else is placed in the
   // ClusterState it mutated.
   std::vector<cluster::ContainerId> unplaced;
+  // Parallel to `unplaced`: why each container could not be admitted,
+  // diagnosed against the final cluster state. Aladdin fills structured
+  // causes (capacity vs anti-affinity, obs/journal.h); baselines report
+  // obs::Cause::kBaselineUnplaced.
+  std::vector<obs::Cause> unplaced_causes;
 
   // Engine-reported effort counters (instrumentation, not trusted metrics —
   // violations are recounted by the auditor).

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a decision journal produced by --journal=FILE (obs/journal.h).
+
+Checks, in order:
+
+  * every line parses as a flat JSON record with the full field set
+    (seq/tick/kind/cause/container/machine/other/detail) and a kind/cause
+    drawn from the closed vocabularies;
+  * seq is strictly increasing across the file — the sink drains rings in
+    seq order, so any regression means records were lost or interleaved;
+  * ticks are monotone non-decreasing (SetJournalTick only moves forward);
+  * terminal records are well-formed: place/migrate carry a machine >= 0,
+    migrate carries a source (`other` >= 0), preempt carries an aggressor;
+  * every container whose *final* terminal record is a give-up carries a
+    cause other than "none" — the acceptance bar behind
+    `explain.py --why-unplaced`. With --no-catch-all, "no_admissible_path"
+    and "baseline_unplaced" also fail (use on Aladdin runs, where the
+    terminal diagnosis must be specific).
+
+Exit status 0 = valid; 1 = violations (one per line).
+
+Usage:
+  tools/check_journal.py RUN.journal.jsonl [--no-catch-all]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+KINDS = {"place", "reject", "migrate", "preempt", "unplaced", "event"}
+CAUSES = {
+    "none", "admitted_direct", "admitted_after_repair", "short_lived_best_fit",
+    "capacity_exhausted_cpu", "capacity_exhausted_mem",
+    "anti_affinity_intra_app", "anti_affinity_inter_app",
+    "no_admissible_path", "repair_attempt_budget", "migrated_for_repair",
+    "migrated_for_rebalance", "preempted_by_priority", "depth_limit_stop",
+    "isomorphism_prune", "pod_retired", "baseline_unplaced",
+}
+CATCH_ALL = {"no_admissible_path", "baseline_unplaced"}
+FIELDS = ("seq", "tick", "kind", "cause", "container", "machine", "other",
+          "detail")
+TERMINAL_PLACED = {"place", "migrate"}
+TERMINAL_PENDING = {"preempt", "unplaced"}
+
+
+def validate(lines: list[str], no_catch_all: bool = False) -> list[str]:
+    errors: list[str] = []
+    last_seq = None
+    last_tick = None
+    final: dict[int, tuple[int, str, str]] = {}  # container -> (line, kind, cause)
+    records = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"line {lineno}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            errors.append(f"{where}: not JSON ({error})")
+            continue
+        missing = [f for f in FIELDS if f not in record]
+        if missing:
+            errors.append(f"{where}: missing field(s) {missing}")
+            continue
+        records += 1
+        kind = record["kind"]
+        cause = record["cause"]
+        if kind not in KINDS:
+            errors.append(f"{where}: unknown kind {kind!r}")
+        if cause not in CAUSES:
+            errors.append(f"{where}: unknown cause {cause!r}")
+
+        seq = record["seq"]
+        if last_seq is not None and seq <= last_seq:
+            errors.append(f"{where}: seq {seq} does not increase past "
+                          f"{last_seq}")
+        last_seq = seq
+        tick = record["tick"]
+        if last_tick is not None and tick < last_tick:
+            errors.append(f"{where}: tick {tick} regresses below {last_tick}")
+        last_tick = tick
+
+        if kind in ("place", "migrate") and record["machine"] < 0:
+            errors.append(f"{where}: {kind} without a destination machine")
+        if kind == "migrate" and record["other"] < 0:
+            errors.append(f"{where}: migrate without a source machine")
+        if kind == "preempt" and record["other"] < 0:
+            errors.append(f"{where}: preempt without an aggressor container")
+
+        container = record["container"]
+        if container >= 0 and kind in TERMINAL_PLACED | TERMINAL_PENDING:
+            final[container] = (lineno, kind, cause)
+
+    if records == 0:
+        errors.append("no records")
+    for container, (lineno, kind, cause) in sorted(final.items()):
+        if kind not in TERMINAL_PENDING:
+            continue
+        if cause == "none":
+            errors.append(f"line {lineno}: container {container} finished "
+                          f"unplaced with no cause")
+        elif no_catch_all and kind == "unplaced" and cause in CATCH_ALL:
+            errors.append(f"line {lineno}: container {container} finished "
+                          f"unplaced with catch-all cause {cause!r}")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("journal", type=Path)
+    parser.add_argument("--no-catch-all", action="store_true",
+                        help="fail terminal give-ups with catch-all causes "
+                             "(Aladdin runs must diagnose specifically)")
+    args = parser.parse_args()
+
+    try:
+        lines = args.journal.read_text(encoding="utf-8").split("\n")
+    except OSError as error:
+        print(f"check_journal: {args.journal}: {error}", file=sys.stderr)
+        return 1
+
+    errors = validate(lines, no_catch_all=args.no_catch_all)
+    if errors:
+        print(f"check_journal: {args.journal}: {len(errors)} violation(s)",
+              file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    records = sum(1 for line in lines if line.strip())
+    print(f"check_journal: {args.journal}: OK — {records} records")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Answer "why did the scheduler do that?" from a decision journal.
+
+Input is the JSONL stream written by --journal=FILE on the bench binaries
+(or the <sink>.crash flight-recorder dump a failed ALADDIN_CHECK leaves
+behind). Each line is one record:
+
+  {"seq":N,"tick":T,"kind":"place|reject|migrate|preempt|unplaced|event",
+   "cause":"...","container":C,"machine":M,"other":O,"detail":D}
+
+The journal is seq-ordered and complete (emission sites cover every
+placement, rejection, migration, preemption and terminal give-up), so a
+container's fate is decided by its *last terminal* record: place/migrate
+mean it ended up on `machine`; preempt/unplaced mean it ended up pending.
+Rejections and events are context, not verdicts.
+
+Modes (default: summary of the whole journal):
+
+  --why CONTAINER   full decision history of one container, then the verdict
+  --why-unplaced    every container whose final state is unplaced, grouped
+                    by terminal cause — each one must carry a structured
+                    cause (the acceptance bar: no kNone, and Aladdin runs
+                    show no catch-alls)
+  --machine ID      everything that happened on one machine: placements,
+                    arrivals/departures via migration, preemptions
+
+Usage:
+  tools/explain.py RUN.journal.jsonl --why 1234
+  tools/explain.py RUN.journal.jsonl --why-unplaced
+  tools/explain.py RUN.journal.jsonl --machine 17
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+from pathlib import Path
+
+TERMINAL_PLACED = {"place", "migrate"}
+TERMINAL_PENDING = {"preempt", "unplaced"}
+
+# Human phrasings for the closed cause vocabulary (obs/journal.h). Unknown
+# names pass through verbatim so a newer journal still explains itself.
+CAUSE_TEXT = {
+    "none": "no cause recorded",
+    "admitted_direct": "admissible path found by the augmentation pass",
+    "admitted_after_repair": "admitted by the migration/preemption repair "
+                             "engine",
+    "short_lived_best_fit": "placed by the short-lived task scheduler "
+                            "(best-fit)",
+    "capacity_exhausted_cpu": "no machine had the CPU headroom",
+    "capacity_exhausted_mem": "CPU-feasible machines lacked memory",
+    "anti_affinity_intra_app": "blocked everywhere by its own application's "
+                               "anti-affinity",
+    "anti_affinity_inter_app": "blocked everywhere by conflicting "
+                               "applications",
+    "no_admissible_path": "mixed/unknown blockers (defensive fallback)",
+    "repair_attempt_budget": "repair gave up after its per-container "
+                             "attempt budget",
+    "migrated_for_repair": "moved aside to admit a blocked container",
+    "migrated_for_rebalance": "moved by the compaction pass",
+    "preempted_by_priority": "evicted by a strictly higher-priority "
+                             "container",
+    "depth_limit_stop": "searches cut short by the depth limit (DL)",
+    "isomorphism_prune": "searches skipped by isomorphism limiting (IL)",
+    "pod_retired": "pod deleted / binding retired",
+    "baseline_unplaced": "baseline scheduler gave up (no diagnosis)",
+}
+
+
+def load_journal(path: Path) -> list[dict]:
+    records = []
+    with path.open(encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SystemExit(f"explain: {path}:{lineno}: {error}")
+            records.append(record)
+    records.sort(key=lambda r: r.get("seq", 0))
+    return records
+
+
+def describe(record: dict) -> str:
+    kind = record.get("kind", "?")
+    cause = record.get("cause", "?")
+    text = CAUSE_TEXT.get(cause, cause)
+    container = record.get("container", -1)
+    machine = record.get("machine", -1)
+    other = record.get("other", -1)
+    detail = record.get("detail", 0)
+    if kind == "place":
+        return f"placed on machine {machine} — {text}"
+    if kind == "reject":
+        extra = f" (budget {detail})" if cause == "repair_attempt_budget" \
+            else ""
+        return f"rejected — {text}{extra}"
+    if kind == "migrate":
+        return f"migrated machine {other} -> {machine} — {text}"
+    if kind == "preempt":
+        return (f"preempted off machine {machine} by container {other} — "
+                f"{text}")
+    if kind == "unplaced":
+        return f"gave up — {text}"
+    if kind == "event":
+        if cause in ("depth_limit_stop", "isomorphism_prune"):
+            return f"{text}: {detail}"
+        if cause == "pod_retired":
+            return f"container {container} retired — {text}"
+        return f"{cause}: detail={detail}"
+    return f"{kind} — {text}"
+
+
+def final_states(records: list[dict]) -> dict[int, dict]:
+    """container -> its last terminal record (seq order decides)."""
+    last: dict[int, dict] = {}
+    for record in records:
+        container = record.get("container", -1)
+        if container < 0:
+            continue
+        if record.get("kind") in TERMINAL_PLACED | TERMINAL_PENDING:
+            last[container] = record
+    return last
+
+
+def cmd_why(records: list[dict], container: int) -> int:
+    history = [r for r in records if r.get("container") == container
+               or (r.get("kind") == "preempt" and r.get("other") == container)]
+    if not history:
+        print(f"container {container}: no journal records")
+        return 1
+    print(f"container {container}: {len(history)} decision(s)")
+    for record in history:
+        role = ""
+        if record.get("kind") == "preempt" and \
+                record.get("container") != container:
+            role = f" [as aggressor admitting onto machine " \
+                   f"{record.get('machine', -1)}]"
+        print(f"  seq {record.get('seq'):>8}  tick {record.get('tick'):>5}  "
+              f"{describe(record)}{role}")
+    terminal = final_states(history).get(container)
+    if terminal is None:
+        print("  verdict: no terminal record (journal truncated?)")
+        return 1
+    if terminal.get("kind") in TERMINAL_PLACED:
+        print(f"  verdict: running on machine {terminal.get('machine')}")
+    else:
+        cause = terminal.get("cause", "?")
+        print(f"  verdict: unplaced — {CAUSE_TEXT.get(cause, cause)}")
+    return 0
+
+
+def cmd_why_unplaced(records: list[dict]) -> int:
+    last = final_states(records)
+    unplaced = {c: r for c, r in last.items()
+                if r.get("kind") in TERMINAL_PENDING}
+    if not unplaced:
+        print("every journalled container ended up placed")
+        return 0
+    by_cause: dict[str, list[int]] = defaultdict(list)
+    for container, record in sorted(unplaced.items()):
+        by_cause[record.get("cause", "?")].append(container)
+    print(f"{len(unplaced)} container(s) finished unplaced:")
+    status = 0
+    for cause, containers in sorted(by_cause.items(),
+                                    key=lambda kv: -len(kv[1])):
+        share = 100.0 * len(containers) / len(unplaced)
+        print(f"  {cause:<28} {len(containers):>6}  ({share:5.1f}%)  "
+              f"{CAUSE_TEXT.get(cause, cause)}")
+        sample = ", ".join(str(c) for c in containers[:8])
+        ellipsis = ", ..." if len(containers) > 8 else ""
+        print(f"    containers: {sample}{ellipsis}")
+        if cause == "none":
+            status = 1  # a give-up without a diagnosis is a bug upstream
+    return status
+
+
+def cmd_machine(records: list[dict], machine: int) -> int:
+    history = [r for r in records
+               if r.get("machine") == machine
+               or (r.get("kind") == "migrate" and r.get("other") == machine)]
+    if not history:
+        print(f"machine {machine}: no journal records")
+        return 1
+    print(f"machine {machine}: {len(history)} decision(s)")
+    residents: set[int] = set()
+    for record in history:
+        kind = record.get("kind")
+        container = record.get("container", -1)
+        note = describe(record)
+        if kind == "place" and record.get("machine") == machine:
+            residents.add(container)
+        elif kind == "migrate":
+            if record.get("machine") == machine:
+                residents.add(container)
+                note = (f"arrived from machine {record.get('other')} — "
+                        f"{CAUSE_TEXT.get(record.get('cause', '?'), '?')}")
+            else:
+                residents.discard(container)
+                note = (f"departed to machine {record.get('machine')} — "
+                        f"{CAUSE_TEXT.get(record.get('cause', '?'), '?')}")
+        elif kind == "preempt" and record.get("machine") == machine:
+            residents.discard(container)
+        print(f"  seq {record.get('seq'):>8}  tick {record.get('tick'):>5}  "
+              f"container {container:>6}  {note}")
+    print(f"  journal-visible residents at end: "
+          f"{sorted(residents) if residents else 'none'}")
+    return 0
+
+
+def cmd_summary(records: list[dict]) -> int:
+    kinds = Counter(r.get("kind", "?") for r in records)
+    causes = Counter(r.get("cause", "?") for r in records
+                     if r.get("kind") != "event")
+    last = final_states(records)
+    placed = sum(1 for r in last.values()
+                 if r.get("kind") in TERMINAL_PLACED)
+    ticks = {r.get("tick", 0) for r in records}
+    print(f"{len(records)} records over {len(ticks)} tick(s)")
+    print("by kind: " + ", ".join(f"{k}={n}"
+                                  for k, n in sorted(kinds.items())))
+    print(f"final states: {placed} placed, {len(last) - placed} unplaced")
+    print("top causes:")
+    for cause, count in causes.most_common(8):
+        print(f"  {cause:<28} {count:>8}  {CAUSE_TEXT.get(cause, cause)}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("journal", type=Path,
+                        help="JSONL journal (--journal output or a "
+                             ".crash flight-recorder dump)")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--why", type=int, metavar="CONTAINER",
+                       help="decision history + verdict for one container")
+    group.add_argument("--why-unplaced", action="store_true",
+                       help="group finally-unplaced containers by cause")
+    group.add_argument("--machine", type=int, metavar="ID",
+                       help="placements/arrivals/departures on one machine")
+    args = parser.parse_args()
+
+    records = load_journal(args.journal)
+    if not records:
+        print(f"explain: {args.journal}: empty journal", file=sys.stderr)
+        return 1
+    if args.why is not None:
+        return cmd_why(records, args.why)
+    if args.why_unplaced:
+        return cmd_why_unplaced(records)
+    if args.machine is not None:
+        return cmd_machine(records, args.machine)
+    return cmd_summary(records)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,11 @@ Enforces the project idioms that generic tooling does not know about:
     std::vector construction / .assign / .resize / .reserve inside function
     bodies needs an explicit `// lint:allow-alloc (reason)` marker on the
     line (reserved for cold paths: audits, oracles, the amortized
-    re-freeze).
+    re-freeze);
+  * provenance guard: no string literal inside an `EmitDecision(...)` call
+    in src/ — decision causes come from the closed obs::Cause enum
+    (src/obs/journal.h) so the journal vocabulary stays greppable and
+    tools/explain.py never meets a cause it cannot classify.
 
 Runs as a ctest case (`ctest -R lint`) and standalone:  tools/lint.py
 Exit status 0 = clean; 1 = violations (one per line, file:line: message).
@@ -90,6 +94,10 @@ NESTED_VECTOR = re.compile(r"std::vector<\s*std::vector<")
 # initializer or `;`. References and iterators (`>&`, `>::`) do not match.
 VECTOR_CONSTRUCT = re.compile(r"std::vector<[^;]*>\s+\w+\s*[;({=]")
 GROWTH_CALL = re.compile(r"\.(?:assign|resize|reserve)\s*\(")
+
+# Journal emission calls: a string literal among the arguments means a
+# free-form cause snuck past the obs::Cause enum.
+EMIT_DECISION = re.compile(r"\bEmitDecision\s*\(")
 
 STATIC_ASSERT = re.compile(r"\bstatic_assert\s*\(")
 INCLUDE = re.compile(r'#\s*include\s*(["<])([^">]+)[">]')
@@ -153,6 +161,27 @@ def strip_comments(text: str) -> str:
                 out.append(" ")
         i += 1
     return "".join(out)
+
+
+def lint_emit_decision_causes(code: str, err) -> None:
+    """Flag string literals inside EmitDecision(...) argument lists. The
+    comment stripper blanks literal *contents* but keeps the quotes, so any
+    `"` between the call's parentheses is a smuggled free-form cause."""
+    for m in EMIT_DECISION.finditer(code):
+        depth = 0
+        for i in range(m.end() - 1, len(code)):
+            c = code[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif c == '"':
+                err(code.count("\n", 0, m.start()) + 1,
+                    "string literal in EmitDecision(); causes must come "
+                    "from the obs::Cause enum (obs/journal.h)")
+                break
 
 
 def lint_stderr_writes(path: Path, lines: list[str], err) -> None:
@@ -226,6 +255,9 @@ def lint_file(path: Path, errors: list[str]) -> None:
 
     # --- diagnostics guard -------------------------------------------------
     lint_stderr_writes(path, lines, err)
+
+    # --- provenance guard --------------------------------------------------
+    lint_emit_decision_causes(code, err)
 
     # --- header rules ------------------------------------------------------
     if path.suffix in HEADER_EXTS:
