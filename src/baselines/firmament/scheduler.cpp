@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <unordered_map>
 
 #include "cluster/audit.h"
@@ -198,8 +199,10 @@ std::size_t FirmamentScheduler::RepairConflicts(
   // i resolves crowded machines, lower i leaves conflicts to churn and
   // eventually time out.
   const auto offenders = cluster::CollectColocationViolations(state);
-  std::unordered_map<std::int32_t, std::vector<cluster::ContainerId>>
-      by_machine;
+  // std::map, not unordered: the per-round reschd cap below stops part-way
+  // through this loop, so which machines get repair attempts depends on
+  // iteration order — ordered by machine id keeps it replayable.
+  std::map<std::int32_t, std::vector<cluster::ContainerId>> by_machine;
   for (cluster::ContainerId c : offenders) {
     by_machine[state.PlacementOf(c).value()].push_back(c);
   }

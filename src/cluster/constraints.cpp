@@ -12,8 +12,9 @@ ConstraintSet::ConstraintSet(std::size_t application_count) {
 
 void ConstraintSet::Resize(std::size_t application_count) {
   ALADDIN_CHECK(application_count >= adjacency_.size());
+  // analyze:allow(A103) grows to the application high-water mark; no-op once sized
   adjacency_.resize(application_count);
-  within_.resize(application_count, false);
+  within_.resize(application_count, false);  // analyze:allow(A103) same high-water growth
 }
 
 std::uint64_t ConstraintSet::Key(ApplicationId a, ApplicationId b) {

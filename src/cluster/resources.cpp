@@ -26,7 +26,7 @@ double ResourceVector::DominantShareOf(const ResourceVector& capacity) const {
 }
 
 std::string ResourceVector::ToString() const {
-  std::ostringstream os;
+  std::ostringstream os;  // analyze:allow(A102) diagnostic formatting for logs/CHECK text, not the placement math
   os << "{cpu=" << v_[0] << "m, mem=" << v_[1] << "MiB}";
   return os.str();
 }

@@ -14,7 +14,10 @@ namespace aladdin::cluster {
 
 inline constexpr std::size_t kResourceDims = 2;
 
-enum class ResourceKind : std::size_t { kCpu = 0, kMemory = 1 };
+enum class ResourceKind : std::size_t {  // analyze:closed_enum
+  kCpu = 0,
+  kMemory = 1,
+};
 
 inline const char* ResourceName(ResourceKind k) {
   switch (k) {

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace aladdin {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_emit_mutex;
+Mutex g_emit_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -46,7 +47,7 @@ bool ParseLogLevel(std::string_view text, LogLevel* level) {
 
 namespace internal {
 void Emit(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
 }  // namespace internal

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -29,7 +29,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Always-on: a task enqueued after shutdown begins may never run (the
     // workers exit once the queue drains), deadlocking the returned future.
     ALADDIN_CHECK(!stopping_) << "ThreadPool::Submit after shutdown began";
@@ -40,16 +40,20 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  CvLock lock(mutex_);
+  idle_cv_.wait(lock.native(), [this]() ALADDIN_REQUIRES(mutex_) {
+    return queue_.empty() && in_flight_ == 0;
+  });
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      CvLock lock(mutex_);
+      cv_.wait(lock.native(), [this]() ALADDIN_REQUIRES(mutex_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
@@ -61,7 +65,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();  // exceptions surface through the packaged_task's future
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }

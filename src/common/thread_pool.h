@@ -12,10 +12,12 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace aladdin {
 
@@ -41,13 +43,15 @@ class ThreadPool {
 
   void WorkerLoop();
 
-  std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  // Written only by the constructor (before any worker runs) and joined by
+  // the destructor; no concurrent access by construction.
+  std::vector<std::thread> workers_;  // analyze:allow(L103) ctor/dtor confined
+  Mutex mutex_;
+  std::queue<std::packaged_task<void()>> queue_ ALADDIN_GUARDED_BY(mutex_);
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  std::size_t in_flight_ ALADDIN_GUARDED_BY(mutex_) = 0;
+  bool stopping_ ALADDIN_GUARDED_BY(mutex_) = false;
 };
 
 // Invokes fn(i) for i in [begin, end) across the pool, in contiguous chunks.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cluster/audit.h"
+#include "common/analysis.h"
 #include "common/check.h"
 #include "common/log.h"
 #include "obs/journal.h"
@@ -92,7 +93,7 @@ std::string AladdinScheduler::name() const {
   return n;
 }
 
-sim::ScheduleOutcome AladdinScheduler::Schedule(
+ALADDIN_HOT sim::ScheduleOutcome AladdinScheduler::Schedule(
     const sim::ScheduleRequest& request, cluster::ClusterState& state) {
   const trace::Workload& workload = *request.workload;
   sim::ScheduleOutcome outcome;

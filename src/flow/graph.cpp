@@ -56,7 +56,8 @@ ArcId Graph::AddArc(VertexId tail, VertexId head, Capacity capacity,
 void Graph::RebuildCsr() const {
   ALADDIN_METRIC_ADD("flow/csr_refreeze", 1);
   // Counting sort by tail. Pass 1: out-degrees into offsets[tail + 1].
-  csr_offsets_.assign(vertex_count_ + 1, 0);  // lint:allow-alloc (amortized re-freeze)
+  // analyze:allow(A103) amortised re-freeze: capacity tracks the arc high-water mark
+  csr_offsets_.assign(vertex_count_ + 1, 0);
   for (std::size_t a = 0; a < arcs_.size(); ++a) {
     const auto tail = static_cast<std::size_t>(arcs_[a ^ 1].head.value());
     ++csr_offsets_[tail + 1];
@@ -68,7 +69,7 @@ void Graph::RebuildCsr() const {
   // Pass 3: place arcs in ascending id order, bumping offsets[tail] as the
   // write cursor. Ascending id within each tail reproduces the legacy
   // nested-vector insertion order exactly (AddArc appended ids in order).
-  csr_arcs_.resize(arcs_.size());  // lint:allow-alloc (amortized re-freeze)
+  csr_arcs_.resize(arcs_.size());  // analyze:allow(A103) amortised re-freeze, as above
   for (std::size_t a = 0; a < arcs_.size(); ++a) {
     const auto tail = static_cast<std::size_t>(arcs_[a ^ 1].head.value());
     csr_arcs_[static_cast<std::size_t>(csr_offsets_[tail]++)] =
@@ -188,7 +189,7 @@ bool Graph::ValidateInvariants(std::span<const VertexId> exempt,
        << arcs_.size() << " arcs";
     return Fail(error, os);
   }
-  std::vector<std::uint8_t> seen(arcs_.size(), 0);  // lint:allow-alloc
+  std::vector<std::uint8_t> seen(arcs_.size(), 0);
   for (std::size_t v = 0; v < vertices; ++v) {
     if (csr_offsets_[v] > csr_offsets_[v + 1]) {
       std::ostringstream os;
@@ -224,7 +225,7 @@ bool Graph::ValidateInvariants(std::span<const VertexId> exempt,
     }
   }
   // Flow conservation at interior vertices.
-  std::vector<std::uint8_t> is_exempt(vertices, 0);  // lint:allow-alloc
+  std::vector<std::uint8_t> is_exempt(vertices, 0);
   for (VertexId v : exempt) {
     if (v.valid() && static_cast<std::size_t>(v.value()) < vertices) {
       is_exempt[static_cast<std::size_t>(v.value())] = 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/analysis.h"
 #include "common/check.h"
 #include "obs/trace.h"
 
@@ -12,8 +13,8 @@ namespace {
 std::size_t Idx(VertexId v) { return static_cast<std::size_t>(v.value()); }
 }  // namespace
 
-MaxFlowResult EdmondsKarp(Graph& graph, VertexId source, VertexId sink,
-                          Workspace& ws) {
+ALADDIN_HOT MaxFlowResult EdmondsKarp(Graph& graph, VertexId source,
+                                      VertexId sink, Workspace& ws) {
   ALADDIN_TRACE_SCOPE("flow/edmonds_karp");
   ALADDIN_CHECK(source != sink);
   MaxFlowResult result;
@@ -142,8 +143,8 @@ class DinicSolver {
 
 }  // namespace
 
-MaxFlowResult Dinic(Graph& graph, VertexId source, VertexId sink,
-                    Workspace& ws) {
+ALADDIN_HOT MaxFlowResult Dinic(Graph& graph, VertexId source, VertexId sink,
+                                Workspace& ws) {
   ALADDIN_TRACE_SCOPE("flow/dinic");
   ALADDIN_CHECK(source != sink);
   const MaxFlowResult result = DinicSolver(graph, source, sink, ws).Run();
@@ -177,7 +178,7 @@ void ResidualReachableInto(const Graph& graph, VertexId source,
 std::vector<bool> ResidualReachable(const Graph& graph, VertexId source) {
   Workspace& ws = ThreadLocalWorkspace();
   ResidualReachableInto(graph, source, ws);
-  std::vector<bool> seen(graph.vertex_count(), false);  // lint:allow-alloc
+  std::vector<bool> seen(graph.vertex_count(), false);
   for (std::size_t v = 0; v < seen.size(); ++v) {
     if (ws.visited.Stamped(v)) seen[v] = true;
   }
@@ -186,7 +187,7 @@ std::vector<bool> ResidualReachable(const Graph& graph, VertexId source) {
 
 std::vector<ArcId> MinCutArcs(const Graph& graph, VertexId source) {
   const auto reachable = ResidualReachable(graph, source);
-  std::vector<ArcId> cut;  // lint:allow-alloc (cold audit path)
+  std::vector<ArcId> cut;  // cold audit path
   for (std::size_t v = 0; v < graph.vertex_count(); ++v) {
     if (!reachable[v]) continue;
     for (std::int32_t raw :
@@ -204,7 +205,7 @@ std::vector<ArcId> MinCutArcs(const Graph& graph, VertexId source) {
 
 std::vector<FlowPath> DecomposePaths(Graph& graph, VertexId source,
                                      VertexId sink) {
-  std::vector<FlowPath> paths;  // lint:allow-alloc (cold decode path)
+  std::vector<FlowPath> paths;  // cold decode path
   const std::size_t n = graph.vertex_count();
   for (;;) {
     // Walk greedily along arcs with positive flow from the source.

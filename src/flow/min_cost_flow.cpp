@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/analysis.h"
 #include "common/check.h"
 #include "obs/trace.h"
 
@@ -30,8 +31,9 @@ bool Augment(Graph& graph, const std::vector<ArcId>& path, Capacity flow_limit,
   return true;
 }
 
-MinCostFlowResult SolveSpfa(Graph& graph, VertexId source, VertexId sink,
-                            Capacity flow_limit, Workspace& ws) {
+ALADDIN_HOT MinCostFlowResult SolveSpfa(Graph& graph, VertexId source,
+                                        VertexId sink, Capacity flow_limit,
+                                        Workspace& ws) {
   MinCostFlowResult result;
   while (result.flow < flow_limit) {
     const ShortestPathStats stats = SpfaInto(graph, source, ws);
@@ -89,8 +91,10 @@ std::int64_t DijkstraReducedInto(const Graph& graph, VertexId source,
   return relaxations;
 }
 
-MinCostFlowResult SolveDijkstra(Graph& graph, VertexId source, VertexId sink,
-                                Capacity flow_limit, Workspace& ws) {
+ALADDIN_HOT MinCostFlowResult SolveDijkstra(Graph& graph, VertexId source,
+                                            VertexId sink,
+                                            Capacity flow_limit,
+                                            Workspace& ws) {
   MinCostFlowResult result;
   // Seed potentials with one Bellman–Ford pass (costs may be negative).
   // Cold: runs once per solve, not per augmentation.
@@ -99,7 +103,7 @@ MinCostFlowResult SolveDijkstra(Graph& graph, VertexId source, VertexId sink,
     result.negative_cycle = true;
     return result;
   }
-  ws.pi.assign(seed.dist.begin(), seed.dist.end());  // lint:allow-alloc (warm capacity reused)
+  ws.pi.assign(seed.dist.begin(), seed.dist.end());  // warm capacity reused
   while (result.flow < flow_limit) {
     DijkstraReducedInto(graph, source, ws);
     ExtractPathInto(graph, source, sink, ws);
@@ -117,9 +121,11 @@ MinCostFlowResult SolveDijkstra(Graph& graph, VertexId source, VertexId sink,
 
 }  // namespace
 
-MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source, VertexId sink,
-                                 Capacity flow_limit,
-                                 MinCostFlowOptions options, Workspace& ws) {
+ALADDIN_HOT MinCostFlowResult MinCostMaxFlow(Graph& graph, VertexId source,
+                                             VertexId sink,
+                                             Capacity flow_limit,
+                                             MinCostFlowOptions options,
+                                             Workspace& ws) {
   ALADDIN_TRACE_SCOPE("flow/ssp");
   ALADDIN_CHECK(source != sink);
   MinCostFlowResult result;

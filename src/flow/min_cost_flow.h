@@ -22,7 +22,7 @@
 namespace aladdin::flow {
 
 struct MinCostFlowOptions {
-  enum class Pathfinder {
+  enum class Pathfinder {  // analyze:closed_enum
     kSpfa,      // SPFA every augmentation (repo default; no potentials)
     kDijkstra,  // Bellman–Ford once, then Dijkstra with potentials
   };

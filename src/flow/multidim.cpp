@@ -68,9 +68,10 @@ DimVector MultiDimGraph::Residual(ArcId a) const {
 DimVector MultiDimGraph::Augment(VertexId source, VertexId sink,
                                  const ArcPredicate& predicate) {
   const std::size_t n = vertex_count();
-  std::vector<std::int32_t> parent_arc(n, -1);     // lint:allow-alloc (extension, off hot path)
-  std::vector<std::int32_t> parent_vertex(n, -1);  // lint:allow-alloc (extension, off hot path)
-  std::deque<VertexId> queue{source};
+  // analyze:allow(A102) multi-dimensional extension, not the per-tick solver
+  std::vector<std::int32_t> parent_arc(n, -1);
+  std::vector<std::int32_t> parent_vertex(n, -1);  // analyze:allow(A102) extension, as above
+  std::deque<VertexId> queue{source};  // analyze:allow(A102) extension, as above
   parent_vertex[static_cast<std::size_t>(source.value())] = source.value();
 
   bool found = false;

@@ -73,6 +73,7 @@ class MultiDimGraph {
  private:
   std::size_t dims_;
   std::vector<MultiArc> arcs_;
+  // analyze:allow(A104) extension graph rebuilt per experiment; CSR freeze not warranted
   std::vector<std::vector<std::int32_t>> adjacency_;
 };
 

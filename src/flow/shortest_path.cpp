@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/analysis.h"
 #include "common/check.h"
 
 namespace aladdin::flow {
@@ -13,8 +14,8 @@ std::size_t Idx(VertexId v) { return static_cast<std::size_t>(v.value()); }
 ShortestPathTree BellmanFord(const Graph& graph, VertexId source) {
   const std::size_t n = graph.vertex_count();
   ShortestPathTree tree;
-  tree.dist.assign(n, kUnreachable);      // lint:allow-alloc (oracle path)
-  tree.parent_arc.assign(n, -1);          // lint:allow-alloc (oracle path)
+  tree.dist.assign(n, kUnreachable);  // analyze:allow(A103) oracle: seeds potentials once per solve
+  tree.parent_arc.assign(n, -1);      // analyze:allow(A103) oracle seeding, as above
   tree.dist[Idx(source)] = 0;
 
   bool changed = true;
@@ -43,8 +44,8 @@ ShortestPathTree BellmanFord(const Graph& graph, VertexId source) {
   return tree;
 }
 
-ShortestPathStats SpfaInto(const Graph& graph, VertexId source,
-                           Workspace& ws) {
+ALADDIN_HOT ShortestPathStats SpfaInto(const Graph& graph, VertexId source,
+                                       Workspace& ws) {
   const std::size_t n = graph.vertex_count();
   ShortestPathStats stats;
   ws.BeginRun(graph);
@@ -99,8 +100,8 @@ ShortestPathTree Spfa(const Graph& graph, VertexId source) {
   ShortestPathTree tree;
   tree.negative_cycle = stats.negative_cycle;
   tree.relaxations = stats.relaxations;
-  tree.dist.resize(n);        // lint:allow-alloc (owning-tree wrapper)
-  tree.parent_arc.resize(n);  // lint:allow-alloc (owning-tree wrapper)
+  tree.dist.resize(n);        // owning-tree wrapper
+  tree.parent_arc.resize(n);  // owning-tree wrapper
   for (std::size_t v = 0; v < n; ++v) {
     tree.dist[v] = ws.dist.Get(v, kUnreachable);
     tree.parent_arc[v] = ws.parent.Get(v, -1);
@@ -111,7 +112,7 @@ ShortestPathTree Spfa(const Graph& graph, VertexId source) {
 std::vector<ArcId> ExtractPath(const Graph& graph,
                                const ShortestPathTree& tree, VertexId source,
                                VertexId target) {
-  std::vector<ArcId> path;  // lint:allow-alloc (owning-tree wrapper)
+  std::vector<ArcId> path;  // owning-tree wrapper
   if (Idx(target) >= tree.dist.size() ||
       tree.dist[Idx(target)] >= kUnreachable) {
     return path;
@@ -127,8 +128,8 @@ std::vector<ArcId> ExtractPath(const Graph& graph,
   return path;
 }
 
-void ExtractPathInto(const Graph& graph, VertexId source, VertexId target,
-                     Workspace& ws) {
+ALADDIN_HOT void ExtractPathInto(const Graph& graph, VertexId source,
+                                 VertexId target, Workspace& ws) {
   ws.path.clear();
   if (Idx(target) >= graph.vertex_count() || !ws.dist.Stamped(Idx(target))) {
     return;

@@ -18,7 +18,7 @@
 
 namespace aladdin::k8s {
 
-enum class EventType {
+enum class EventType {  // analyze:closed_enum
   kPodAdded,
   kPodDeleted,     // user/controller deletion or completion
   kNodeAdded,

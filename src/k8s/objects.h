@@ -37,7 +37,7 @@ struct PodSpec {
   [[nodiscard]] bool short_lived() const { return lifetime_ticks > 0; }
 };
 
-enum class PodPhase {
+enum class PodPhase {  // analyze:closed_enum
   kPending,    // submitted, not yet placed
   kBound,      // placed onto a node
   kSucceeded,  // short-lived pod ran to completion

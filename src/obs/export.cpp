@@ -117,37 +117,36 @@ PrometheusListener::~PrometheusListener() { Stop(); }
 
 bool PrometheusListener::Start(std::uint16_t port) {
   if (running()) return true;
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     LOG_ERROR << "prometheus listener: socket() failed";
     return false;
   }
   const int reuse = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd_, 4) < 0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 4) < 0) {
     LOG_ERROR << "prometheus listener: cannot bind 127.0.0.1:" << port;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return false;
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
-      0) {
-    port_ = ntohs(addr.sin_port);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_.store(ntohs(addr.sin_port), std::memory_order_relaxed);
   } else {
-    port_ = port;
+    port_.store(port, std::memory_order_relaxed);
   }
+  listen_fd_.store(fd, std::memory_order_relaxed);
   stop_.store(false, std::memory_order_relaxed);
   running_.store(true, std::memory_order_relaxed);
   pool_ = std::make_unique<ThreadPool>(1);
   (void)pool_->Submit([this] { ServeLoop(); });
-  LOG_INFO << "prometheus metrics on http://127.0.0.1:" << port_ << "/";
+  LOG_INFO << "prometheus metrics on http://127.0.0.1:"
+           << port_.load(std::memory_order_relaxed) << "/";
   return true;
 }
 
@@ -155,21 +154,21 @@ void PrometheusListener::Stop() {
   if (!running()) return;
   stop_.store(true, std::memory_order_relaxed);
   pool_.reset();  // joins the serve loop (returns on its next poll timeout)
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  const int fd = listen_fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
   running_.store(false, std::memory_order_relaxed);
 }
 
 void PrometheusListener::ServeLoop() {
   while (!stop_.load(std::memory_order_relaxed)) {
+    const int fd = listen_fd_.load(std::memory_order_relaxed);
+    if (fd < 0) return;
     pollfd pfd{};
-    pfd.fd = listen_fd_;
+    pfd.fd = fd;
     pfd.events = POLLIN;
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int client = ::accept(fd, nullptr, nullptr);
     if (client < 0) continue;
     // Drain whatever request line arrived; the response is the same for
     // every method and path.

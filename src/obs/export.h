@@ -56,16 +56,22 @@ class PrometheusListener {
     return running_.load(std::memory_order_relaxed);
   }
   // Port actually bound (useful with Start(0) picking an ephemeral port).
-  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint16_t port() const {
+    return port_.load(std::memory_order_relaxed);
+  }
 
  private:
   void ServeLoop();
 
+  // Created by Start, destroyed (joined) by Stop; ServeLoop never touches it.
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
+  // Atomics: ServeLoop polls listen_fd_ on the pool thread while port() may
+  // be read from any thread; Stop still joins before closing the fd so the
+  // loop never sees a dangling descriptor.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<std::uint16_t> port_{0};
 };
 
 }  // namespace aladdin::obs

@@ -6,12 +6,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace aladdin::obs {
 namespace {
@@ -53,7 +54,7 @@ struct ThreadBuffer {
   explicit ThreadBuffer(std::size_t capacity) : ring(capacity) {}
 
   void Append(const Decision& decision) {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (ring.empty()) return;
     ring[head] = decision;
     head = (head + 1) % ring.size();
@@ -64,19 +65,23 @@ struct ThreadBuffer {
     }
   }
 
-  std::mutex mutex;
-  std::vector<Decision> ring;  // fixed capacity; oldest overwritten
-  std::size_t head = 0;        // next write position
-  std::size_t size = 0;
-  std::uint64_t dropped = 0;
+  Mutex mutex;
+  std::vector<Decision> ring
+      ALADDIN_GUARDED_BY(mutex);  // fixed capacity; oldest overwritten
+  std::size_t head ALADDIN_GUARDED_BY(mutex) = 0;  // next write position
+  std::size_t size ALADDIN_GUARDED_BY(mutex) = 0;
+  std::uint64_t dropped ALADDIN_GUARDED_BY(mutex) = 0;
 };
 
 struct JournalRegistry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::size_t ring_capacity = JournalOptions{}.ring_capacity;
-  std::string sink_path;
-  std::ofstream sink;  // open iff sink_path is non-empty and Start succeeded
+  Mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers
+      ALADDIN_GUARDED_BY(mutex);
+  std::size_t ring_capacity ALADDIN_GUARDED_BY(mutex) =
+      JournalOptions{}.ring_capacity;
+  std::string sink_path ALADDIN_GUARDED_BY(mutex);
+  // Open iff sink_path is non-empty and Start succeeded.
+  std::ofstream sink ALADDIN_GUARDED_BY(mutex);
 
   std::atomic<std::uint64_t> next_seq{0};
   std::atomic<std::uint64_t> emitted{0};
@@ -91,7 +96,7 @@ JournalRegistry& Journal() {
 ThreadBuffer& ThisThreadBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     JournalRegistry& registry = Journal();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     auto created = std::make_shared<ThreadBuffer>(registry.ring_capacity);
     registry.buffers.push_back(created);
     return created;
@@ -105,9 +110,9 @@ ThreadBuffer& ThisThreadBuffer() {
 std::vector<Decision> Collect(bool clear) {
   JournalRegistry& registry = Journal();
   std::vector<Decision> out;
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   for (const std::shared_ptr<ThreadBuffer>& buffer : registry.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(buffer->mutex);
     const std::size_t capacity = buffer->ring.size();
     if (capacity > 0) {
       const std::size_t oldest =
@@ -138,7 +143,7 @@ void CrashDumpJournal() {
   std::string path;
   {
     JournalRegistry& registry = Journal();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     path = registry.sink_path.empty() ? "aladdin_journal.crash.jsonl"
                                       : registry.sink_path + ".crash";
   }
@@ -213,10 +218,10 @@ const char* DecisionKindName(DecisionKind kind) {
 void StartJournal(const JournalOptions& options) {
   JournalRegistry& registry = Journal();
   {
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     registry.ring_capacity = options.ring_capacity;
     for (const std::shared_ptr<ThreadBuffer>& buffer : registry.buffers) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      MutexLock buffer_lock(buffer->mutex);
       buffer->ring.assign(options.ring_capacity, Decision{});
       buffer->head = 0;
       buffer->size = 0;
@@ -244,7 +249,7 @@ void StopJournal() { internal::SetModeBit(kJournal, false); }
 
 bool JournalSinkOpen() {
   JournalRegistry& registry = Journal();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   return registry.sink.is_open();
 }
 
@@ -254,7 +259,7 @@ void SetJournalTick(std::int64_t tick) {
   registry.tick.store(tick, std::memory_order_relaxed);
   bool has_sink = false;
   {
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     has_sink = registry.sink.is_open();
   }
   if (has_sink) (void)FlushJournal();
@@ -286,10 +291,10 @@ std::vector<Decision> JournalSnapshot() { return Collect(/*clear=*/false); }
 
 std::uint64_t DroppedJournalDecisions() {
   JournalRegistry& registry = Journal();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   std::uint64_t dropped = 0;
   for (const std::shared_ptr<ThreadBuffer>& buffer : registry.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(buffer->mutex);
     dropped += buffer->dropped;
   }
   return dropped;
@@ -363,13 +368,13 @@ std::string JournalToJsonl() {
 bool FlushJournal() {
   JournalRegistry& registry = Journal();
   {
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     if (!registry.sink.is_open()) return true;
   }
   // Collect (which clears the rings) outside the registry write below so the
   // buffer locks are not held while touching the filesystem.
   const std::vector<Decision> decisions = Collect(/*clear=*/true);
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   if (!registry.sink.is_open()) return true;
   for (const Decision& d : decisions) {
     registry.sink << DecisionToJson(d) << '\n';
@@ -386,7 +391,7 @@ bool FinishJournal() {
   StopJournal();
   const bool ok = FlushJournal();
   JournalRegistry& registry = Journal();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   if (registry.sink.is_open()) registry.sink.close();
   return ok;
 }

@@ -36,7 +36,7 @@ namespace aladdin::obs {
 // ScheduleOutcome::unplaced_causes entry carries one of these — free-form
 // cause strings in src/ are banned by tools/lint.py so the vocabulary stays
 // closed and greppable.
-enum class Cause : std::uint8_t {
+enum class Cause : std::uint8_t {  // analyze:closed_enum
   kNone = 0,
   // Placement causes.
   kAdmittedDirect,       // admissible path found by Algorithm 1
@@ -66,7 +66,7 @@ enum class Cause : std::uint8_t {
 // Inverse of CauseName; returns kCount for unknown names.
 [[nodiscard]] Cause CauseFromName(const std::string& name);
 
-enum class DecisionKind : std::uint8_t {
+enum class DecisionKind : std::uint8_t {  // analyze:closed_enum
   kPlace = 0,  // container bound to a machine
   kReject,     // a scheduling pass could not admit the container (not final)
   kMigrate,    // container moved machine -> machine

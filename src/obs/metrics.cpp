@@ -189,7 +189,7 @@ Registry& Registry::Get() {
 }
 
 Counter& Registry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -199,7 +199,7 @@ Counter& Registry::GetCounter(std::string_view name) {
 }
 
 Gauge& Registry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -209,7 +209,7 @@ Gauge& Registry::GetGauge(std::string_view name) {
 
 Histogram& Registry::GetHistogram(std::string_view name,
                                   std::string_view unit) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -221,7 +221,7 @@ Histogram& Registry::GetHistogram(std::string_view name,
 }
 
 Phase& Registry::GetPhase(std::string_view name, bool exclusive) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = phases_.find(name);
   if (it == phases_.end()) {
     it = phases_
@@ -237,7 +237,7 @@ Phase& Registry::GetPhase(std::string_view name, bool exclusive) {
 }
 
 MetricsSnapshot Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters.push_back({name, counter->Value()});
@@ -256,7 +256,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 std::vector<PhaseDelta> Registry::PhaseTotals() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<PhaseDelta> totals;
   totals.reserve(phases_.size());
   for (const auto& [name, phase] : phases_) {
@@ -267,7 +267,7 @@ std::vector<PhaseDelta> Registry::PhaseTotals() const {
 }
 
 void Registry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();

@@ -25,11 +25,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/runtime.h"
 
 namespace aladdin {
@@ -221,12 +222,18 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  // std::map: deterministic iteration order and node-stable addresses.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::map<std::string, std::unique_ptr<Phase>, std::less<>> phases_;
+  mutable Mutex mutex_;
+  // std::map: deterministic iteration order and node-stable addresses (the
+  // pointees are internally synchronised, so handing out references while
+  // only the map itself is guarded is sound).
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      ALADDIN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      ALADDIN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      ALADDIN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Phase>, std::less<>> phases_
+      ALADDIN_GUARDED_BY(mutex_);
 };
 
 // Snapshot of every phase's running totals (sorted by name).

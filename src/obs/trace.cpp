@@ -4,10 +4,11 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/log.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace aladdin::obs {
 namespace {
@@ -31,7 +32,7 @@ struct ThreadBuffer {
       : tid(tid_in), ring(capacity) {}
 
   void Append(const Record& record) {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (ring.empty()) return;
     ring[head] = record;
     head = (head + 1) % ring.size();
@@ -42,19 +43,22 @@ struct ThreadBuffer {
     }
   }
 
-  std::uint32_t tid;
-  std::mutex mutex;
-  std::vector<Record> ring;  // fixed capacity; oldest overwritten
-  std::size_t head = 0;      // next write position
-  std::size_t size = 0;
-  std::uint64_t dropped = 0;
+  const std::uint32_t tid;  // set at registration, immutable after
+  Mutex mutex;
+  std::vector<Record> ring
+      ALADDIN_GUARDED_BY(mutex);  // fixed capacity; oldest overwritten
+  std::size_t head ALADDIN_GUARDED_BY(mutex) = 0;  // next write position
+  std::size_t size ALADDIN_GUARDED_BY(mutex) = 0;
+  std::uint64_t dropped ALADDIN_GUARDED_BY(mutex) = 0;
 };
 
 struct BufferRegistry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::size_t ring_capacity = TraceOptions{}.ring_capacity;
-  std::int64_t epoch_ns = 0;
+  Mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers
+      ALADDIN_GUARDED_BY(mutex);
+  std::size_t ring_capacity ALADDIN_GUARDED_BY(mutex) =
+      TraceOptions{}.ring_capacity;
+  std::int64_t epoch_ns ALADDIN_GUARDED_BY(mutex) = 0;
 };
 
 BufferRegistry& Buffers() {
@@ -67,7 +71,7 @@ BufferRegistry& Buffers() {
 ThreadBuffer& ThisThreadBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     BufferRegistry& registry = Buffers();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     auto created = std::make_shared<ThreadBuffer>(
         static_cast<std::uint32_t>(registry.buffers.size() + 1),
         registry.ring_capacity);
@@ -219,10 +223,10 @@ std::vector<Event> MergeByTs(const std::vector<Event>& scopes,
 void StartTracing(const TraceOptions& options) {
   BufferRegistry& registry = Buffers();
   {
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     registry.ring_capacity = options.ring_capacity;
     for (const std::shared_ptr<ThreadBuffer>& buffer : registry.buffers) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      MutexLock buffer_lock(buffer->mutex);
       buffer->ring.assign(options.ring_capacity, Record{});
       buffer->head = 0;
       buffer->size = 0;
@@ -237,10 +241,10 @@ void StopTracing() { internal::SetModeBit(kTracing, false); }
 
 std::uint64_t DroppedTraceEvents() {
   BufferRegistry& registry = Buffers();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   std::uint64_t dropped = 0;
   for (const std::shared_ptr<ThreadBuffer>& buffer : registry.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(buffer->mutex);
     dropped += buffer->dropped;
   }
   return dropped;
@@ -255,11 +259,11 @@ std::string TraceToJson() {
   std::vector<Snapshot> snapshots;
   std::int64_t epoch_ns = 0;
   {
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     epoch_ns = registry.epoch_ns;
     snapshots.reserve(registry.buffers.size());
     for (const std::shared_ptr<ThreadBuffer>& buffer : registry.buffers) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      MutexLock buffer_lock(buffer->mutex);
       Snapshot snapshot;
       snapshot.tid = buffer->tid;
       snapshot.records.reserve(buffer->size);

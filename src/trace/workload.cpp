@@ -16,7 +16,7 @@ cluster::ApplicationId Workload::AddApplication(
   app.request = request;
   app.priority = priority;
   app.anti_affinity_within = anti_affinity_within;
-  app.containers.reserve(count);
+  app.containers.reserve(count);  // analyze:allow(A103) one-time sizing at application admission
   for (std::size_t i = 0; i < count; ++i) {
     const cluster::ContainerId cid(
         static_cast<std::int32_t>(containers_.size()));

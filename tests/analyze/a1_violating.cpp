@@ -1,0 +1,27 @@
+// aladdin-analyze fixture (A1, violating): allocations reachable from an
+// ALADDIN_HOT root, plus the nested-vector adjacency layout.
+#include <memory>
+#include <vector>
+
+#define ALADDIN_HOT  // the lex backend keys on the literal token
+
+namespace fixture {
+
+void Helper(std::vector<int>& out) {
+  out.resize(128);  // A103: growth on a plain vector, via Tick -> Helper
+}
+
+ALADDIN_HOT void Tick() {
+  std::vector<int> scratch;  // A102: owning container built per call
+  auto owned = std::make_unique<int>(7);  // A101
+  int* raw = new int(3);                  // A101
+  delete raw;
+  (void)owned;
+  Helper(scratch);
+}
+
+struct Graph {
+  std::vector<std::vector<int>> adjacency;  // A104: pre-CSR layout
+};
+
+}  // namespace fixture

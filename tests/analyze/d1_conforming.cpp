@@ -1,0 +1,34 @@
+// aladdin-analyze fixture (D1, conforming): the deterministic counterparts
+// of d1_violating.cpp — ordered containers and explicit seeds pass clean.
+#include <cstdint>
+#include <map>
+
+namespace fixture {
+
+struct Scheduler {
+  std::map<int, int> load_;  // ordered: iteration order is the key order
+
+  int Sum() const {
+    int total = 0;
+    for (const auto& [machine, load] : load_) total += load;
+    return total;
+  }
+};
+
+struct Task {};
+std::map<int, Task> task_by_id;  // keyed by a stable id, not a pointer
+
+// The common/rng.h shape: explicit seed in, pure state transition — no
+// random_device, no wall clock.
+struct SplitMix {
+  std::uint64_t state;
+  explicit SplitMix(std::uint64_t seed) : state(seed) {}
+  std::uint64_t Next() {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return z ^ (z >> 31);
+  }
+};
+
+}  // namespace fixture

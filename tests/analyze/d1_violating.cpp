@@ -1,0 +1,48 @@
+// aladdin-analyze fixture (D1, violating): every construct below must trip
+// a determinism diagnostic. Exercised by tools/test_analyze.py in --fixture
+// mode; never compiled into the build.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Scheduler {
+  std::unordered_map<int, int> load_;
+
+  int Sum() const {
+    int total = 0;
+    for (const auto& [machine, load] : load_) total += load;  // D101
+    return total;
+  }
+};
+
+int First(const std::unordered_set<int>& ids) {
+  std::unordered_set<int> pending = ids;
+  return *pending.begin();  // D101
+}
+
+std::unordered_set<int> dirty_machines;  // namespace-scope global
+
+int Drain() {
+  int last = -1;
+  for (int m : dirty_machines) last = m;  // D101
+  return last;
+}
+
+struct Task {};
+std::map<Task*, int> priority_by_task;  // D102
+
+int Roll() {
+  return std::rand();  // D103
+}
+
+long Seed() {
+  return std::chrono::system_clock::now()  // D103
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace fixture

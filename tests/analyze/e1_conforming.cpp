@@ -1,0 +1,34 @@
+// aladdin-analyze fixture (E1, conforming): a closed enum handled
+// exhaustively with no default, and an open enum where default is fine.
+namespace fixture {
+
+enum class Phase {  // analyze:closed_enum
+  kSync,
+  kSolve,
+  kReconcile,
+};
+
+int Exhaustive(Phase p) {
+  switch (p) {
+    case Phase::kSync:
+      return 0;
+    case Phase::kSolve:
+      return 1;
+    case Phase::kReconcile:
+      return 2;
+  }
+  return -1;  // unreachable; keeps -Wreturn-type quiet
+}
+
+enum class Verbosity { kQuiet, kNormal, kLoud };  // open: no marker
+
+int Level(Verbosity v) {
+  switch (v) {
+    case Verbosity::kLoud:
+      return 2;
+    default:
+      return 0;  // open enums may collapse cases
+  }
+}
+
+}  // namespace fixture

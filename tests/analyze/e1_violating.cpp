@@ -1,0 +1,34 @@
+// aladdin-analyze fixture (E1, violating): switches over a closed enum
+// that miss an enumerator or hide behind default:.
+namespace fixture {
+
+enum class Phase {  // analyze:closed_enum
+  kSync,
+  kSolve,
+  kReconcile,
+};
+
+int Missing(Phase p) {
+  switch (p) {  // E101: kReconcile unhandled
+    case Phase::kSync:
+      return 0;
+    case Phase::kSolve:
+      return 1;
+  }
+  return -1;
+}
+
+int Defaulted(Phase p) {
+  switch (p) {  // E102: default swallows future enumerators
+    case Phase::kSync:
+      return 0;
+    case Phase::kSolve:
+      return 1;
+    case Phase::kReconcile:
+      return 2;
+    default:
+      return -1;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// aladdin-analyze fixture (L1, violating): a mutex guarding nothing, a
+// guard naming a ghost mutex, an unguarded mutable field, and a raw
+// std::mutex invisible to -Wthread-safety.
+#include <cstdint>
+#include <mutex>
+
+#define ALADDIN_GUARDED_BY(x)  // expands to nothing outside clang
+
+namespace aladdin {
+class Mutex {};
+}  // namespace aladdin
+
+namespace fixture {
+
+class Registry {
+ public:
+  void Bump();
+
+ private:
+  aladdin::Mutex mu_;       // L101: guards no field
+  std::int64_t count_ = 0;  // L103: mutable and unguarded, no marker
+};
+
+class Queue {
+ private:
+  aladdin::Mutex queue_mu_;
+  int depth_ ALADDIN_GUARDED_BY(other_mu_) = 0;  // L102: no such member
+  int size_ ALADDIN_GUARDED_BY(queue_mu_) = 0;
+};
+
+std::mutex raw_mu;  // L104: use aladdin::Mutex (common/mutex.h)
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// aladdin-analyze fixture (X, suppression hygiene): a reasonless marker,
+// an unknown code, a stale marker, and one valid suppression.
+#include <cstdlib>
+
+namespace fixture {
+
+int Reasonless() {
+  return std::rand();  // analyze:allow(D103)
+}  // X001 (no reason), and the D103 above stays live
+
+int Unknown() {
+  return 1;  // analyze:allow(Q999) not a code from the catalog
+}  // X001
+
+int Stale() {
+  return 2;  // analyze:allow(D103) nothing on this line to suppress
+}  // X002
+
+int Valid() {
+  return std::rand();  // analyze:allow(D103) fixture demonstrating a marker
+}
+
+}  // namespace fixture

@@ -27,7 +27,7 @@ namespace aladdin {
 // racing object lifetime.
 struct ThreadPoolTestPeer {
   static void BeginShutdown(ThreadPool& pool) {
-    std::lock_guard<std::mutex> lock(pool.mutex_);
+    MutexLock lock(pool.mutex_);
     pool.stopping_ = true;
     pool.cv_.notify_all();
   }

@@ -1,0 +1,179 @@
+"""libclang (clang.cindex) backend.
+
+Builds the same SourceFile model as the lexer backend, but from a real AST:
+qualified names, function extents and class members come from cursors, so
+template metaprogramming, operator overloads and macro-heavy code resolve
+exactly. Body token streams still come from the shared tokenizer applied to
+each cursor's extent — the rules consume tokens either way, which keeps the
+two backends behaviourally aligned (the fixture corpus runs against
+whichever backend is active).
+
+This module is import-gated: `available()` is False wherever the clang
+Python bindings are not installed (the default container), and the driver
+falls back to the lexer backend. CI installs the pinned clang toolchain and
+runs with --backend=cindex to get AST-grade coverage.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .compile_db import CompileCommand
+from .source_model import (ClassDef, EnumDef, FieldDecl, FunctionDef,
+                           SourceFile, tokenize)
+
+try:  # pragma: no cover - exercised only where libclang is installed
+    from clang import cindex  # type: ignore
+    _HAVE_CINDEX = True
+except Exception:  # ModuleNotFoundError or missing libclang.so
+    cindex = None  # type: ignore
+    _HAVE_CINDEX = False
+
+
+def available() -> bool:
+    if not _HAVE_CINDEX:
+        return False
+    try:  # the module can import while the shared library is absent
+        cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def _qualified_name(cursor) -> str:  # pragma: no cover
+    parts: list[str] = []
+    c = cursor
+    while c is not None and c.kind != cindex.CursorKind.TRANSLATION_UNIT:
+        if c.spelling:
+            parts.append(c.spelling)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _extent_text(text_lines: list[str], extent) -> str:  # pragma: no cover
+    start, end = extent.start, extent.end
+    if start.line == end.line:
+        return text_lines[start.line - 1][start.column - 1:end.column - 1]
+    chunk = [text_lines[start.line - 1][start.column - 1:]]
+    chunk.extend(text_lines[start.line:end.line - 1])
+    chunk.append(text_lines[end.line - 1][:end.column - 1])
+    return "\n".join(chunk)
+
+
+def build_from_tu(path: Path, repo_root: Path,
+                  command: CompileCommand | None) -> list[SourceFile]:
+    """Parses one TU and returns models for every repo-owned file it
+    touches (the main file plus in-repo headers)."""  # pragma: no cover
+    index = cindex.Index.create()
+    args = []
+    if command is not None:
+        # Strip compiler binary + -c/-o pairs; keep -I/-D/-std and friends.
+        skip_next = False
+        for arg in command.arguments[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if arg in ("-c", "-o"):
+                skip_next = arg == "-o"
+                continue
+            if arg == str(path):
+                continue
+            args.append(arg)
+    tu = index.parse(str(path), args=args)
+
+    per_file: dict[str, SourceFile] = {}
+    text_cache: dict[str, list[str]] = {}
+
+    def model_for(file_path: str) -> SourceFile | None:
+        p = Path(file_path).resolve()
+        try:
+            rel = p.relative_to(repo_root).as_posix()
+        except ValueError:
+            return None
+        if rel not in per_file:
+            text = p.read_text(encoding="utf-8", errors="replace")
+            tokens, comments = tokenize(text)
+            text_cache[rel] = text.split("\n")
+            per_file[rel] = SourceFile(rel, tokens, comments, [], [], [])
+        return per_file[rel]
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            loc_file = child.location.file
+            if loc_file is None:
+                visit(child)
+                continue
+            model = model_for(loc_file.name)
+            if model is None:
+                continue
+            kind = child.kind
+            if kind in (cindex.CursorKind.FUNCTION_DECL,
+                        cindex.CursorKind.CXX_METHOD,
+                        cindex.CursorKind.CONSTRUCTOR,
+                        cindex.CursorKind.DESTRUCTOR,
+                        cindex.CursorKind.FUNCTION_TEMPLATE):
+                if child.is_definition():
+                    body_text = _extent_text(text_cache[model.path],
+                                             child.extent)
+                    toks, _ = tokenize(body_text)
+                    is_hot = any(a.spelling == "aladdin::hot"
+                                 for a in child.get_children()
+                                 if a.kind ==
+                                 cindex.CursorKind.ANNOTATE_ATTR)
+                    model.functions.append(FunctionDef(
+                        name=child.spelling.split("<")[0],
+                        qualified=_qualified_name(child),
+                        file=model.path,
+                        line=child.location.line,
+                        is_hot=is_hot,
+                        body=toks,
+                        head=[],
+                    ))
+            elif kind in (cindex.CursorKind.CLASS_DECL,
+                          cindex.CursorKind.STRUCT_DECL):
+                if child.is_definition():
+                    fields = []
+                    for member in child.get_children():
+                        if member.kind != cindex.CursorKind.FIELD_DECL:
+                            continue
+                        tt = member.type.spelling
+                        # libclang does not expose guarded_by attributes as
+                        # cursors; read the macro off the declaration text
+                        # (same thing the lexer backend sees).
+                        decl_text = _extent_text(text_cache[model.path],
+                                                 member.extent)
+                        guard = None
+                        marker = "ALADDIN_GUARDED_BY("
+                        if marker in decl_text:
+                            tail = decl_text.split(marker, 1)[1]
+                            guard = tail.split(")", 1)[0]
+                        fields.append(FieldDecl(
+                            name=member.spelling,
+                            type_text=tt,
+                            line=member.location.line,
+                            guarded_by=guard,
+                            is_mutex="Mutex" in tt or "mutex" in tt,
+                            is_atomic="atomic" in tt,
+                            is_const=member.type.is_const_qualified(),
+                            is_condvar="condition_variable" in tt,
+                        ))
+                    model.classes.append(ClassDef(
+                        child.spelling, _qualified_name(child),
+                        model.path, child.location.line, fields))
+                visit(child)
+            elif kind == cindex.CursorKind.ENUM_DECL:
+                enumerators = [c.spelling for c in child.get_children()
+                               if c.kind ==
+                               cindex.CursorKind.ENUM_CONSTANT_DECL]
+                line = child.location.line
+                closed = any(
+                    "analyze:closed_enum" in model.comments.get(l, "")
+                    for l in (line - 1, line))
+                model.enums.append(EnumDef(
+                    child.spelling, _qualified_name(child), model.path,
+                    line, enumerators, closed))
+            elif kind == cindex.CursorKind.NAMESPACE:
+                visit(child)
+
+    visit(tu.cursor)
+    return list(per_file.values())

@@ -1,0 +1,114 @@
+"""compile_commands.json discovery and loading.
+
+Every CMake preset exports a compile database (CMAKE_EXPORT_COMPILE_COMMANDS
+is forced on in the top-level CMakeLists). Discovery order:
+
+  1. --compile-db PATH           (explicit file or its directory)
+  2. --preset NAME               (binaryDir parsed from CMakePresets.json)
+  3. auto: every configured preset's binaryDir, newest database wins
+
+The lexer backend only needs the database for the translation-unit list
+(which .cpp files the build actually compiles); the cindex backend also
+feeds each entry's arguments to libclang.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+
+@dataclasses.dataclass
+class CompileCommand:
+    file: str            # absolute, normalised
+    directory: str
+    arguments: list[str]
+
+
+class CompileDbError(RuntimeError):
+    pass
+
+
+def preset_binary_dirs(repo_root: Path) -> dict[str, Path]:
+    """Preset name -> binaryDir from CMakePresets.json (expanding the only
+    macro the file uses, ${sourceDir})."""
+    presets_path = repo_root / "CMakePresets.json"
+    if not presets_path.is_file():
+        return {}
+    data = json.loads(presets_path.read_text())
+    out: dict[str, Path] = {}
+    for preset in data.get("configurePresets", []):
+        binary_dir = preset.get("binaryDir")
+        if not binary_dir:
+            continue
+        binary_dir = binary_dir.replace("${sourceDir}", str(repo_root))
+        out[preset["name"]] = Path(binary_dir)
+    return out
+
+
+def locate(repo_root: Path, *, compile_db: str | None = None,
+           preset: str | None = None) -> Path:
+    """Resolves the compile database path per the discovery order above."""
+    if compile_db:
+        path = Path(compile_db)
+        if path.is_dir():
+            path = path / "compile_commands.json"
+        if not path.is_file():
+            raise CompileDbError(f"no compile database at {path}")
+        return path
+    dirs = preset_binary_dirs(repo_root)
+    if preset:
+        if preset not in dirs:
+            known = ", ".join(sorted(dirs)) or "<none>"
+            raise CompileDbError(
+                f"unknown preset '{preset}' (CMakePresets.json has: {known})")
+        path = dirs[preset] / "compile_commands.json"
+        if not path.is_file():
+            raise CompileDbError(
+                f"preset '{preset}' is not configured ({path} missing) — "
+                f"run: cmake --preset {preset}")
+        return path
+    candidates = [d / "compile_commands.json" for d in dirs.values()]
+    existing = [p for p in candidates if p.is_file()]
+    if not existing:
+        tried = ", ".join(str(p) for p in candidates) or "<no presets>"
+        raise CompileDbError(
+            "no compile database found (tried: " + tried + ") — configure "
+            "any preset first, e.g.: cmake --preset release")
+    return max(existing, key=lambda p: p.stat().st_mtime)
+
+
+def load(path: Path) -> list[CompileCommand]:
+    entries = json.loads(path.read_text())
+    commands: list[CompileCommand] = []
+    for entry in entries:
+        file = os.path.normpath(os.path.join(entry["directory"],
+                                             entry["file"]))
+        if "arguments" in entry:
+            arguments = list(entry["arguments"])
+        else:
+            # CMake writes a single "command" string; a naive split is fine
+            # for the flags this repo uses (no quoted spaces).
+            arguments = entry.get("command", "").split()
+        commands.append(CompileCommand(file, entry["directory"], arguments))
+    return commands
+
+
+def translation_units(commands: list[CompileCommand],
+                      repo_root: Path) -> list[Path]:
+    """The repo-owned TU files from the database (third-party/_deps
+    excluded), deduplicated and sorted."""
+    out: set[Path] = set()
+    for cmd in commands:
+        path = Path(cmd.file)
+        try:
+            rel = path.relative_to(repo_root)
+        except ValueError:
+            continue
+        if rel.parts and rel.parts[0] in ("build", "build-asan",
+                                          "build-tsan", "_deps"):
+            continue
+        out.add(path)
+    return sorted(out)

@@ -1,0 +1,172 @@
+"""Diagnostic codes, allow-marker handling and reporting.
+
+Every rule emits closed codes from the catalog below; the driver resolves
+`// analyze:allow(<code>) <reason>` markers against them. A marker without
+a reason is itself a violation (X001), and a marker that suppressed nothing
+is stale (X002) — the suppression inventory can only shrink deliberately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+
+CATALOG: dict[str, str] = {
+    # D1 — determinism
+    "D101": "iteration over an unordered container in decision-path code",
+    "D102": "ordered container keyed by pointer (iteration order = layout)",
+    "D103": "nondeterministic source (rand/random_device/clock) in "
+            "decision-path code",
+    # A1 — hot-path allocation
+    "A101": "heap allocation (new/make_unique/make_shared) reachable from "
+            "an ALADDIN_HOT function",
+    "A102": "owning-container construction reachable from an ALADDIN_HOT "
+            "function",
+    "A103": "container growth call (resize/reserve/assign/push_back/...) "
+            "reachable from an ALADDIN_HOT function",
+    "A104": "std::vector<std::vector<...>> in flow kernels (CSR regression)",
+    # L1 — locking
+    "L101": "mutex member guards no field (missing ALADDIN_GUARDED_BY)",
+    "L102": "ALADDIN_GUARDED_BY names something that is not a member mutex",
+    "L103": "mutable field without ALADDIN_GUARDED_BY in a mutex-holding "
+            "class",
+    "L104": "raw std::mutex/lock outside common/mutex.h (invisible to "
+            "-Wthread-safety)",
+    # E1 — closed-enum exhaustiveness
+    "E101": "switch over a closed enum missing enumerator(s)",
+    "E102": "switch over a closed enum has a default: label",
+    # X — suppression hygiene
+    "X001": "analyze:allow marker without a reason or with unknown code",
+    "X002": "stale analyze:allow marker (suppressed nothing)",
+}
+
+ALLOW_RE = re.compile(
+    r"analyze:allow\(\s*(?P<code>[A-Z]\d{3}|[A-Z]\d)\s*\)\s*(?P<reason>.*)")
+
+
+@dataclasses.dataclass
+class Diagnostic:
+    code: str
+    file: str
+    line: int
+    message: str
+    suppressed: bool = False
+    suppress_reason: str = ""
+
+    def format(self) -> str:
+        return f"{self.file}:{self.line}: {self.code}: {self.message}"
+
+
+@dataclasses.dataclass
+class AllowMarker:
+    file: str
+    line: int
+    code: str      # "A103" or a family prefix like "A1"
+    reason: str
+    used: bool = False
+
+    def covers(self, code: str) -> bool:
+        return code == self.code or code.startswith(self.code)
+
+
+def collect_allows(path: str,
+                   comments: dict[int, str]) -> tuple[list[AllowMarker],
+                                                      list[Diagnostic]]:
+    """Parses analyze:allow markers out of a file's comments. Malformed
+    markers (no code, unknown code, missing reason) come back as X001."""
+    markers: list[AllowMarker] = []
+    malformed: list[Diagnostic] = []
+    for line, text in sorted(comments.items()):
+        if "analyze:allow" not in text:
+            continue
+        # Backtick-quoted mentions are documentation of the syntax, not
+        # markers (`analyze:allow(...) ...` in a doc comment).
+        idx = text.find("analyze:allow")
+        if idx > 0 and text[idx - 1] == "`":
+            continue
+        m = ALLOW_RE.search(text)
+        if not m:
+            malformed.append(Diagnostic(
+                "X001", path, line,
+                "malformed analyze:allow marker (expected "
+                "'analyze:allow(<code>) <reason>')"))
+            continue
+        code, reason = m.group("code"), m.group("reason").strip()
+        known = code in CATALOG or any(c.startswith(code) for c in CATALOG)
+        if not known:
+            malformed.append(Diagnostic(
+                "X001", path, line, f"unknown rule code '{code}' in "
+                "analyze:allow marker"))
+            continue
+        if not reason:
+            malformed.append(Diagnostic(
+                "X001", path, line,
+                f"analyze:allow({code}) without a reason — every "
+                "suppression must say why"))
+            continue
+        markers.append(AllowMarker(path, line, code, reason))
+    return markers, malformed
+
+
+def apply_allows(diags: list[Diagnostic],
+                 markers: list[AllowMarker]) -> list[Diagnostic]:
+    """Marks diagnostics suppressed when an allow marker for the same file
+    covers the code on the same or the preceding line (repo style puts the
+    marker trailing the offending line or on its own line just above).
+    Appends X002 for markers that suppressed nothing."""
+    by_file: dict[str, list[AllowMarker]] = {}
+    for marker in markers:
+        by_file.setdefault(marker.file, []).append(marker)
+    for d in diags:
+        # Same-line marker wins over a neighbour's: consecutive flagged lines
+        # each carrying their own marker must not have an adjacent marker's
+        # +/-1 window steal the match and leave their own marker "stale".
+        candidates = by_file.get(d.file, ())
+        for want in (d.line, d.line - 1, d.line + 1):
+            hit = next((m for m in candidates
+                        if m.covers(d.code) and m.line == want), None)
+            if hit is not None:
+                d.suppressed = True
+                d.suppress_reason = hit.reason
+                hit.used = True
+                break
+    out = list(diags)
+    for marker in markers:
+        if not marker.used:
+            out.append(Diagnostic(
+                "X002", marker.file, marker.line,
+                f"stale analyze:allow({marker.code}) — it suppresses "
+                "nothing; delete it"))
+    return out
+
+
+def render_text(diags: list[Diagnostic], *, show_suppressed: bool) -> str:
+    lines = []
+    active = [d for d in diags if not d.suppressed]
+    for d in sorted(active, key=lambda d: (d.file, d.line, d.code)):
+        lines.append(d.format())
+    if show_suppressed:
+        for d in sorted((d for d in diags if d.suppressed),
+                        key=lambda d: (d.file, d.line, d.code)):
+            lines.append(f"{d.format()} [suppressed: {d.suppress_reason}]")
+    n_active = len(active)
+    n_supp = len(diags) - n_active
+    lines.append(f"aladdin-analyze: {n_active} violation(s), "
+                 f"{n_supp} suppressed")
+    return "\n".join(lines)
+
+
+def render_json(diags: list[Diagnostic], backend: str,
+                files_scanned: int) -> str:
+    payload = {
+        "tool": "aladdin-analyze",
+        "backend": backend,
+        "files_scanned": files_scanned,
+        "violations": [
+            dataclasses.asdict(d) for d in
+            sorted(diags, key=lambda d: (d.file, d.line, d.code))
+        ],
+        "catalog": CATALOG,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,612 @@
+"""Backend-neutral source model for aladdin-analyze.
+
+Both backends (the built-in lexer and clang.cindex) reduce a C++ file to the
+same small model the rules consume:
+
+  SourceFile
+    tokens            flat token stream (comments/preprocessor stripped)
+    comments          per-line comment text (allow markers, enum markers)
+    functions         function *definitions* with body token ranges
+    classes           class/struct definitions with member fields
+    enums             enum definitions with enumerator lists
+
+The lexer is not a C++ parser; it is a bracket-matching heuristic tuned to
+this repo's style (clang-format, one namespace per file, no macros that
+open/close braces). That is enough to be exact on this codebase, and the
+fixture corpus in tests/analyze/ pins the behaviour. Where the heuristic
+must guess (is this brace a function body or an initializer?), it prefers
+false *positives* for rules with an escape hatch and false *negatives* only
+for constructs the repo bans anyway.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterable
+
+# --------------------------------------------------------------------------
+# Tokens
+# --------------------------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"""
+      (?P<id>      [A-Za-z_]\w* )
+    | (?P<num>     \.?\d(?:[\w.]|[eEpP][+-])* )
+    | (?P<str>     (?:u8|u|U|L)?"(?:[^"\\\n]|\\.)*"(?:\w+)? )
+    | (?P<char>    (?:u8|u|U|L)?'(?:[^'\\\n]|\\.)*'(?:\w+)? )
+    | (?P<punct>   ->\*|->|\+\+|--|<<=|>>=|<=>|<<|<=|>=|==|!=|&&|\|\||
+                   \+=|-=|\*=|/=|%=|&=|\|=|\^=|::|\.\.\.|\.\*|[{}()\[\];:,.?~!%^&*+=|<>/-]
+      )
+    # NB: `>>` is deliberately NOT a single token — `map<K, vector<V>>`
+    # closes two template lists and the angle-tracking in the model and
+    # rules counts each `>` separately. (Right-shift becomes `>` `>` too;
+    # no rule matches on shifts, so nothing is lost.)
+    """,
+    re.VERBOSE,
+)
+
+LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+RAW_STRING_RE = re.compile(r'R"([^()\s\\]{0,16})\((?:.|\n)*?\)\1"')
+
+KEYWORDS = frozenset(
+    """
+    alignas alignof asm auto bool break case catch char char8_t char16_t
+    char32_t class concept const consteval constexpr constinit const_cast
+    continue co_await co_return co_yield decltype default delete do double
+    dynamic_cast else enum explicit export extern false float for friend
+    goto if inline int long mutable namespace new noexcept nullptr operator
+    private protected public register reinterpret_cast requires return
+    short signed sizeof static static_assert static_cast struct switch
+    template this thread_local throw true try typedef typeid typename union
+    unsigned using virtual void volatile wchar_t while final override
+    """.split()
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str  # "id" | "num" | "str" | "char" | "punct"
+    text: str
+    line: int
+
+
+def tokenize(text: str) -> tuple[list[Token], dict[int, str]]:
+    """Returns (tokens, comments) where comments maps line -> comment text.
+
+    Preprocessor directives are dropped (the model is per-file, unexpanded);
+    raw strings are replaced before comment stripping so a // inside one is
+    not mistaken for a comment.
+    """
+    comments: dict[int, str] = {}
+
+    def line_of(pos: int) -> int:
+        return text.count("\n", 0, pos) + 1
+
+    def stash_comment(match: re.Match[str]) -> str:
+        body = match.group(0)
+        first = line_of(match.start())
+        for offset, chunk in enumerate(body.split("\n")):
+            stripped = chunk.strip().lstrip("/*").rstrip("*/").strip()
+            if stripped:
+                prev = comments.get(first + offset, "")
+                comments[first + offset] = (prev + " " + stripped).strip()
+        # Keep the newlines so later line numbers stay correct.
+        return "\n" * body.count("\n")
+
+    # Order matters: raw strings may contain // and /*.
+    text = RAW_STRING_RE.sub(lambda m: '"raw"' + "\n" * m.group(0).count("\n"),
+                             text)
+    text = BLOCK_COMMENT_RE.sub(stash_comment, text)
+    text = LINE_COMMENT_RE.sub(stash_comment, text)
+
+    tokens: list[Token] = []
+    for raw_line_no, line in enumerate(text.split("\n"), start=1):
+        stripped = line.lstrip()
+        if stripped.startswith("#"):
+            continue  # preprocessor: includes/defines are not modelled
+        for match in TOKEN_RE.finditer(line):
+            kind = match.lastgroup or "punct"
+            tokens.append(Token(kind, match.group(0), raw_line_no))
+    return tokens, comments
+
+
+# --------------------------------------------------------------------------
+# Model entities
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class FunctionDef:
+    name: str              # unqualified, e.g. "Schedule"
+    qualified: str         # e.g. "aladdin::core::AladdinScheduler::Schedule"
+    file: str
+    line: int
+    is_hot: bool
+    body: list[Token]      # tokens strictly inside the outermost {}
+    head: list[Token]      # tokens of the declarator (return type .. before {)
+
+
+@dataclasses.dataclass
+class FieldDecl:
+    name: str
+    type_text: str
+    line: int
+    guarded_by: str | None  # annotation argument text, or None
+    is_mutex: bool
+    is_atomic: bool
+    is_const: bool
+    is_condvar: bool
+
+
+@dataclasses.dataclass
+class ClassDef:
+    name: str
+    qualified: str
+    file: str
+    line: int
+    fields: list[FieldDecl]
+
+
+@dataclasses.dataclass
+class EnumDef:
+    name: str
+    qualified: str
+    file: str
+    line: int
+    enumerators: list[str]
+    closed: bool  # carries a // analyze:closed_enum marker
+
+
+@dataclasses.dataclass
+class SourceFile:
+    path: str              # repo-relative, forward slashes
+    tokens: list[Token]
+    comments: dict[int, str]
+    functions: list[FunctionDef]
+    classes: list[ClassDef]
+    enums: list[EnumDef]
+
+
+# --------------------------------------------------------------------------
+# Structural pass
+# --------------------------------------------------------------------------
+
+_CONTROL_KEYWORDS = frozenset(
+    {"if", "for", "while", "switch", "catch", "return", "do", "else"}
+)
+_SPAN_TERMINATORS = frozenset({";", "{", "}"})
+
+CLOSED_ENUM_MARKER = "analyze:closed_enum"
+MUTEX_TYPE_TOKENS = frozenset({"Mutex", "mutex", "shared_mutex"})
+GUARD_MACROS = frozenset({"ALADDIN_GUARDED_BY", "ALADDIN_PT_GUARDED_BY"})
+_FIELD_ATTR_MACROS = GUARD_MACROS | {"alignas"}
+
+
+def _matching(tokens: list[Token], open_idx: int,
+              open_ch: str, close_ch: str) -> int:
+    """Index of the token closing tokens[open_idx], or len(tokens)."""
+    depth = 0
+    for i in range(open_idx, len(tokens)):
+        t = tokens[i].text
+        if t == open_ch:
+            depth += 1
+        elif t == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(tokens)
+
+
+def _span_start(tokens: list[Token], brace_idx: int) -> int:
+    """First token of the declaration that ends at tokens[brace_idx] == '{'.
+
+    Walks back to the previous top-level terminator, skipping over balanced
+    () <> [] so a ';' inside a default argument does not cut the span, and
+    skipping access-specifier colons ('public:' etc.).
+    """
+    i = brace_idx - 1
+    depth = 0
+    while i >= 0:
+        t = tokens[i].text
+        if t in (")", ">", "]"):
+            depth += 1
+        elif t in ("(", "<", "["):
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            if t in _SPAN_TERMINATORS:
+                return i + 1
+            if (t == ":" and i >= 1
+                    and tokens[i - 1].text in ("public", "private",
+                                               "protected")):
+                return i + 1
+        i -= 1
+    return 0
+
+
+def _find_paramlist(span: list[Token]) -> tuple[int, int] | None:
+    """(open, close) indices of the first depth-0 '(' in span, if any."""
+    depth_angle = 0
+    for i, tok in enumerate(span):
+        t = tok.text
+        if t == "(" and depth_angle == 0:
+            return i, _matching(span, i, "(", ")")
+        if t == "<":
+            depth_angle += 1
+        elif t == ">":
+            depth_angle = max(0, depth_angle - 1)
+    return None
+
+
+def _strip_ctor_initializers(span: list[Token], close_paren: int) -> int:
+    """Length of the declarator proper: cuts `: member_(..), ...` tails."""
+    i = close_paren + 1
+    while i < len(span):
+        t = span[i].text
+        if t == ":":
+            return i
+        if t == "(":  # noexcept(...), ALADDIN_REQUIRES(...)
+            i = _matching(span, i, "(", ")") + 1
+            continue
+        i += 1
+    return len(span)
+
+
+def _function_name(span: list[Token], open_paren: int) -> str | None:
+    """Function name ending right before span[open_paren], or None.
+
+    Accepts `Name`, `Qualified::Name`, `operator<tok>`, `~Name`. Rejects
+    spans whose name position is a keyword or not an identifier (those are
+    initializers like `int x(3);` filtered earlier, or control flow, which
+    never reaches here because this pass runs outside function bodies).
+    """
+    i = open_paren - 1
+    if i < 0:
+        return None
+    # operator() / operator[] / operator<< / operator bool ...
+    for back in range(max(0, i - 2), i + 1):
+        if span[back].text == "operator":
+            return "operator" + "".join(t.text for t in span[back + 1:i + 1])
+    tok = span[i]
+    if tok.kind != "id" or tok.text in KEYWORDS:
+        return None
+    name = tok.text
+    if i >= 1 and span[i - 1].text == "~":
+        name = "~" + name
+    return name
+
+
+def _skip_member_brace_inits(tokens: list[Token], i: int) -> int:
+    """tokens[i] opens a `member_{...}` brace-init inside a ctor initializer
+    list; returns the index of the '{' that opens the function body."""
+    n = len(tokens)
+    k = i
+    while k < n and tokens[k].text == "{":
+        close = _matching(tokens, k, "{", "}")
+        j = close + 1
+        if j < n and tokens[j].text == "{":
+            return j  # `...} {` — the body follows immediately
+        while j < n and tokens[j].text != "{":
+            j += 1
+        if j < n and tokens[j - 1].text == ")":
+            return j  # a paren-init member precedes the body brace
+        k = j
+    return k
+
+
+class _Scope:
+    __slots__ = ("kind", "name")
+
+    def __init__(self, kind: str, name: str):
+        self.kind = kind  # "namespace" | "class" | "enum" | "skip"
+        self.name = name
+
+
+def build_source_file(path: str, text: str) -> SourceFile:
+    tokens, comments = tokenize(text)
+    functions: list[FunctionDef] = []
+    classes: list[ClassDef] = []
+    enums: list[EnumDef] = []
+
+    scopes: list[_Scope] = []
+
+    def qualifier() -> str:
+        parts = [s.name for s in scopes
+                 if s.kind in ("namespace", "class") and s.name]
+        return "::".join(parts)
+
+    def qualify(name: str) -> str:
+        q = qualifier()
+        return f"{q}::{name}" if q else name
+
+    i = 0
+    n = len(tokens)
+    while i < n:
+        tok = tokens[i]
+        if tok.text == "}":
+            if scopes:
+                scopes.pop()
+            i += 1
+            continue
+        if tok.text != "{":
+            i += 1
+            continue
+
+        start = _span_start(tokens, i)
+        span = tokens[start:i]
+        span_texts = [t.text for t in span]
+
+        # -------- namespace ------------------------------------------------
+        if "namespace" in span_texts:
+            ns_idx = span_texts.index("namespace")
+            name_parts = [t.text for t in span[ns_idx + 1:]
+                          if t.kind == "id" or t.text == "::"]
+            scopes.append(_Scope("namespace", "".join(name_parts)))
+            i += 1
+            continue
+
+        # -------- enum -----------------------------------------------------
+        if "enum" in span_texts:
+            close = _matching(tokens, i, "{", "}")
+            names = [t.text for t in span if t.kind == "id"
+                     and t.text not in ("enum", "class", "struct")]
+            # `enum class Cause : std::uint8_t` -> drop underlying-type ids.
+            if ":" in span_texts:
+                cut = span_texts.index(":")
+                names = [t.text for t in span[:cut] if t.kind == "id"
+                         and t.text not in ("enum", "class", "struct")]
+            enum_name = names[-1] if names else "<anonymous>"
+            enumerators: list[str] = []
+            expect_name = True
+            for t in tokens[i + 1:close]:
+                if expect_name and t.kind == "id":
+                    enumerators.append(t.text)
+                    expect_name = False
+                elif t.text == ",":
+                    expect_name = True
+            marker_line = span[0].line if span else tok.line
+            closed = any(
+                CLOSED_ENUM_MARKER in comments.get(line, "")
+                for line in range(marker_line - 1, tok.line + 1)
+            )
+            enums.append(EnumDef(enum_name, qualify(enum_name), path,
+                                 marker_line, enumerators, closed))
+            i = close + 1
+            continue
+
+        in_class = bool(scopes) and scopes[-1].kind == "class"
+        at_type_scope = not scopes or scopes[-1].kind in ("namespace", "class")
+
+        # -------- function definition --------------------------------------
+        paren = _find_paramlist(span) if at_type_scope else None
+        if paren is not None:
+            open_p, close_p = paren
+            name = _function_name(span, open_p)
+            # `= {` after the param list means an initializer, not a body:
+            #   std::array<...> kTable(..)... never happens here; but
+            #   `auto f = [](int x) { ... }` at file scope does. Treat a
+            #   span containing a depth-0 '=' before the '(' as a variable.
+            eq_before = any(t.text == "=" for t in span[:open_p])
+            if name and not eq_before and name not in _CONTROL_KEYWORDS:
+                head_end = _strip_ctor_initializers(span, close_p)
+                head = span[:head_end]
+                body_open = i
+                if (span and span[-1].kind == "id"
+                        and any(t.text == ":" for t in span[close_p + 1:])):
+                    # `Ctor() : member_{init} {` — this '{' belongs to a
+                    # member brace-init, not the body.
+                    body_open = _skip_member_brace_inits(tokens, i)
+                close = _matching(tokens, body_open, "{", "}")
+                is_hot = any(t.text == "ALADDIN_HOT" for t in head)
+                functions.append(FunctionDef(
+                    name=name.split("::")[-1],
+                    qualified=qualify(name),
+                    file=path,
+                    line=span[open_p - 1].line,
+                    is_hot=is_hot,
+                    body=tokens[body_open + 1:close],
+                    head=head,
+                ))
+                i = close + 1
+                continue
+
+        # -------- class/struct ---------------------------------------------
+        class_kw = next((k for k in ("class", "struct") if k in span_texts),
+                        None)
+        if class_kw is not None and paren is None and at_type_scope:
+            kw_idx = span_texts.index(class_kw)
+            base_cut = len(span)
+            depth = 0
+            for j in range(kw_idx + 1, len(span)):
+                t = span[j].text
+                if t == "<":
+                    depth += 1
+                elif t == ">":
+                    depth = max(0, depth - 1)
+                elif t == ":" and depth == 0:
+                    base_cut = j
+                    break
+            names = [t.text for t in span[kw_idx + 1:base_cut]
+                     if t.kind == "id" and t.text not in KEYWORDS
+                     and not t.text.startswith("ALADDIN_")]
+            cname = names[-1] if names else "<anonymous>"
+            close = _matching(tokens, i, "{", "}")
+            cdef = ClassDef(cname, qualify(cname), path,
+                            span[0].line if span else tok.line, [])
+            classes.append(cdef)
+            _collect_fields(tokens, i + 1, close, cdef)
+            scopes.append(_Scope("class", cname))
+            i += 1
+            continue
+
+        # -------- anything else: initializer block, lambda, array init ----
+        scopes.append(_Scope("skip", ""))
+        i += 1
+
+    return SourceFile(path, tokens, comments, functions, classes, enums)
+
+
+def _collect_fields(tokens: list[Token], start: int, end: int,
+                    cdef: ClassDef) -> None:
+    """Member variables declared at depth 0 between start and end."""
+    i = start
+    span_begin = start
+    while i < end:
+        t = tokens[i].text
+        if t in ("{", "(", "["):
+            close_ch = {"{": "}", "(": ")", "[": "]"}[t]
+            is_def_body = t == "{" and _looks_like_definition_head(
+                tokens[span_begin:i])
+            i = _matching(tokens, i, t, close_ch) + 1
+            # A method/nested-type body terminates the current span; a field
+            # brace-initializer (`std::atomic<bool> x_{false}`) does not —
+            # the field's ';' still closes it below.
+            if is_def_body:
+                span_begin = i
+            continue
+        if t == ";":
+            _maybe_field(tokens[span_begin:i], cdef)
+            span_begin = i + 1
+        elif (t == ":" and i >= 1
+              and tokens[i - 1].text in ("public", "private", "protected")):
+            span_begin = i + 1
+        i += 1
+
+
+def _looks_like_definition_head(head: list[Token]) -> bool:
+    """True if `head {` opens a nested type or method body rather than a
+    member brace-initializer."""
+    if not head:
+        return True
+    texts = [t.text for t in head]
+    if any(t in ("class", "struct", "enum", "union", "namespace")
+           for t in texts):
+        return True
+    angle = 0
+    for j, t in enumerate(texts):
+        if t == "<":
+            angle += 1
+        elif t == ">":
+            angle = max(0, angle - 1)
+        elif angle == 0:
+            if t == "=":
+                return False  # `Type x = {...}` initializer
+            if t == "(":
+                prev = texts[j - 1] if j else ""
+                # A call-style paren (method definition) — attribute macros
+                # like alignas/GUARDED_BY take parens but stay field decls.
+                return prev not in _FIELD_ATTR_MACROS
+    return False  # plain `Type name_{init}`
+
+
+def _maybe_field(span: list[Token], cdef: ClassDef) -> None:
+    texts = [t.text for t in span]
+    if not span:
+        return
+    skip_lead = {"using", "typedef", "friend", "static", "enum",
+                 "class", "struct", "template", "public", "private",
+                 "protected", "explicit", "virtual", "operator"}
+    if texts[0] in skip_lead or "operator" in texts:
+        return
+    # Method declarations have a depth-0 '(' before any '=' / '{'.
+    angle = 0
+    for j, t in enumerate(texts):
+        if t == "<":
+            angle += 1
+        elif t == ">":
+            angle = max(0, angle - 1)
+        elif angle == 0:
+            if t in ("=", "{"):
+                break
+            if t == "(":
+                # alignas(64) / annotation macros are attributes, not calls.
+                prev = texts[j - 1] if j else ""
+                if prev in _FIELD_ATTR_MACROS:
+                    continue
+                return
+    # Find the declared name: the identifier just before the first of
+    # '=', '{', '[', a guard macro, or end-of-span.
+    guard: str | None = None
+    name: str | None = None
+    j = 0
+    angle = 0
+    while j < len(span):
+        t = texts[j]
+        if t == "<":
+            angle += 1
+        elif t == ">":
+            angle = max(0, angle - 1)
+        elif angle == 0:
+            if t in GUARD_MACROS:
+                close = _matching(span, j + 1, "(", ")")
+                guard = "".join(x.text for x in span[j + 2:close])
+                if name is None and j >= 1 and span[j - 1].kind == "id":
+                    name = span[j - 1].text
+                j = close + 1
+                continue
+            if t in ("=", "{", "["):
+                if name is None and j >= 1 and span[j - 1].kind == "id":
+                    name = span[j - 1].text
+                # keep scanning: the guard macro may come after `= init`?
+                # (repo style puts it before, but be permissive)
+        j += 1
+    if name is None:
+        trailing = [t for t in span if t.kind == "id"
+                    and t.text not in KEYWORDS
+                    and not t.text.startswith("ALADDIN_")]
+        if not trailing:
+            return
+        name = trailing[-1].text
+    type_tokens = []
+    for t in span:
+        if t.text == name and t.kind == "id":
+            break
+        type_tokens.append(t.text)
+    type_text = " ".join(type_tokens)
+    is_mutex = any(t in MUTEX_TYPE_TOKENS for t in type_tokens)
+    is_condvar = "condition_variable" in type_tokens or \
+        "condition_variable_any" in type_tokens
+    cdef.fields.append(FieldDecl(
+        name=name,
+        type_text=type_text,
+        line=span[0].line,
+        guarded_by=guard,
+        is_mutex=is_mutex,
+        is_atomic="atomic" in type_tokens,
+        is_const="const" in type_tokens or "constexpr" in type_tokens,
+        is_condvar=is_condvar,
+    ))
+
+
+# --------------------------------------------------------------------------
+# Body helpers shared by rules
+# --------------------------------------------------------------------------
+
+
+def iter_switches(body: list[Token]) -> Iterable[tuple[Token, list[Token]]]:
+    """Yields (switch_token, body_tokens) for each switch in `body`,
+    including nested ones."""
+    for i, tok in enumerate(body):
+        if tok.kind == "id" and tok.text == "switch":
+            if i + 1 < len(body) and body[i + 1].text == "(":
+                cond_close = _matching(body, i + 1, "(", ")")
+                if cond_close + 1 < len(body) and \
+                        body[cond_close + 1].text == "{":
+                    close = _matching(body, cond_close + 1, "{", "}")
+                    yield tok, body[cond_close + 2:close]
+
+
+def call_names(body: list[Token]) -> Iterable[tuple[str, Token]]:
+    """(callee_name, token) for each `name(` occurrence that looks like a
+    call (not a declaration keyword, not a macro-style ALL_CAPS name)."""
+    for i, tok in enumerate(body):
+        if tok.kind != "id" or tok.text in KEYWORDS:
+            continue
+        if i + 1 < len(body) and body[i + 1].text == "(":
+            yield tok.text, tok
+        elif (i + 1 < len(body) and body[i + 1].text == "<"):
+            # templated call: name<...>(...)
+            close = _matching(body, i + 1, "<", ">")
+            if close + 1 < len(body) and body[close + 1].text == "(":
+                yield tok.text, tok
