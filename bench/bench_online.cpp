@@ -9,10 +9,12 @@
 // A/B baseline); --json=PATH emits a BENCH_*.json for tools/perf_compare.py.
 // Both modes bind the same pods to the same nodes — the final audit line
 // is the witness.
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "cluster/audit.h"
 #include "common/bench_json.h"
@@ -93,7 +95,15 @@ int main(int argc, char** argv) {
                                  "(false = rebuild-per-tick baseline)");
   auto& threads = flags.Int64("threads", 0,
                               "search threads (0 = hardware concurrency, "
-                              "1 = serial)");
+                              "1 = serial); with --shards this is the "
+                              "shard-solve pool size");
+  auto& shards = flags.Int64("shards", 0,
+                             "partition the cluster into this many shards "
+                             "solved concurrently (0 = unsharded; 1 is "
+                             "bit-identical to 0)");
+  auto& routing = flags.String("routing", "least-utilized",
+                               "shard routing policy: hash, least-utilized, "
+                               "constraint-driven");
   auto& json = flags.String("json", "",
                             "write BENCH json results to this path");
   obs::ObsCli obs_cli(flags);
@@ -107,6 +117,13 @@ int main(int argc, char** argv) {
   options.aladdin = k8s::Resolver::DefaultOptions();
   options.aladdin.threads = static_cast<int>(threads);
   options.incremental = incremental;
+  options.shards = static_cast<int>(shards);
+  options.routing = core::ShardRoutingFromName(routing);
+  if (options.routing == core::ShardRouting::kCount) {
+    LOG_ERROR << "unknown --routing '" << routing
+              << "' (hash, least-utilized, constraint-driven)";
+    return 1;
+  }
   k8s::ClusterSimulator sim(options);
   sim.AddNodes(static_cast<std::size_t>(nodes),
                cluster::ResourceVector::Cores(32, 64));
@@ -119,6 +136,9 @@ int main(int argc, char** argv) {
   // Per-cause unschedulable totals across all ticks (provenance histogram).
   std::array<std::int64_t, static_cast<std::size_t>(obs::Cause::kCount)>
       cause_totals{};
+
+  // Per-shard totals across all ticks (--shards only).
+  std::vector<core::ShardTickStats> shard_totals;
 
   Rng rng(static_cast<std::uint64_t>(seed));
   Sample resolve_ms;
@@ -174,6 +194,21 @@ int main(int argc, char** argv) {
       cause_totals[static_cast<std::size_t>(cause)] +=
           static_cast<std::int64_t>(n);
     }
+    if (!stats.shards.empty()) {
+      if (shard_totals.size() < stats.shards.size()) {
+        shard_totals.resize(stats.shards.size());
+      }
+      for (const core::ShardTickStats& s : stats.shards) {
+        core::ShardTickStats& total =
+            shard_totals[static_cast<std::size_t>(s.shard)];
+        total.shard = s.shard;
+        total.machines = s.machines;
+        total.routed += s.routed;
+        total.placed += s.placed;
+        total.unplaced += s.unplaced;
+        total.solve_seconds += s.solve_seconds;
+      }
+    }
     if (timeseries.has_value()) {
       const Occupancy occ = MeasureOccupancy(sim.adaptor());
       sim::TimeSeriesPoint point;
@@ -212,6 +247,34 @@ int main(int argc, char** argv) {
                 total_tick_seconds > 0.0
                     ? covered / total_tick_seconds * 100.0
                     : 0.0);
+  }
+
+  // Per-shard activity (--shards): how evenly the routing spread the work
+  // and where the solve wall time went. Solves run concurrently, so the
+  // wall-clock win is roughly max(solve s) vs their sum.
+  if (!shard_totals.empty()) {
+    std::printf("\nper-shard breakdown (totals over %lld ticks):\n",
+                static_cast<long long>(ticks));
+    Table shard_table(
+        {"shard", "machines", "routed", "placed", "unplaced", "solve s"});
+    double max_solve = 0.0;
+    double sum_solve = 0.0;
+    for (const core::ShardTickStats& s : shard_totals) {
+      shard_table.Cell(static_cast<std::int64_t>(s.shard))
+          .Cell(static_cast<std::int64_t>(s.machines))
+          .Cell(static_cast<std::int64_t>(s.routed))
+          .Cell(static_cast<std::int64_t>(s.placed))
+          .Cell(static_cast<std::int64_t>(s.unplaced))
+          .Cell(s.solve_seconds, 3)
+          .EndRow();
+      max_solve = std::max(max_solve, s.solve_seconds);
+      sum_solve += s.solve_seconds;
+    }
+    shard_table.Print();
+    std::printf("shard solve: sum=%.3f s, critical path=%.3f s "
+                "(parallel speedup bound %.2fx)\n",
+                sum_solve, max_solve,
+                max_solve > 0.0 ? sum_solve / max_solve : 0.0);
   }
 
   // Why pods went unschedulable, accumulated across all ticks from the
@@ -280,6 +343,8 @@ int main(int argc, char** argv) {
     out.Tag("seed", seed);
     out.Tag("mode", incremental ? "incremental" : "rebuild");
     out.Tag("threads", threads);
+    out.Tag("shards", shards);
+    if (shards > 0) out.Tag("routing", routing);
     out.Percentiles("resolve_ms", resolve_ms);
     out.Metric("total_resolve_s", total_seconds, "s");
     out.Metric("bindings_per_s",
@@ -298,6 +363,19 @@ int main(int argc, char** argv) {
     out.Metric("audit_unplaced", static_cast<double>(audit.unplaced), "count");
     out.Metric("audit_colocation_violations",
                static_cast<double>(audit.colocation_violations), "count");
+    if (!shard_totals.empty()) {
+      double max_solve = 0.0;
+      double sum_solve = 0.0;
+      std::int64_t routed = 0;
+      for (const core::ShardTickStats& s : shard_totals) {
+        max_solve = std::max(max_solve, s.solve_seconds);
+        sum_solve += s.solve_seconds;
+        routed += static_cast<std::int64_t>(s.routed);
+      }
+      out.Metric("shard_solve_sum_s", sum_solve, "s");
+      out.Metric("shard_solve_max_s", max_solve, "s");
+      out.Metric("shard_routed", static_cast<double>(routed), "count");
+    }
   }
 
   // Flush the obs layer: trace file, --metrics stdout dump, and the metrics

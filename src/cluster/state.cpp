@@ -46,6 +46,8 @@ ClusterState::ClusterState(const ClusterState& other)
       dirty_log_enabled_(other.dirty_log_enabled_),
       dirty_base_(other.dirty_base_),
       dirty_log_(other.dirty_log_),
+      dirty_scope_of_(other.dirty_scope_of_),
+      scope_logs_(other.scope_logs_),
       change_journal_enabled_(other.change_journal_enabled_),
       changed_containers_(other.changed_containers_),
       changed_flag_(other.changed_flag_) {}
@@ -317,6 +319,52 @@ std::span<const MachineId> ClusterState::DirtySince(std::uint64_t since,
   return std::span<const MachineId>(dirty_log_).subspan(offset);
 }
 
+void ClusterState::ConfigureDirtyScopes(
+    const std::vector<std::int32_t>& scope_of_machine,
+    std::int32_t scope_count) {
+  ALADDIN_CHECK(scope_of_machine.size() == topology_->machine_count())
+      << "ConfigureDirtyScopes: map covers " << scope_of_machine.size()
+      << " machines, topology has " << topology_->machine_count();
+  ALADDIN_CHECK(scope_count > 0);
+  for (const std::int32_t scope : scope_of_machine) {
+    ALADDIN_CHECK(scope >= 0 && scope < scope_count)
+        << "ConfigureDirtyScopes: scope " << scope << " out of range";
+  }
+  EnableDirtyLog();
+  dirty_scope_of_ = scope_of_machine;
+  // Restart every scoped sequence space strictly past anything handed out
+  // before — the global end AND every previous scope's end (a scope's base
+  // starts one past the global end, so its end can lead the global end) —
+  // so stale cursors overflow instead of silently reading the new space.
+  std::uint64_t base = DirtyLogEnd() + 1;
+  for (const ScopeLog& scope : scope_logs_) {
+    base = std::max(base, scope.base + scope.log.size() + 1);
+  }
+  scope_logs_.assign(static_cast<std::size_t>(scope_count), ScopeLog{});
+  for (ScopeLog& scope : scope_logs_) scope.base = base;
+}
+
+std::uint64_t ClusterState::ScopedDirtyLogEnd(std::int32_t scope) const {
+  const auto& log = scope_logs_[static_cast<std::size_t>(scope)];
+  return log.base + log.log.size();
+}
+
+std::span<const MachineId> ClusterState::ScopedDirtySince(
+    std::int32_t scope, std::uint64_t since, bool* overflowed) const {
+  ALADDIN_DCHECK(overflowed != nullptr);
+  const auto& log = scope_logs_[static_cast<std::size_t>(scope)];
+  if (since < log.base) {
+    *overflowed = true;
+    return {};
+  }
+  *overflowed = false;
+  ALADDIN_DCHECK(since <= ScopedDirtyLogEnd(scope))
+      << "ScopedDirtySince cursor " << since << " beyond scope " << scope
+      << " end " << ScopedDirtyLogEnd(scope);
+  const std::size_t offset = static_cast<std::size_t>(since - log.base);
+  return std::span<const MachineId>(log.log).subspan(offset);
+}
+
 void ClusterState::EnableChangeJournal() {
   if (change_journal_enabled_) return;
   change_journal_enabled_ = true;
@@ -349,6 +397,19 @@ void ClusterState::MarkMachine(MachineId m) {
     dirty_base_ += drop;
   }
   dirty_log_.push_back(m);
+  if (!scope_logs_.empty()) {
+    // Same cap discipline per scope: a hot scope overflowing only forces
+    // *its* consumers to rebuild; the other scopes' windows are untouched.
+    ScopeLog& scope = scope_logs_[static_cast<std::size_t>(
+        dirty_scope_of_[static_cast<std::size_t>(m.value())])];
+    if (scope.log.size() >= kDirtyLogCap) {
+      const std::size_t drop = scope.log.size() / 2;
+      scope.log.erase(scope.log.begin(),
+                      scope.log.begin() + static_cast<std::ptrdiff_t>(drop));
+      scope.base += drop;
+    }
+    scope.log.push_back(m);
+  }
 }
 
 void ClusterState::MarkContainer(ContainerId c) {
@@ -361,6 +422,10 @@ void ClusterState::MarkContainer(ContainerId c) {
 void ClusterState::ForceFullResync() {
   dirty_base_ = DirtyLogEnd() + 1;
   dirty_log_.clear();
+  for (ScopeLog& scope : scope_logs_) {
+    scope.base = scope.base + scope.log.size() + 1;
+    scope.log.clear();
+  }
 }
 
 }  // namespace aladdin::cluster

@@ -169,6 +169,32 @@ class ClusterState {
   [[nodiscard]] std::span<const MachineId> DirtySince(std::uint64_t since,
                                                       bool* overflowed) const;
 
+  // --- scoped dirty logs (sharded consumers) ----------------------------
+  //
+  // A sharded consumer (core::ShardedScheduler) mirrors disjoint machine
+  // subsets into per-shard states. With only the single global log, one
+  // shard's runaway churn overflows the shared window and forces *every*
+  // shard to fall back to a full rebuild. Scopes give each machine subset
+  // its own bounded log with its own sequence space: an overflow invalidates
+  // exactly the scope it happened in, and the other shards' incremental
+  // warm-starts survive. The global log keeps working unchanged (FreeIndex
+  // and the aggregated network stay on it).
+  //
+  // Configuring scopes implies EnableDirtyLog(). Reconfiguring restarts the
+  // scoped sequence spaces past every previously handed-out cursor, so stale
+  // consumers see an overflow (full resync), never a silent gap.
+  void ConfigureDirtyScopes(const std::vector<std::int32_t>& scope_of_machine,
+                            std::int32_t scope_count);
+  [[nodiscard]] std::int32_t dirty_scope_count() const {
+    return static_cast<std::int32_t>(scope_logs_.size());
+  }
+  // Absolute sequence one past the newest entry of `scope`'s log.
+  [[nodiscard]] std::uint64_t ScopedDirtyLogEnd(std::int32_t scope) const;
+  // Machines of `scope` mutated in [since, ScopedDirtyLogEnd(scope)); sets
+  // *overflowed (empty span) when `since` predates the retained window.
+  [[nodiscard]] std::span<const MachineId> ScopedDirtySince(
+      std::int32_t scope, std::uint64_t since, bool* overflowed) const;
+
   // Turns on the container change journal (idempotent): every container
   // whose placement changes is recorded once until taken.
   void EnableChangeJournal();
@@ -220,6 +246,15 @@ class ClusterState {
   bool dirty_log_enabled_ = false;
   std::uint64_t dirty_base_ = 0;
   std::vector<MachineId> dirty_log_;
+
+  // Scoped dirty logs: per-scope bounded journals over a machine partition
+  // (ConfigureDirtyScopes). Empty scope_logs_ = scoping off.
+  struct ScopeLog {
+    std::uint64_t base = 0;
+    std::vector<MachineId> log;
+  };
+  std::vector<std::int32_t> dirty_scope_of_;  // per machine
+  std::vector<ScopeLog> scope_logs_;
 
   // Container change journal (deduplicated via per-container flags).
   bool change_journal_enabled_ = false;

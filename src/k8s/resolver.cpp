@@ -91,7 +91,22 @@ Resolver::Resolver(ModelAdaptor& adaptor, core::AladdinOptions options)
     : Resolver(adaptor, ResolverOptions{options, true}) {}
 
 Resolver::Resolver(ModelAdaptor& adaptor, ResolverOptions options)
-    : adaptor_(adaptor), options_(options), scheduler_(options.aladdin) {}
+    : adaptor_(adaptor), options_(options), scheduler_(options.aladdin) {
+  if (options_.shards > 0) {
+    sharded_ = std::make_unique<core::ShardedScheduler>(ShardedConfig());
+  }
+}
+
+core::ShardedOptions Resolver::ShardedConfig() const {
+  core::ShardedOptions config;
+  config.shards = options_.shards;
+  config.routing = options_.routing;
+  // The intra-solve search pool knob becomes the shard-solve pool size
+  // (the coordinator forces each shard's inner solver serial).
+  config.threads = options_.aladdin.threads;
+  config.aladdin = options_.aladdin;
+  return config;
+}
 
 void Resolver::RebuildState() {
   const trace::Workload& workload = adaptor_.workload();
@@ -216,9 +231,16 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
     }
 
     if (!long_lived.empty()) {
-      core::AladdinScheduler scheduler(options_.aladdin);
       sim::ScheduleRequest request{&workload, &long_lived};
-      const sim::ScheduleOutcome outcome = scheduler.Schedule(request, state);
+      sim::ScheduleOutcome outcome;
+      if (options_.shards > 0) {
+        core::ShardedScheduler scheduler(ShardedConfig());
+        outcome = scheduler.Schedule(request, state);
+        stats.shards = scheduler.last_shard_stats();
+      } else {
+        core::AladdinScheduler scheduler(options_.aladdin);
+        outcome = scheduler.Schedule(request, state);
+      }
       for (std::size_t i = 0; i < outcome.unplaced.size(); ++i) {
         unplaced_cause[outcome.unplaced[i].value()] =
             outcome.unplaced_causes[i];
@@ -335,7 +357,13 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
   // above included) instead of rebuilding it.
   if (!long_lived.empty()) {
     sim::ScheduleRequest request{&workload, &long_lived};
-    const sim::ScheduleOutcome outcome = scheduler_.Schedule(request, state);
+    sim::ScheduleOutcome outcome;
+    if (sharded_ != nullptr) {
+      outcome = sharded_->Schedule(request, state);
+      stats.shards = sharded_->last_shard_stats();
+    } else {
+      outcome = scheduler_.Schedule(request, state);
+    }
     for (std::size_t i = 0; i < outcome.unplaced.size(); ++i) {
       unplaced_cause[outcome.unplaced[i].value()] = outcome.unplaced_causes[i];
     }

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "cluster/free_index.h"
 #include "common/arena.h"
 #include "core/scheduler.h"
+#include "core/sharded.h"
 #include "k8s/adaptor.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
@@ -53,13 +55,26 @@ struct ResolveStats {
   // Phase breakdown of this resolve from the obs registry (empty unless
   // metrics were armed). Exclusive phases partition the resolve; their
   // seconds-sum approximates wall_seconds (the bench coverage check).
+  // With shards > 1 the shard solves run concurrently, so the exclusive
+  // sum reports aggregate CPU seconds and may exceed wall_seconds.
   std::vector<obs::PhaseDelta> phases;
+
+  // Per-shard breakdown of the long-lived solve (empty unless
+  // ResolverOptions::shards > 0).
+  std::vector<core::ShardTickStats> shards;
 };
 
 struct ResolverOptions {
   core::AladdinOptions aladdin;
   // Keep scheduling state alive across Resolve() calls (see file comment).
   bool incremental = true;
+  // Shard the long-lived solve across this many disjoint machine
+  // partitions, solved concurrently (core::ShardedScheduler). 0 keeps the
+  // single-solver path; 1 runs the sharded coordinator with one shard,
+  // which produces bit-identical output to 0 (the equivalence tests pin
+  // this down). `aladdin.threads` becomes the shard-solve pool size.
+  int shards = 0;
+  core::ShardRouting routing = core::ShardRouting::kLeastUtilized;
 };
 
 class Resolver {
@@ -91,9 +106,17 @@ class Resolver {
   void SyncState();
   void SyncFreeIndex();
 
+  // The sharded-coordinator configuration derived from `options` (inner
+  // solver options, pool size, routing policy).
+  [[nodiscard]] core::ShardedOptions ShardedConfig() const;
+
   ModelAdaptor& adaptor_;
   ResolverOptions options_;
   core::AladdinScheduler scheduler_;  // owns the persistent network + pool
+  // Sharded long-lived arm (options_.shards > 0): replaces scheduler_ for
+  // the persistent path; the full-rebuild arm constructs a fresh one per
+  // resolve, mirroring its fresh AladdinScheduler.
+  std::unique_ptr<core::ShardedScheduler> sharded_;
 
   std::optional<cluster::ClusterState> state_;
   cluster::FreeIndex free_index_;

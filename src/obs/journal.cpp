@@ -194,6 +194,14 @@ bool FindInt(const std::string& line, const std::string& key,
   return true;
 }
 
+// Per-thread deferred-capture state (ScopedDecisionCapture). A raw pointer
+// is enough: the capture scope outlives every EmitDecision it redirects.
+struct CaptureState {
+  std::vector<Decision>* sink = nullptr;
+  std::int32_t shard = -1;
+};
+thread_local CaptureState g_capture;
+
 }  // namespace
 
 const char* CauseName(Cause cause) {
@@ -273,18 +281,49 @@ void EmitDecision(DecisionKind kind, Cause cause, std::int32_t container,
                   std::int32_t machine, std::int32_t other,
                   std::int64_t detail) {
   if (!JournalEnabled()) return;
-  JournalRegistry& registry = Journal();
   Decision decision;
-  decision.seq = registry.next_seq.fetch_add(1, std::memory_order_relaxed);
-  decision.tick = registry.tick.load(std::memory_order_relaxed);
   decision.kind = kind;
   decision.cause = cause;
   decision.container = container;
   decision.machine = machine;
   decision.other = other;
   decision.detail = detail;
+  if (g_capture.sink != nullptr) {
+    // Parked: no seq yet — the coordinator's serial replay assigns it.
+    decision.shard = g_capture.shard;
+    g_capture.sink->push_back(decision);
+    return;
+  }
+  JournalRegistry& registry = Journal();
+  decision.seq = registry.next_seq.fetch_add(1, std::memory_order_relaxed);
+  decision.tick = registry.tick.load(std::memory_order_relaxed);
   registry.emitted.fetch_add(1, std::memory_order_relaxed);
   ThisThreadBuffer().Append(decision);
+}
+
+ScopedDecisionCapture::ScopedDecisionCapture(std::vector<Decision>* sink,
+                                             std::int32_t shard)
+    : previous_sink_(g_capture.sink), previous_shard_(g_capture.shard) {
+  g_capture.sink = sink;
+  g_capture.shard = shard;
+}
+
+ScopedDecisionCapture::~ScopedDecisionCapture() {
+  g_capture.sink = previous_sink_;
+  g_capture.shard = previous_shard_;
+}
+
+void EmitCapturedDecisions(const std::vector<Decision>& decisions) {
+  if (!JournalEnabled() || decisions.empty()) return;
+  JournalRegistry& registry = Journal();
+  ThreadBuffer& buffer = ThisThreadBuffer();
+  for (const Decision& captured : decisions) {
+    Decision decision = captured;
+    decision.seq = registry.next_seq.fetch_add(1, std::memory_order_relaxed);
+    decision.tick = registry.tick.load(std::memory_order_relaxed);
+    registry.emitted.fetch_add(1, std::memory_order_relaxed);
+    buffer.Append(decision);
+  }
 }
 
 std::vector<Decision> JournalSnapshot() { return Collect(/*clear=*/false); }
@@ -305,7 +344,22 @@ std::uint64_t EmittedJournalDecisions() {
 }
 
 std::string DecisionToJson(const Decision& decision) {
-  char buf[224];
+  char buf[240];
+  // `shard` is emitted only when assigned (>= 0): unsharded and K=1 runs
+  // keep the exact pre-sharding line format, which the bit-identity
+  // equivalence tests compare byte for byte.
+  if (decision.shard >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"seq\":%llu,\"tick\":%lld,\"kind\":\"%s\","
+                  "\"cause\":\"%s\",\"container\":%d,\"machine\":%d,"
+                  "\"other\":%d,\"detail\":%lld,\"shard\":%d}",
+                  static_cast<unsigned long long>(decision.seq),
+                  static_cast<long long>(decision.tick),
+                  DecisionKindName(decision.kind), CauseName(decision.cause),
+                  decision.container, decision.machine, decision.other,
+                  static_cast<long long>(decision.detail), decision.shard);
+    return buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "{\"seq\":%llu,\"tick\":%lld,\"kind\":\"%s\","
                 "\"cause\":\"%s\",\"container\":%d,\"machine\":%d,"
@@ -350,6 +404,10 @@ bool DecisionFromJson(const std::string& line, Decision* decision) {
   if (!FindInt(line, "other", &value)) return false;
   out.other = static_cast<std::int32_t>(value);
   if (!FindInt(line, "detail", &out.detail)) return false;
+  // Optional: absent in unsharded journals (defaults to -1).
+  if (FindInt(line, "shard", &value)) {
+    out.shard = static_cast<std::int32_t>(value);
+  }
   *decision = out;
   return true;
 }

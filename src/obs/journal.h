@@ -90,6 +90,9 @@ struct Decision {
   std::int32_t other = -1;    // context id: source machine for migrations,
                               // aggressor container for preemptions
   std::int64_t detail = 0;    // numeric context (counts, free cpu-millis)
+  std::int32_t shard = -1;    // owning shard under core::ShardedScheduler;
+                              // -1 (unsharded / K=1) keeps the JSON form
+                              // byte-identical to pre-sharding journals
 };
 
 struct JournalOptions {
@@ -116,10 +119,40 @@ void SetJournalTick(std::int64_t tick);
 
 // Appends one record (no-op unless the journal bit is armed). Must only be
 // called from serial sections — the seq counter is assigned in call order
-// and the bit-identity guarantee across --threads depends on it.
+// and the bit-identity guarantee across --threads depends on it. The one
+// sanctioned exception: under a ScopedDecisionCapture the record is parked
+// in the capture buffer (no seq assigned) and the serial-section obligation
+// moves to the EmitCapturedDecisions replay.
 void EmitDecision(DecisionKind kind, Cause cause, std::int32_t container,
                   std::int32_t machine = -1, std::int32_t other = -1,
                   std::int64_t detail = 0);
+
+// Deferred capture for parallel shard solves (core::ShardedScheduler).
+//
+// While a ScopedDecisionCapture is live on a thread, EmitDecision calls on
+// that thread append to `sink` with no sequence number and `shard` stamped,
+// instead of reaching the global rings. The coordinator later replays each
+// shard's buffer in fixed shard order via EmitCapturedDecisions — which
+// assigns seq/tick in call order from a serial section — so the drained
+// stream is bit-identical regardless of how many worker threads ran the
+// solves. Captures nest (save/restore) and are strictly per-thread.
+class ScopedDecisionCapture {
+ public:
+  ScopedDecisionCapture(std::vector<Decision>* sink, std::int32_t shard);
+  ~ScopedDecisionCapture();
+
+  ScopedDecisionCapture(const ScopedDecisionCapture&) = delete;
+  ScopedDecisionCapture& operator=(const ScopedDecisionCapture&) = delete;
+
+ private:
+  std::vector<Decision>* previous_sink_;
+  std::int32_t previous_shard_;
+};
+
+// Replays records parked by ScopedDecisionCapture through the normal
+// emission path, assigning seq/tick in order. Serial-section contract as
+// EmitDecision; the records' shard/kind/cause/id fields pass through.
+void EmitCapturedDecisions(const std::vector<Decision>& decisions);
 
 // Everything currently buffered (sink-drained records excluded), in seq
 // order. Records overwritten by ring wraparound are gone; see Dropped.

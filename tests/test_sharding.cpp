@@ -1,0 +1,571 @@
+// Sharded scale-out contract (core::ShardedScheduler + cluster::ShardPlan):
+//
+//   * shards=1 is bit-identical to the unsharded AladdinScheduler —
+//     placements, outcome counters AND the decision journal stream;
+//   * for a fixed K the result is bit-identical for any solve-pool size
+//     (threads is a throughput knob, never a behaviour knob);
+//   * routing is a pure function of (workload, state, arrival order): two
+//     fresh coordinators — a process restart in miniature — route and
+//     place identically;
+//   * the blacklist-exchange round steers anti-affinity-constrained
+//     applications away from shards with zero eligible machines, so
+//     cross-shard inter-app anti-affinity never produces colocation
+//     violations or dead-on-arrival solves;
+//   * spill rounds recover from a home shard that cannot hold an
+//     application's whole wave;
+//   * the supporting machinery (ShardPlan partitioning, scoped dirty logs)
+//     agrees with its contracts in isolation.
+//
+// These tests run under the asan/tsan presets too; the threads>1 grid cases
+// are the TSan workhorse for the parallel shard solves.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/audit.h"
+#include "cluster/shard.h"
+#include "cluster/state.h"
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "core/scheduler.h"
+#include "core/sharded.h"
+#include "k8s/simulator.h"
+#include "obs/journal.h"
+#include "trace/workload.h"
+
+namespace aladdin {
+namespace {
+
+using cluster::ApplicationId;
+using cluster::ContainerId;
+using cluster::MachineId;
+using cluster::RackId;
+using cluster::ResourceVector;
+using cluster::ShardPlan;
+using cluster::SubClusterId;
+using cluster::Topology;
+using trace::Workload;
+
+// ------------------------------------------------------------ ShardPlan ----
+
+TEST(ShardPlan, KOneIsVerbatimCopy) {
+  const Topology topo = Topology::Uniform(12, ResourceVector::Cores(32, 64),
+                                          4, 2);
+  const ShardPlan plan = ShardPlan::Build(topo, 1);
+  ASSERT_EQ(plan.shard_count(), 1);
+  EXPECT_EQ(plan.shard_topology(0).machine_count(), topo.machine_count());
+  EXPECT_EQ(plan.shard_topology(0).rack_count(), topo.rack_count());
+  EXPECT_EQ(plan.shard_topology(0).subcluster_count(),
+            topo.subcluster_count());
+  for (std::size_t m = 0; m < topo.machine_count(); ++m) {
+    const MachineId id(static_cast<std::int32_t>(m));
+    EXPECT_EQ(plan.ShardOf(id), 0);
+    EXPECT_EQ(plan.LocalOf(id), id) << "K=1 local ids must equal global ids";
+    EXPECT_EQ(plan.GlobalOf(0, id), id);
+  }
+}
+
+TEST(ShardPlan, PartitionCoversEveryMachineExactlyOnce) {
+  const Topology topo = Topology::Uniform(48, ResourceVector::Cores(32, 64),
+                                          8, 3);
+  for (const int k : {2, 4, 16, 48}) {
+    const ShardPlan plan = ShardPlan::Build(topo, k);
+    ASSERT_EQ(plan.shard_count(), k);
+    std::vector<int> seen(topo.machine_count(), 0);
+    std::size_t total = 0;
+    for (int s = 0; s < k; ++s) {
+      EXPECT_EQ(plan.shard_topology(s).machine_count(),
+                plan.shard_machines(s).size());
+      EXPECT_FALSE(plan.shard_machines(s).empty()) << "empty shard " << s;
+      for (const MachineId g : plan.shard_machines(s)) {
+        ++seen[static_cast<std::size_t>(g.value())];
+        ++total;
+        EXPECT_EQ(plan.ShardOf(g), s);
+        // Roundtrip: global -> (shard, local) -> global.
+        EXPECT_EQ(plan.GlobalOf(s, plan.LocalOf(g)), g);
+        // The local machine keeps its capacity.
+        EXPECT_EQ(plan.shard_topology(s).machine(plan.LocalOf(g)).capacity,
+                  topo.machine(g).capacity);
+      }
+    }
+    EXPECT_EQ(total, topo.machine_count()) << "k=" << k;
+    for (const int count : seen) EXPECT_EQ(count, 1) << "k=" << k;
+  }
+}
+
+TEST(ShardPlan, RackGranularitySplitKeepsRacksWhole) {
+  // 6 racks, 2 subclusters: K=4 exceeds the subcluster count, so the split
+  // falls back to rack granularity — every rack's machines stay together.
+  const Topology topo = Topology::Uniform(48, ResourceVector::Cores(32, 64),
+                                          8, 3);
+  ASSERT_LT(topo.subcluster_count(), 4u);
+  ASSERT_GE(topo.rack_count(), 4u);
+  const ShardPlan plan = ShardPlan::Build(topo, 4);
+  for (std::size_t r = 0; r < topo.rack_count(); ++r) {
+    const auto machines =
+        topo.RackMachines(RackId(static_cast<std::int32_t>(r)));
+    ASSERT_FALSE(machines.empty());
+    const std::int32_t shard = plan.ShardOf(machines.front());
+    for (const MachineId m : machines) {
+      EXPECT_EQ(plan.ShardOf(m), shard) << "rack " << r << " split apart";
+    }
+  }
+  // Greedy balance at rack granularity: 6 equal racks over 4 shards means
+  // no shard holds more than 2 racks' worth of machines.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_LE(plan.shard_machines(s).size(), 16u);
+    EXPECT_GE(plan.shard_machines(s).size(), 8u);
+  }
+}
+
+TEST(ShardPlan, ShardCountClampsToMachineCount) {
+  const Topology topo = Topology::Uniform(5, ResourceVector::Cores(4, 8), 2, 2);
+  const ShardPlan plan = ShardPlan::Build(topo, 64);
+  EXPECT_EQ(plan.shard_count(), 5);
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_EQ(plan.shard_machines(s).size(), 1u);
+  }
+}
+
+// ---------------------------------------------------- scoped dirty logs ----
+
+TEST(ScopedDirtyLog, OverflowOfOneScopeLeavesOthersIncremental) {
+  Workload wl;
+  wl.AddApplication("a", 4, ResourceVector::Cores(1, 2));
+  const Topology topo = Topology::Uniform(4, ResourceVector::Cores(32, 64));
+  cluster::ClusterState state = wl.MakeState(topo);
+  // Machines 0,1 -> scope 0; machines 2,3 -> scope 1.
+  state.ConfigureDirtyScopes({0, 0, 1, 1}, 2);
+  const std::uint64_t cursor0 = state.ScopedDirtyLogEnd(0);
+  const std::uint64_t cursor1 = state.ScopedDirtyLogEnd(1);
+
+  state.Deploy(ContainerId(0), MachineId(3));  // one entry in scope 1
+  // Overflow scope 0 only.
+  for (int i = 0; i < (1 << 17); ++i) {
+    state.Deploy(ContainerId(1), MachineId(0));
+    state.Evict(ContainerId(1));
+  }
+
+  bool overflowed = false;
+  (void)state.ScopedDirtySince(0, cursor0, &overflowed);
+  EXPECT_TRUE(overflowed) << "scope 0 must report its own overflow";
+  overflowed = true;
+  const auto dirty1 = state.ScopedDirtySince(1, cursor1, &overflowed);
+  EXPECT_FALSE(overflowed) << "scope 1 must be untouched by scope 0's churn";
+  ASSERT_EQ(dirty1.size(), 1u);
+  EXPECT_EQ(dirty1[0], MachineId(3));
+}
+
+TEST(ScopedDirtyLog, ReconfigureInvalidatesPriorCursors) {
+  Workload wl;
+  wl.AddApplication("a", 2, ResourceVector::Cores(1, 2));
+  const Topology topo = Topology::Uniform(4, ResourceVector::Cores(32, 64));
+  cluster::ClusterState state = wl.MakeState(topo);
+  state.ConfigureDirtyScopes({0, 0, 1, 1}, 2);
+  const std::uint64_t stale = state.ScopedDirtyLogEnd(0);
+  state.ConfigureDirtyScopes({0, 1, 0, 1}, 2);  // re-partition
+  bool overflowed = false;
+  (void)state.ScopedDirtySince(0, stale, &overflowed);
+  EXPECT_TRUE(overflowed)
+      << "cursors from before a reconfigure must be told to rebuild";
+}
+
+// ------------------------------------------------- sharded equivalence ----
+
+// Random mixed workload, same generator family as test_equivalence.
+std::vector<ContainerId> GrowWave(Workload& wl, Rng& rng, int apps) {
+  std::vector<ContainerId> added;
+  for (int a = 0; a < apps; ++a) {
+    const std::size_t first = wl.container_count();
+    wl.AddApplication(
+        "app-" + std::to_string(wl.application_count()),
+        static_cast<std::size_t>(rng.UniformInt(1, 6)),
+        ResourceVector::Cores(rng.UniformInt(1, 8), rng.UniformInt(2, 16)),
+        static_cast<cluster::Priority>(
+            rng.Bernoulli(0.2) ? rng.UniformInt(1, 3) : 0),
+        rng.Bernoulli(0.5));
+    for (std::size_t i = first; i < wl.container_count(); ++i) {
+      added.emplace_back(static_cast<std::int32_t>(i));
+    }
+  }
+  return added;
+}
+
+std::vector<MachineId> Placements(const cluster::ClusterState& state,
+                                  std::size_t containers) {
+  std::vector<MachineId> out;
+  out.reserve(containers);
+  for (std::size_t i = 0; i < containers; ++i) {
+    out.push_back(state.PlacementOf(ContainerId(static_cast<std::int32_t>(i))));
+  }
+  return out;
+}
+
+// The journal stream as JSONL lines: a full-fidelity, diffable fingerprint
+// (seq, tick, kind, cause, ids, detail, shard) of one run's decisions.
+std::vector<std::string> JournalLines() {
+  std::vector<std::string> lines;
+  for (const obs::Decision& d : obs::JournalSnapshot()) {
+    lines.push_back(obs::DecisionToJson(d));
+  }
+  return lines;
+}
+
+// Drives `scheduler` through `waves` waves of growth + scripted churn on
+// `state`, journaling every decision. Returns the journal lines; placements
+// stay in `state`. The churn script depends only on (wl, state), so two
+// equivalent schedulers see identical inputs every wave.
+std::vector<std::string> DriveWaves(sim::Scheduler& scheduler,
+                                    Workload& wl,
+                                    cluster::ClusterState& state, int waves,
+                                    std::uint64_t seed,
+                                    sim::ScheduleOutcome* last_outcome) {
+  Rng rng(seed);
+  obs::StartJournal();  // flight-recorder mode: in-memory ring only
+  for (int wave = 0; wave < waves; ++wave) {
+    obs::SetJournalTick(wave);
+    (void)GrowWave(wl, rng, 4);
+    state.SyncWorkloadGrowth();
+    // External churn the coordinator only learns about via the dirty logs.
+    std::vector<ContainerId> placed;
+    for (const auto& c : wl.containers()) {
+      if (state.IsPlaced(c.id)) placed.push_back(c.id);
+    }
+    for (std::size_t i = 0; i < placed.size(); i += 5) state.Evict(placed[i]);
+
+    std::vector<ContainerId> pending;
+    for (const auto& c : wl.containers()) {
+      if (!state.IsPlaced(c.id)) pending.push_back(c.id);
+    }
+    const sim::ScheduleRequest request{&wl, &pending};
+    const sim::ScheduleOutcome outcome = scheduler.Schedule(request, state);
+    if (last_outcome != nullptr) *last_outcome = outcome;
+    EXPECT_TRUE(state.CheckConsistency()) << "wave " << wave;
+  }
+  std::vector<std::string> lines = JournalLines();
+  obs::StopJournal();
+  return lines;
+}
+
+TEST(ShardedEquivalence, KOneMatchesUnshardedBitIdentical) {
+  const Topology topo =
+      Topology::Uniform(48, ResourceVector::Cores(32, 64), 8, 3);
+
+  core::AladdinOptions inner;
+  inner.threads = 1;  // the coordinator forces this on its shard solvers
+
+  Workload wl_a;
+  cluster::ClusterState state_a = wl_a.MakeState(topo);
+  core::AladdinScheduler unsharded(inner);
+  sim::ScheduleOutcome outcome_a;
+  const std::vector<std::string> journal_a =
+      DriveWaves(unsharded, wl_a, state_a, 6, 2024, &outcome_a);
+
+  Workload wl_b;
+  cluster::ClusterState state_b = wl_b.MakeState(topo);
+  core::ShardedOptions sharded_options;
+  sharded_options.shards = 1;
+  sharded_options.aladdin = inner;
+  core::ShardedScheduler sharded(sharded_options);
+  sim::ScheduleOutcome outcome_b;
+  const std::vector<std::string> journal_b =
+      DriveWaves(sharded, wl_b, state_b, 6, 2024, &outcome_b);
+
+  EXPECT_EQ(Placements(state_a, wl_a.container_count()),
+            Placements(state_b, wl_b.container_count()));
+  EXPECT_EQ(state_a.migrations(), state_b.migrations());
+  EXPECT_EQ(state_a.preemptions(), state_b.preemptions());
+  EXPECT_EQ(outcome_a.unplaced, outcome_b.unplaced);
+  EXPECT_EQ(outcome_a.unplaced_causes, outcome_b.unplaced_causes);
+  EXPECT_EQ(outcome_a.explored_paths, outcome_b.explored_paths);
+  EXPECT_EQ(outcome_a.il_prunes, outcome_b.il_prunes);
+  EXPECT_EQ(outcome_a.dl_stops, outcome_b.dl_stops);
+  EXPECT_EQ(outcome_a.rounds, outcome_b.rounds);
+  // Bit-identity extends to the provenance stream: same records, same seq
+  // order, same JSON bytes (K=1 stamps shard=-1, exactly like unsharded).
+  EXPECT_EQ(journal_a, journal_b);
+}
+
+TEST(ShardedEquivalence, FixedKIsIdenticalAcrossThreadCounts) {
+  const Topology topo =
+      Topology::Uniform(48, ResourceVector::Cores(32, 64), 8, 3);
+  for (const int k : {1, 4, 16}) {
+    std::vector<MachineId> reference_placements;
+    std::vector<std::string> reference_journal;
+    bool have_reference = false;
+    for (const int threads : {1, 8}) {
+      Workload wl;
+      cluster::ClusterState state = wl.MakeState(topo);
+      core::ShardedOptions options;
+      options.shards = k;
+      options.threads = threads;
+      core::ShardedScheduler scheduler(options);
+      const std::vector<std::string> journal =
+          DriveWaves(scheduler, wl, state, 5, 7 + static_cast<std::uint64_t>(k),
+                     nullptr);
+      const std::vector<MachineId> placements =
+          Placements(state, wl.container_count());
+      if (!have_reference) {
+        reference_placements = placements;
+        reference_journal = journal;
+        have_reference = true;
+      } else {
+        const std::string label =
+            "k=" + std::to_string(k) + " threads=" + std::to_string(threads);
+        EXPECT_EQ(placements, reference_placements) << label;
+        EXPECT_EQ(journal, reference_journal) << label;
+      }
+    }
+  }
+}
+
+TEST(ShardedEquivalence, RestartedCoordinatorRoutesIdentically) {
+  // Two fresh coordinators — a process restart in miniature — must route
+  // and place identically under every policy: routing may depend only on
+  // the workload, the state and the arrival order, never on process state.
+  const Topology topo =
+      Topology::Uniform(48, ResourceVector::Cores(32, 64), 8, 3);
+  for (const core::ShardRouting routing :
+       {core::ShardRouting::kHash, core::ShardRouting::kLeastUtilized,
+        core::ShardRouting::kConstraintDriven}) {
+    core::ShardedOptions options;
+    options.shards = 4;
+    options.routing = routing;
+
+    std::vector<MachineId> reference;
+    for (int incarnation = 0; incarnation < 2; ++incarnation) {
+      Workload wl;
+      cluster::ClusterState state = wl.MakeState(topo);
+      core::ShardedScheduler scheduler(options);
+      Rng rng(11);
+      for (int wave = 0; wave < 4; ++wave) {
+        std::vector<ContainerId> pending = GrowWave(wl, rng, 5);
+        state.SyncWorkloadGrowth();
+        const sim::ScheduleRequest request{&wl, &pending};
+        (void)scheduler.Schedule(request, state);
+      }
+      const std::vector<MachineId> placements =
+          Placements(state, wl.container_count());
+      if (incarnation == 0) {
+        reference = placements;
+      } else {
+        EXPECT_EQ(placements, reference)
+            << "routing=" << core::ShardRoutingName(routing);
+      }
+    }
+  }
+}
+
+// ------------------------------------------ cross-shard anti-affinity ----
+
+TEST(ShardedAntiAffinity, BlacklistExchangeVetoesFullyConflictedShard) {
+  // Two subclusters -> two shards. Shard 0's machines are far bigger, so
+  // least-utilized routing would pick shard 0 for everything — but app B
+  // conflicts with app A, which occupies every shard-0 machine. The
+  // blacklist-exchange round must veto shard 0 (zero eligible machines)
+  // and land B on shard 1 with no colocation violation.
+  Topology topo;
+  const SubClusterId sub0 = topo.AddSubCluster();
+  const RackId rack0 = topo.AddRack(sub0);
+  const MachineId m0 = topo.AddMachine(rack0, ResourceVector::Cores(64, 128));
+  const MachineId m1 = topo.AddMachine(rack0, ResourceVector::Cores(64, 128));
+  const SubClusterId sub1 = topo.AddSubCluster();
+  const RackId rack1 = topo.AddRack(sub1);
+  (void)topo.AddMachine(rack1, ResourceVector::Cores(8, 16));
+  (void)topo.AddMachine(rack1, ResourceVector::Cores(8, 16));
+
+  Workload wl;
+  const ApplicationId a =
+      wl.AddApplication("a", 2, ResourceVector::Cores(2, 4));
+  const ApplicationId b =
+      wl.AddApplication("b", 2, ResourceVector::Cores(2, 4));
+  wl.AddAntiAffinity(a, b);
+
+  cluster::ClusterState state = wl.MakeState(topo);
+  // App A occupies both shard-0 machines before the coordinator attaches.
+  state.Deploy(ContainerId(0), m0);
+  state.Deploy(ContainerId(1), m1);
+
+  core::ShardedOptions options;
+  options.shards = 2;
+  options.routing = core::ShardRouting::kLeastUtilized;
+  core::ShardedScheduler scheduler(options);
+  ASSERT_EQ(scheduler.name(), "Aladdin-sharded(2xleast-utilized)");
+
+  std::vector<ContainerId> pending = {ContainerId(2), ContainerId(3)};
+  const sim::ScheduleRequest request{&wl, &pending};
+  const sim::ScheduleOutcome outcome = scheduler.Schedule(request, state);
+
+  EXPECT_TRUE(outcome.unplaced.empty())
+      << "B must land on shard 1, not die on blacklisted shard 0";
+  ASSERT_NE(scheduler.plan(), nullptr);
+  for (const ContainerId c : {ContainerId(2), ContainerId(3)}) {
+    const MachineId m = state.PlacementOf(c);
+    ASSERT_TRUE(m.valid());
+    EXPECT_EQ(scheduler.plan()->ShardOf(m), 1) << "container " << c.value();
+  }
+  EXPECT_TRUE(cluster::CollectColocationViolations(state).empty());
+  EXPECT_EQ(cluster::Audit(state).colocation_violations, 0u);
+  EXPECT_TRUE(state.CheckConsistency());
+}
+
+// ---------------------------------------------------------------- spill ----
+
+TEST(ShardedSpill, OverflowingHomeShardSpillsToUntriedShard) {
+  // Shard 0 (one 10-core machine) out-frees shard 1 (one 8-core machine),
+  // so least-utilized homes the whole 16-container wave on shard 0. Only 10
+  // fit; the spill round must re-route the remainder to shard 1.
+  Topology topo;
+  const SubClusterId sub0 = topo.AddSubCluster();
+  (void)topo.AddMachine(topo.AddRack(sub0), ResourceVector::Cores(10, 100));
+  const SubClusterId sub1 = topo.AddSubCluster();
+  (void)topo.AddMachine(topo.AddRack(sub1), ResourceVector::Cores(8, 100));
+
+  Workload wl;
+  wl.AddApplication("wave", 16, ResourceVector::Cores(1, 1));
+  cluster::ClusterState state = wl.MakeState(topo);
+
+  core::ShardedOptions options;
+  options.shards = 2;
+  options.routing = core::ShardRouting::kLeastUtilized;
+  core::ShardedScheduler scheduler(options);
+
+  std::vector<ContainerId> pending;
+  for (const auto& c : wl.containers()) pending.push_back(c.id);
+  const sim::ScheduleRequest request{&wl, &pending};
+  const sim::ScheduleOutcome outcome = scheduler.Schedule(request, state);
+
+  EXPECT_TRUE(outcome.unplaced.empty())
+      << "10 on shard 0 + 6 spilled to shard 1";
+  std::size_t on_shard0 = 0;
+  std::size_t on_shard1 = 0;
+  for (const auto& c : wl.containers()) {
+    const MachineId m = state.PlacementOf(c.id);
+    ASSERT_TRUE(m.valid());
+    (scheduler.plan()->ShardOf(m) == 0 ? on_shard0 : on_shard1) += 1;
+  }
+  EXPECT_EQ(on_shard0, 10u);
+  EXPECT_EQ(on_shard1, 6u);
+  EXPECT_TRUE(state.CheckConsistency());
+}
+
+TEST(ShardedSpill, ZeroRebalanceRoundsSurfacesUnplaced) {
+  // Same scenario with spilling disabled: the bad routing choice must
+  // surface as unplaced with a terminal cause, not silently re-route.
+  Topology topo;
+  (void)topo.AddMachine(topo.AddRack(topo.AddSubCluster()),
+                        ResourceVector::Cores(10, 100));
+  (void)topo.AddMachine(topo.AddRack(topo.AddSubCluster()),
+                        ResourceVector::Cores(8, 100));
+
+  Workload wl;
+  wl.AddApplication("wave", 16, ResourceVector::Cores(1, 1));
+  cluster::ClusterState state = wl.MakeState(topo);
+
+  core::ShardedOptions options;
+  options.shards = 2;
+  options.rebalance_rounds = 0;
+  core::ShardedScheduler scheduler(options);
+
+  std::vector<ContainerId> pending;
+  for (const auto& c : wl.containers()) pending.push_back(c.id);
+  const sim::ScheduleRequest request{&wl, &pending};
+  const sim::ScheduleOutcome outcome = scheduler.Schedule(request, state);
+  EXPECT_EQ(outcome.unplaced.size(), 6u);
+  ASSERT_EQ(outcome.unplaced_causes.size(), outcome.unplaced.size())
+      << "causes stay parallel to unplaced";
+  for (const obs::Cause cause : outcome.unplaced_causes) {
+    EXPECT_NE(cause, obs::Cause::kNone);
+  }
+}
+
+// ------------------------------------------------- resolver end-to-end ----
+
+void RunScript(k8s::ClusterSimulator& sim, int ticks) {
+  Rng rng(7);
+  std::int64_t apps = 0;
+  for (int t = 0; t < ticks; ++t) {
+    for (int d = 0; d < 3; ++d) {
+      k8s::PodSpec spec;
+      spec.requests = cluster::ResourceVector::Cores(rng.UniformInt(1, 6),
+                                                     rng.UniformInt(2, 12));
+      spec.priority = rng.Bernoulli(0.2)
+                          ? static_cast<cluster::Priority>(rng.UniformInt(1, 3))
+                          : 0;
+      spec.anti_affinity_within = rng.Bernoulli(0.6);
+      sim.SubmitDeployment("svc-" + std::to_string(apps++),
+                           static_cast<std::size_t>(rng.UniformInt(1, 5)),
+                           spec);
+    }
+    sim.SubmitBatchJob("job-" + std::to_string(t), 12,
+                       cluster::ResourceVector::Cores(1, 2),
+                       /*lifetime_ticks=*/2);
+    if (t == 3) sim.ScaleDown("svc-1", 2);
+    if (t == 5) sim.RemoveNode("node-7");  // forces a topology rebuild
+    sim.Tick();
+  }
+}
+
+std::map<k8s::PodUid, std::string> FinalBindings(k8s::ClusterSimulator& sim) {
+  std::map<k8s::PodUid, std::string> out;
+  for (k8s::PodUid uid : sim.adaptor().BoundPods()) {
+    out[uid] = sim.adaptor().FindPod(uid)->node;
+  }
+  return out;
+}
+
+TEST(ResolverSharded, OneShardMatchesUnshardedPerTick) {
+  k8s::ResolverOptions unsharded_options;
+  unsharded_options.aladdin = k8s::Resolver::DefaultOptions();
+  unsharded_options.aladdin.threads = 1;
+  k8s::ResolverOptions sharded_options = unsharded_options;
+  sharded_options.shards = 1;
+
+  k8s::ClusterSimulator unsharded(unsharded_options);
+  k8s::ClusterSimulator sharded(sharded_options);
+  unsharded.AddNodes(16, cluster::ResourceVector::Cores(32, 64), "node", 4, 2);
+  sharded.AddNodes(16, cluster::ResourceVector::Cores(32, 64), "node", 4, 2);
+
+  RunScript(unsharded, 9);
+  RunScript(sharded, 9);
+
+  ASSERT_EQ(unsharded.history().size(), sharded.history().size());
+  for (std::size_t t = 0; t < unsharded.history().size(); ++t) {
+    const auto& a = unsharded.history()[t];
+    const auto& b = sharded.history()[t];
+    EXPECT_EQ(a.new_bindings, b.new_bindings) << "tick " << t;
+    EXPECT_EQ(a.migrations, b.migrations) << "tick " << t;
+    EXPECT_EQ(a.preemptions, b.preemptions) << "tick " << t;
+    EXPECT_EQ(a.unschedulable, b.unschedulable) << "tick " << t;
+    EXPECT_EQ(a.unschedulable_causes, b.unschedulable_causes) << "tick " << t;
+  }
+  EXPECT_EQ(FinalBindings(unsharded), FinalBindings(sharded));
+  EXPECT_EQ(unsharded.completed_tasks(), sharded.completed_tasks());
+}
+
+TEST(ResolverSharded, MultiShardRunStaysConsistent) {
+  k8s::ResolverOptions options;
+  options.aladdin = k8s::Resolver::DefaultOptions();
+  options.shards = 4;
+
+  k8s::ClusterSimulator sim(options);
+  sim.AddNodes(16, cluster::ResourceVector::Cores(32, 64), "node", 4, 2);
+  RunScript(sim, 9);
+
+  ASSERT_FALSE(sim.history().empty());
+  // Per-shard breakdown present and accounted: routed covers every shard.
+  const auto& last = sim.history().back();
+  ASSERT_EQ(last.shards.size(), 4u);
+  std::size_t machines = 0;
+  for (const auto& shard : last.shards) machines += shard.machines;
+  EXPECT_EQ(machines, 15u) << "node-7 was removed at tick 5";
+  std::size_t bound = 0;
+  for (const auto& tick : sim.history()) bound += tick.new_bindings;
+  EXPECT_GT(bound, 0u);
+}
+
+}  // namespace
+}  // namespace aladdin

@@ -11,6 +11,11 @@ Checks, in order:
   * ticks are monotone non-decreasing (SetJournalTick only moves forward);
   * terminal records are well-formed: place/migrate carry a machine >= 0,
     migrate carries a source (`other` >= 0), preempt carries an aggressor;
+  * the optional `shard` field (stamped by core::ShardedScheduler; absent
+    on unsharded and K=1 runs) is an integer >= -1, and seq is strictly
+    increasing *within* each shard's record stream too — the coordinator
+    replays each shard's capture buffer in order from a serial section, so
+    a per-shard regression means a capture was split or interleaved;
   * every container whose *final* terminal record is a give-up carries a
     cause other than "none" — the acceptance bar behind
     `explain.py --why-unplaced`. With --no-catch-all, "no_admissible_path"
@@ -50,6 +55,7 @@ def validate(lines: list[str], no_catch_all: bool = False) -> list[str]:
     errors: list[str] = []
     last_seq = None
     last_tick = None
+    last_seq_by_shard: dict[int, int] = {}
     final: dict[int, tuple[int, str, str]] = {}  # container -> (line, kind, cause)
     records = 0
     for lineno, line in enumerate(lines, start=1):
@@ -83,6 +89,16 @@ def validate(lines: list[str], no_catch_all: bool = False) -> list[str]:
         if last_tick is not None and tick < last_tick:
             errors.append(f"{where}: tick {tick} regresses below {last_tick}")
         last_tick = tick
+
+        shard = record.get("shard", -1)
+        if not isinstance(shard, int) or shard < -1:
+            errors.append(f"{where}: shard {shard!r} is not an integer >= -1")
+        else:
+            prev = last_seq_by_shard.get(shard)
+            if prev is not None and seq <= prev:
+                errors.append(f"{where}: shard {shard} seq {seq} does not "
+                              f"increase past {prev}")
+            last_seq_by_shard[shard] = seq
 
         if kind in ("place", "migrate") and record["machine"] < 0:
             errors.append(f"{where}: {kind} without a destination machine")

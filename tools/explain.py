@@ -8,6 +8,10 @@ behind). Each line is one record:
   {"seq":N,"tick":T,"kind":"place|reject|migrate|preempt|unplaced|event",
    "cause":"...","container":C,"machine":M,"other":O,"detail":D}
 
+Runs under core::ShardedScheduler additionally stamp `"shard":S` on every
+record a shard solver emitted (absent / -1 on unsharded and K=1 runs —
+those journals are byte-identical to pre-sharding ones).
+
 The journal is seq-ordered and complete (emission sites cover every
 placement, rejection, migration, preemption and terminal give-up), so a
 container's fate is decided by its *last terminal* record: place/migrate
@@ -23,11 +27,15 @@ Modes (default: summary of the whole journal):
                     show no catch-alls)
   --machine ID      everything that happened on one machine: placements,
                     arrivals/departures via migration, preemptions
+  --shard S         restrict any mode to records stamped with shard S
+                    (composes with the modes above; S=-1 selects records
+                    emitted outside a shard solver)
 
 Usage:
   tools/explain.py RUN.journal.jsonl --why 1234
   tools/explain.py RUN.journal.jsonl --why-unplaced
   tools/explain.py RUN.journal.jsonl --machine 17
+  tools/explain.py RUN.journal.jsonl --shard 3 --why-unplaced
 """
 
 from __future__ import annotations
@@ -225,6 +233,11 @@ def cmd_summary(records: list[dict]) -> int:
     print("by kind: " + ", ".join(f"{k}={n}"
                                   for k, n in sorted(kinds.items())))
     print(f"final states: {placed} placed, {len(last) - placed} unplaced")
+    shards = Counter(r["shard"] for r in records
+                     if r.get("shard", -1) >= 0)
+    if shards:
+        print("by shard: " + ", ".join(f"{s}={n}"
+                                       for s, n in sorted(shards.items())))
     print("top causes:")
     for cause, count in causes.most_common(8):
         print(f"  {cause:<28} {count:>8}  {CAUSE_TEXT.get(cause, cause)}")
@@ -245,9 +258,19 @@ def main() -> int:
                        help="group finally-unplaced containers by cause")
     group.add_argument("--machine", type=int, metavar="ID",
                        help="placements/arrivals/departures on one machine")
+    parser.add_argument("--shard", type=int, metavar="S",
+                        help="only records stamped with this shard id "
+                             "(-1 = emitted outside a shard solver)")
     args = parser.parse_args()
 
     records = load_journal(args.journal)
+    if args.shard is not None:
+        records = [r for r in records
+                   if r.get("shard", -1) == args.shard]
+        if not records:
+            print(f"explain: {args.journal}: no records for shard "
+                  f"{args.shard}", file=sys.stderr)
+            return 1
     if not records:
         print(f"explain: {args.journal}: empty journal", file=sys.stderr)
         return 1
