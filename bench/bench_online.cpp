@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "core/relaxation.h"
 #include "k8s/simulator.h"
 #include "obs/cli.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "sim/report.h"
 
@@ -104,6 +106,14 @@ int main(int argc, char** argv) {
   auto& routing = flags.String("routing", "least-utilized",
                                "shard routing policy: hash, least-utilized, "
                                "constraint-driven");
+  auto& slo_ticks = flags.Int64("slo_ticks", 4,
+                                "admission SLO objective: this share of pods "
+                                "must bind within this many ticks");
+  auto& slo_pct = flags.Double("slo_pct", 99.0,
+                               "admission SLO objective percent");
+  auto& slo_report = flags.String("slo_report", "",
+                                  "write the final SLO snapshot (the /slo "
+                                  "endpoint JSON) to this path");
   auto& json = flags.String("json", "",
                             "write BENCH json results to this path");
   obs::ObsCli obs_cli(flags);
@@ -124,6 +134,8 @@ int main(int argc, char** argv) {
               << "' (hash, least-utilized, constraint-driven)";
     return 1;
   }
+  options.slo.wait_ticks = slo_ticks;
+  options.slo.percent = slo_pct;
   k8s::ClusterSimulator sim(options);
   sim.AddNodes(static_cast<std::size_t>(nodes),
                cluster::ResourceVector::Cores(32, 64));
@@ -224,6 +236,8 @@ int main(int argc, char** argv) {
           occ.used_machines > 0 ? 100.0 - occ.avg_util_pct : 0.0;
       point.wall_seconds = stats.wall_seconds;
       point.phase_seconds = obs::ExclusiveSeconds(stats.phases);
+      point.slo_attainment_pct = stats.slo.attainment_pct;
+      point.pending_age_p99 = stats.pending_ages.p99;
       if (!timeseries->Append(point)) {
         LOG_ERROR << "failed writing " << obs_cli.timeseries_path();
         return 1;
@@ -288,6 +302,24 @@ int main(int argc, char** argv) {
   if (!cause_counts.empty()) {
     std::printf("\nunschedulable cause histogram (all ticks):\n");
     sim::PrintCauseTable(cause_counts);
+  }
+
+  // Admission-SLO attainment (obs/lifecycle + obs/slo): the resolver
+  // publishes the same snapshot the /statusz and /slo endpoints serve, so
+  // the table here matches what a live scrape would have seen at the last
+  // tick. --slo_report dumps the machine-readable form for CI artifacts.
+  const obs::IntrospectionStatus introspection = obs::IntrospectionSnapshot();
+  if (obs::IntrospectionPublished()) {
+    std::printf("\nadmission SLO attainment (per app, worst first):\n");
+    sim::PrintSloTable(introspection.slo);
+    if (!slo_report.empty()) {
+      std::ofstream os(slo_report, std::ios::out | std::ios::trunc);
+      if (!os || !(os << obs::RenderSloJson(introspection) << '\n')) {
+        LOG_ERROR << "failed to write " << slo_report;
+        return 1;
+      }
+      std::printf("slo report written to %s\n", slo_report.c_str());
+    }
   }
   if (timeseries.has_value()) {
     std::printf("timeseries written to %s\n",
@@ -363,6 +395,16 @@ int main(int argc, char** argv) {
     out.Metric("audit_unplaced", static_cast<double>(audit.unplaced), "count");
     out.Metric("audit_colocation_violations",
                static_cast<double>(audit.colocation_violations), "count");
+    if (obs::IntrospectionPublished()) {
+      out.Metric("slo_admitted",
+                 static_cast<double>(introspection.slo.admitted), "count");
+      out.Metric("slo_violations",
+                 static_cast<double>(introspection.slo.violations), "count");
+      out.Metric("slo_attainment_pct", introspection.slo.attainment_pct,
+                 "pct");
+      out.Metric("admission_wait_p99_ticks",
+                 static_cast<double>(introspection.slo.p99), "count");
+    }
     if (!shard_totals.empty()) {
       double max_solve = 0.0;
       double sum_solve = 0.0;

@@ -281,7 +281,11 @@ void ShardedScheduler::RouteRound(const cluster::ClusterState& state,
 
   // Second pass: append containers in their original arrival order, so each
   // shard's queue preserves relative submission order (and the K = 1 queue
-  // is exactly the unsharded one).
+  // is exactly the unsharded one). Runs serial on the coordinator, so the
+  // routed/spilled hop events below take global journal sequence numbers in
+  // arrival order — gated on K > 1 to keep the K = 1 stream byte-identical
+  // to the unsharded scheduler's.
+  const bool journal_hops = plan_->shard_count() > 1 && obs::JournalEnabled();
   for (const Pending& p : pending) {
     const cluster::ApplicationId app = containers[Idx(p.container)].app;
     const RoundApp& ra =
@@ -291,6 +295,13 @@ void ShardedScheduler::RouteRound(const cluster::ClusterState& state,
     } else {
       shards_[static_cast<std::size_t>(ra.target)].round_arrivals.push_back(
           p.container);
+      if (journal_hops) {
+        obs::EmitDecision(obs::DecisionKind::kEvent,
+                          round == 0 ? obs::Cause::kShardRouted
+                                     : obs::Cause::kShardSpilled,
+                          p.container.value(), /*machine=*/-1,
+                          /*other=*/ra.target, /*detail=*/round);
+      }
     }
   }
   for (const RoundApp& ra : round_apps_) app_slot_[Idx(ra.app)] = -1;

@@ -85,13 +85,22 @@ void FinishStats(ResolveStats& stats, const WallTimer& timer,
   ALADDIN_METRIC_OBSERVE("k8s/resolve_ms", "ms", stats.wall_seconds * 1e3);
 }
 
+// Row caps for the lifecycle epilogue: per-app SLO rows kept in
+// ResolveStats / the introspection snapshot, and the /statusz
+// oldest-pending table depth.
+constexpr std::size_t kSloSnapshotAppRows = 32;
+constexpr std::size_t kOldestPendingRows = 10;
+
 }  // namespace
 
 Resolver::Resolver(ModelAdaptor& adaptor, core::AladdinOptions options)
     : Resolver(adaptor, ResolverOptions{options, true}) {}
 
 Resolver::Resolver(ModelAdaptor& adaptor, ResolverOptions options)
-    : adaptor_(adaptor), options_(options), scheduler_(options.aladdin) {
+    : adaptor_(adaptor),
+      options_(options),
+      scheduler_(options.aladdin),
+      slo_(options.slo) {
   if (options_.shards > 0) {
     sharded_ = std::make_unique<core::ShardedScheduler>(ShardedConfig());
   }
@@ -108,12 +117,16 @@ core::ShardedOptions Resolver::ShardedConfig() const {
   return config;
 }
 
-void Resolver::RebuildState() {
+void Resolver::RebuildState(std::int64_t tick) {
   const trace::Workload& workload = adaptor_.workload();
   const cluster::Topology& topology = adaptor_.topology();
   state_.emplace(workload.MakeState(topology));
   built_topology_version_ = adaptor_.topology_version();
-  (void)adaptor_.TakeRetiredContainers();  // superseded by the rebuild
+  // The rebuild supersedes the retirement journal for state sync, but the
+  // lifecycle ledger still needs the spans closed.
+  for (cluster::ContainerId c : adaptor_.TakeRetiredContainers()) {
+    if (options_.lifecycle) ledger_.OnRetired(c.value(), tick);
+  }
 
   // Pre-deploy bound pods into the fresh state.
   for (PodUid uid : adaptor_.BoundPods()) {
@@ -137,13 +150,14 @@ void Resolver::RebuildState() {
   free_index_cursor_ = state_->DirtyLogEnd();
 }
 
-void Resolver::SyncState() {
+void Resolver::SyncState(std::int64_t tick) {
   state_->SyncWorkloadGrowth();
   // Deleted (or externally unbound) pods leave tombstoned containers; evict
   // their placements so the space frees up — via the state directly, so the
   // dirty log carries the change to the network and the free index.
   for (cluster::ContainerId c : adaptor_.TakeRetiredContainers()) {
     if (state_->IsPlaced(c)) state_->Evict(c);
+    if (options_.lifecycle) ledger_.OnRetired(c.value(), tick);
     if (obs::JournalEnabled()) {
       obs::EmitDecision(obs::DecisionKind::kEvent, obs::Cause::kPodRetired,
                         c.value());
@@ -160,6 +174,62 @@ void Resolver::SyncFreeIndex() {
     for (cluster::MachineId m : dirty) free_index_.OnChanged(m);
   }
   free_index_cursor_ = state_->DirtyLogEnd();
+}
+
+void Resolver::TrackArrivals(const std::vector<PodUid>& pending,
+                             const cluster::ClusterState& state,
+                             std::int64_t tick) {
+  if (!options_.lifecycle) return;
+  slo_.BeginTick(tick);
+  for (PodUid uid : pending) {
+    const cluster::ContainerId c = adaptor_.ContainerOf(uid);
+    if (!c.valid() || ledger_.HasOpenSpan(c.value())) continue;
+    const cluster::ApplicationId app =
+        state.containers()[static_cast<std::size_t>(c.value())].app;
+    slo_.RegisterApp(
+        app.value(),
+        state.applications()[static_cast<std::size_t>(app.value())].name);
+    ledger_.OnArrival(c.value(), app.value(), tick);
+  }
+}
+
+void Resolver::FinishLifecycle(ResolveStats& stats,
+                               const cluster::ClusterState& state,
+                               std::int64_t tick) {
+  if (!options_.lifecycle) return;
+  // Once-per-tick summary work, O(tracked spans + apps), never per-pod.
+  stats.pending_ages =
+      obs::SummarizePendingAges(ledger_.PendingAgeCounts(tick));
+  stats.slo = slo_.Snapshot(kSloSnapshotAppRows);
+
+  obs::IntrospectionStatus status;
+  status.tick = tick;
+  status.slo = stats.slo;
+  status.pending_ages = stats.pending_ages;
+  // analyze:allow(A103) once-per-tick snapshot, bounded by the shard count
+  status.shards.reserve(stats.shards.size());
+  for (const core::ShardTickStats& s : stats.shards) {
+    obs::IntrospectionShard shard;
+    shard.shard = s.shard;
+    shard.machines = s.machines;
+    shard.routed = s.routed;
+    shard.placed = s.placed;
+    shard.unplaced = s.unplaced;
+    shard.solve_seconds = s.solve_seconds;
+    status.shards.push_back(shard);
+  }
+  status.oldest_pending = ledger_.OldestPending(tick, kOldestPendingRows);
+  // analyze:allow(A103) once-per-tick, bounded by kOldestPendingRows
+  status.oldest_pending_app.reserve(status.oldest_pending.size());
+  for (const obs::PendingRow& row : status.oldest_pending) {
+    const auto app = static_cast<std::size_t>(row.app);
+    status.oldest_pending_app.push_back(
+        row.app >= 0 && app < state.applications().size()
+            ? state.applications()[app].name
+            // analyze:allow(A102) once-per-tick, bounded by kOldestPendingRows
+            : std::string{});
+  }
+  obs::PublishIntrospection(std::move(status));
 }
 
 ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
@@ -191,7 +261,10 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
     // Historical rebuild-everything path, kept as the equivalence baseline
     // (and the A/B arm of the benchmarks): fresh state, fresh scheduler,
     // full scans. Identical placements to the incremental path.
-    (void)adaptor_.TakeRetiredContainers();  // meaningless without a state
+    // No state to sync, but the lifecycle ledger still closes retired spans.
+    for (cluster::ContainerId c : adaptor_.TakeRetiredContainers()) {
+      if (options_.lifecycle) ledger_.OnRetired(c.value(), tick);
+    }
     const trace::Workload& workload = adaptor_.workload();
     const cluster::Topology& topology = adaptor_.topology();
     cluster::ClusterState state = workload.MakeState(topology);
@@ -230,13 +303,20 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
       }
     }
 
+    TrackArrivals(pending, state, tick);
+
+    // Hoisted past reconcile: the shard plan attributes each placement
+    // machine to its owning shard for the lifecycle spans.
+    std::unique_ptr<core::ShardedScheduler> fresh_sharded;
     if (!long_lived.empty()) {
       sim::ScheduleRequest request{&workload, &long_lived};
       sim::ScheduleOutcome outcome;
       if (options_.shards > 0) {
-        core::ShardedScheduler scheduler(ShardedConfig());
-        outcome = scheduler.Schedule(request, state);
-        stats.shards = scheduler.last_shard_stats();
+        // analyze:allow(A101) full-rebuild A/B arm, not the steady-state path
+        fresh_sharded = std::make_unique<core::ShardedScheduler>(
+            ShardedConfig());
+        outcome = fresh_sharded->Schedule(request, state);
+        stats.shards = fresh_sharded->last_shard_stats();
       } else {
         core::AladdinScheduler scheduler(options_.aladdin);
         outcome = scheduler.Schedule(request, state);
@@ -246,6 +326,13 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
             outcome.unplaced_causes[i];
       }
     }
+    const auto ShardOfMachine =
+        [&fresh_sharded](cluster::MachineId m) -> std::int32_t {
+      const cluster::ShardPlan* plan =
+          fresh_sharded != nullptr ? fresh_sharded->plan() : nullptr;
+      return plan != nullptr && plan->shard_count() > 1 ? plan->ShardOf(m)
+                                                        : -1;
+    };
     if (!short_lived.empty()) {
       ALADDIN_PHASE_SCOPE("core/task");
       cluster::FreeIndex index;
@@ -276,16 +363,32 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
         Pod* pod = adaptor_.MutablePod(uid);
         const auto c = adaptor_.ContainerOf(uid);
         if (state.IsPlaced(c)) {
+          const cluster::MachineId m = state.PlacementOf(c);
           pod->phase = PodPhase::kBound;
-          pod->node = adaptor_.NodeOfMachine(state.PlacementOf(c));
+          pod->node = adaptor_.NodeOfMachine(m);
           pod->bound_at_tick = tick;
           ++stats.new_bindings;
           if (bindings != nullptr) {
             bindings->push_back(Binding{uid, pod->node});
           }
+          if (options_.lifecycle) {
+            const std::int64_t wait =
+                ledger_.OnPlaced(c.value(), m.value(), ShardOfMachine(m),
+                                 tick);
+            if (wait >= 0) {
+              slo_.OnAdmitted(*ledger_.MutableSpan(c.value()), wait);
+            }
+          }
         } else {
           ++stats.unschedulable;
-          causes.Add(CauseOf(c));
+          const obs::Cause cause = CauseOf(c);
+          causes.Add(cause);
+          if (options_.lifecycle) {
+            ledger_.OnAttempt(c.value(), cause, tick);
+            if (obs::LifecycleSpan* span = ledger_.MutableSpan(c.value())) {
+              slo_.ObservePending(*span, tick);
+            }
+          }
         }
       }
       for (const auto& [uid, old_node] : previous_node) {
@@ -295,6 +398,7 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
           pod->phase = PodPhase::kPending;
           pod->node.clear();
           ++stats.preemptions;
+          if (options_.lifecycle) ledger_.OnPreempted(c.value(), tick);
           continue;
         }
         const std::string& node = adaptor_.NodeOfMachine(state.PlacementOf(c));
@@ -307,6 +411,7 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
       }
     }
 
+    FinishLifecycle(stats, state, tick);
     causes.FillStats(stats);
     FinishStats(stats, timer, phases_before);
     return stats;
@@ -329,9 +434,9 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
     if (!state_.has_value() ||
         adaptor_.topology_version() != built_topology_version_) {
       ALADDIN_TRACE_INSTANT("k8s/state_rebuild");
-      RebuildState();
+      RebuildState(tick);
     } else {
-      SyncState();
+      SyncState(tick);
     }
     ALADDIN_DCHECK(state_->placed_count() == adaptor_.BoundPods().size())
         << "persistent state out of sync with the pod store";
@@ -351,6 +456,12 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
   }
   const trace::Workload& workload = adaptor_.workload();  // already synced
   cluster::ClusterState& state = *state_;
+  TrackArrivals(pending, state, tick);
+  const auto ShardOfMachine = [this](cluster::MachineId m) -> std::int32_t {
+    const cluster::ShardPlan* plan =
+        sharded_ != nullptr ? sharded_->plan() : nullptr;
+    return plan != nullptr && plan->shard_count() > 1 ? plan->ShardOf(m) : -1;
+  };
 
   // Long-lived pods: the Aladdin core. The persistent scheduler reuses its
   // aggregated network, replaying this state's dirty log (our evictions
@@ -412,14 +523,29 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
       Pod* pod = adaptor_.MutablePod(uid);
       const auto c = adaptor_.ContainerOf(uid);
       if (state.IsPlaced(c)) {
+        const cluster::MachineId m = state.PlacementOf(c);
         pod->phase = PodPhase::kBound;
-        pod->node = adaptor_.NodeOfMachine(state.PlacementOf(c));
+        pod->node = adaptor_.NodeOfMachine(m);
         pod->bound_at_tick = tick;
         ++stats.new_bindings;
         if (bindings != nullptr) bindings->push_back(Binding{uid, pod->node});
+        if (options_.lifecycle) {
+          const std::int64_t wait = ledger_.OnPlaced(
+              c.value(), m.value(), ShardOfMachine(m), tick);
+          if (wait >= 0) {
+            slo_.OnAdmitted(*ledger_.MutableSpan(c.value()), wait);
+          }
+        }
       } else {
         ++stats.unschedulable;
-        causes.Add(CauseOf(c));
+        const obs::Cause cause = CauseOf(c);
+        causes.Add(cause);
+        if (options_.lifecycle) {
+          ledger_.OnAttempt(c.value(), cause, tick);
+          if (obs::LifecycleSpan* span = ledger_.MutableSpan(c.value())) {
+            slo_.ObservePending(*span, tick);
+          }
+        }
       }
     }
     for (cluster::ContainerId c : state.TakeChangedContainers()) {
@@ -433,6 +559,7 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
         pod->phase = PodPhase::kPending;
         pod->node.clear();
         ++stats.preemptions;
+        if (options_.lifecycle) ledger_.OnPreempted(c.value(), tick);
         continue;
       }
       const std::string& node = adaptor_.NodeOfMachine(state.PlacementOf(c));
@@ -448,6 +575,7 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
   if (obs::MetricsEnabled()) {
     ALADDIN_METRIC_ADD("k8s/arena_bytes", arena_.bytes_used());
   }
+  FinishLifecycle(stats, state, tick);
   causes.FillStats(stats);
   FinishStats(stats, timer, phases_before);
   return stats;

@@ -34,7 +34,9 @@
 #include "core/sharded.h"
 #include "k8s/adaptor.h"
 #include "obs/journal.h"
+#include "obs/lifecycle.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 
 namespace aladdin::k8s {
 
@@ -62,6 +64,13 @@ struct ResolveStats {
   // Per-shard breakdown of the long-lived solve (empty unless
   // ResolverOptions::shards > 0).
   std::vector<core::ShardTickStats> shards;
+
+  // Lifecycle / SLO view after this resolve (ResolverOptions::lifecycle).
+  // Exact tick integers mutated only from serial sections, so both are
+  // bit-identical across thread counts and across shards 0/1 — the same
+  // determinism bar as the journal.
+  obs::PendingAgeStats pending_ages;  // ages of still-pending spans
+  obs::SloSnapshot slo;               // cumulative attainment (capped rows)
 };
 
 struct ResolverOptions {
@@ -75,6 +84,13 @@ struct ResolverOptions {
   // this down). `aladdin.threads` becomes the shard-solve pool size.
   int shards = 0;
   core::ShardRouting routing = core::ShardRouting::kLeastUtilized;
+  // Track per-container lifecycle spans and admission-SLO attainment
+  // (obs/lifecycle.h, obs/slo.h). Adds O(pending) exact-integer accounting
+  // per resolve; placements are unaffected.
+  bool lifecycle = true;
+  // Admission objective: `slo.percent`% of containers placed within
+  // `slo.wait_ticks` ticks of arrival.
+  obs::SloObjective slo;
 };
 
 class Resolver {
@@ -100,11 +116,21 @@ class Resolver {
  private:
   // Rebuilds state_ / free_index_ from the adaptor snapshot (bound pods
   // pre-deployed) and records the topology version they were built for.
-  void RebuildState();
+  // `tick` closes the lifecycle spans of containers retired by the rebuild.
+  void RebuildState(std::int64_t tick);
   // Brings the persistent state in line with adaptor-side changes since the
   // last tick: workload growth and retired (deleted/unbound) containers.
-  void SyncState();
+  void SyncState(std::int64_t tick);
   void SyncFreeIndex();
+
+  // Opens lifecycle spans (and interns app names with the SLO engine) for
+  // pending pods not already tracked. Serial section; journals kPodArrived.
+  void TrackArrivals(const std::vector<PodUid>& pending,
+                     const cluster::ClusterState& state, std::int64_t tick);
+  // Shared lifecycle epilogue of both arms: pending-age summary, SLO
+  // snapshot into `stats`, introspection publish for /statusz + /slo.
+  void FinishLifecycle(ResolveStats& stats,
+                       const cluster::ClusterState& state, std::int64_t tick);
 
   // The sharded-coordinator configuration derived from `options` (inner
   // solver options, pool size, routing policy).
@@ -130,6 +156,11 @@ class Resolver {
   Arena arena_;
   std::vector<cluster::ContainerId> long_lived_;
   std::vector<PodUid> short_lived_;
+
+  // Lifecycle ledger + SLO engine (options_.lifecycle). Shared by both
+  // resolve arms and mutated only from their serial sections.
+  obs::LifecycleLedger ledger_;
+  obs::SloEngine slo_;
 };
 
 }  // namespace aladdin::k8s

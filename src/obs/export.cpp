@@ -12,6 +12,7 @@
 
 #include "common/log.h"
 #include "common/thread_pool.h"
+#include "obs/slo.h"
 
 namespace aladdin::obs {
 namespace {
@@ -45,6 +46,20 @@ void AppendNumber(std::string& out, double value) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   out += buf;
+}
+
+// Path component of "<METHOD> <path>[?query] HTTP/1.1". Empty on anything
+// that does not parse as a request line.
+std::string RequestPath(const char* request) {
+  const char* p = std::strchr(request, ' ');
+  if (p == nullptr) return {};
+  ++p;
+  const char* end = p;
+  while (*end != '\0' && *end != ' ' && *end != '?' && *end != '\r' &&
+         *end != '\n') {
+    ++end;
+  }
+  return std::string(p, end);
 }
 
 }  // namespace
@@ -170,18 +185,34 @@ void PrometheusListener::ServeLoop() {
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
     const int client = ::accept(fd, nullptr, nullptr);
     if (client < 0) continue;
-    // Drain whatever request line arrived; the response is the same for
-    // every method and path.
+    // One recv is enough: request lines fit in a packet and we only route
+    // on the path — no headers or body are consulted.
     char request[1024];
-    (void)::recv(client, request, sizeof(request), 0);
-    const std::string body = RenderPrometheus(Registry::Get().Snapshot());
-    char header[160];
+    const auto received = ::recv(client, request, sizeof(request) - 1, 0);
+    request[received > 0 ? received : 0] = '\0';
+    const std::string path = RequestPath(request);
+    std::string body;
+    const char* content_type = "text/plain; charset=utf-8";
+    if (path == "/healthz") {
+      body = "ok\n";
+    } else if (path == "/statusz") {
+      body = RenderStatusz(IntrospectionSnapshot());
+    } else if (path == "/slo") {
+      body = RenderSloJson(IntrospectionSnapshot());
+      content_type = "application/json";
+    } else {
+      // Any other path (/, /metrics, scrapers with odd queries) keeps the
+      // historical behaviour: the Prometheus exposition.
+      body = RenderPrometheus(Registry::Get().Snapshot());
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+    }
+    char header[192];
     const int header_len = std::snprintf(
         header, sizeof(header),
         "HTTP/1.1 200 OK\r\n"
-        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Type: %s\r\n"
         "Content-Length: %zu\r\nConnection: close\r\n\r\n",
-        body.size());
+        content_type, body.size());
     (void)::send(client, header, static_cast<std::size_t>(header_len), 0);
     (void)::send(client, body.data(), body.size(), 0);
     ::close(client);

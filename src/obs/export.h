@@ -35,11 +35,15 @@ namespace aladdin::obs {
 // False (with a logged error) on I/O failure.
 [[nodiscard]] bool WritePrometheusFile(const std::string& path);
 
-// Minimal single-connection HTTP listener serving the live registry on
-// every request (any method/path). The accept loop runs on a dedicated
-// one-worker ThreadPool; Stop() (or destruction) shuts it down. Best-effort
-// by design: scrape failures are the scraper's problem, never the
-// scheduler's.
+// Minimal single-connection HTTP introspection server. Routes:
+//   /healthz  -> "ok" (liveness probe)
+//   /statusz  -> text tables: SLO attainment, per-shard load,
+//                oldest-pending queue residents (obs::RenderStatusz)
+//   /slo      -> the same snapshot as JSON (obs::RenderSloJson)
+//   any other -> the live registry in Prometheus exposition format
+// The accept loop runs on a dedicated one-worker ThreadPool; Stop() (or
+// destruction) shuts it down. Best-effort by design: scrape failures are
+// the scraper's problem, never the scheduler's.
 class PrometheusListener {
  public:
   PrometheusListener();

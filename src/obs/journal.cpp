@@ -35,6 +35,10 @@ const char* const kCauseNames[] = {
     "isomorphism_prune",
     "pod_retired",
     "baseline_unplaced",
+    "pod_arrived",
+    "shard_routed",
+    "shard_spilled",
+    "slo_violated",
 };
 static_assert(sizeof(kCauseNames) / sizeof(kCauseNames[0]) ==
                   static_cast<std::size_t>(Cause::kCount),

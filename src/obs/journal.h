@@ -59,6 +59,12 @@ enum class Cause : std::uint8_t {  // analyze:closed_enum
   // External / baseline causes.
   kPodRetired,        // container retired by pod deletion / stale binding
   kBaselineUnplaced,  // non-Aladdin engine gave up (catch-all)
+  // Lifecycle / SLO causes (obs/lifecycle, obs/slo). All ride on kEvent.
+  kPodArrived,    // span open: container first seen pending (other = app)
+  kShardRouted,   // routed to shard `other` in round `detail` (K > 1 only)
+  kShardSpilled,  // re-routed to shard `other` by spill round `detail`
+  kSloViolated,   // pending-age crossed the admission SLO (other = app,
+                  // detail = age in ticks at the crossing)
   kCount
 };
 

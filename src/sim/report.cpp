@@ -164,6 +164,64 @@ void PrintCauseTable(
   BuildCauseTable(counts).Print();
 }
 
+Table BuildSloTable(const obs::SloSnapshot& snapshot) {
+  Table table({"app", "admitted", "within", "violations", "within_pct", "p50",
+               "p99", "p999", "max"});
+  const auto within_pct = [](std::int64_t within, std::int64_t judged) {
+    return judged > 0
+               ? static_cast<double>(within) / static_cast<double>(judged) *
+                     100.0
+               : 100.0;
+  };
+  for (const obs::SloAppRow& row : snapshot.apps) {
+    table.Cell(row.name.empty() ? std::to_string(row.app) : row.name)
+        .Cell(row.admitted)
+        .Cell(row.within)
+        .Cell(row.violations)
+        .Cell(within_pct(row.within, row.within + row.violations), 2)
+        .Cell(row.p50)
+        .Cell(row.p99)
+        .Cell(row.p999)
+        .Cell(row.wait_max)
+        .EndRow();
+  }
+  if (snapshot.apps_total > snapshot.apps.size()) {
+    table.Cell("(+" + std::to_string(snapshot.apps_total -
+                                     snapshot.apps.size()) +
+               " more apps)")
+        .Cell("")
+        .Cell("")
+        .Cell("")
+        .Cell("")
+        .Cell("")
+        .Cell("")
+        .Cell("")
+        .Cell("")
+        .EndRow();
+  }
+  table.Cell("(total)")
+      .Cell(snapshot.admitted)
+      .Cell(snapshot.within)
+      .Cell(snapshot.violations)
+      .Cell(snapshot.attainment_pct, 2)
+      .Cell(snapshot.p50)
+      .Cell(snapshot.p99)
+      .Cell(snapshot.p999)
+      .Cell(snapshot.wait_max)
+      .EndRow();
+  return table;
+}
+
+void PrintSloTable(const obs::SloSnapshot& snapshot) {
+  std::printf(
+      "admission SLO: %.2f%% within %lld tick(s) — attainment %.2f%%, "
+      "burn %.2f\n",
+      snapshot.objective.percent,
+      static_cast<long long>(snapshot.objective.wait_ticks),
+      snapshot.attainment_pct, snapshot.burn_rate);
+  BuildSloTable(snapshot).Print();
+}
+
 TimeSeriesWriter::TimeSeriesWriter(const std::string& path)
     : os_(path, std::ios::out | std::ios::trunc) {
   if (!os_) {
@@ -185,10 +243,12 @@ bool TimeSeriesWriter::Append(const TimeSeriesPoint& p) {
         "{\"tick\":%lld,\"pending\":%zu,\"bindings\":%zu,"
         "\"unschedulable\":%zu,\"migrations\":%zu,\"preemptions\":%zu,"
         "\"used_machines\":%zu,\"avg_util_pct\":%.3f,\"frag_pct\":%.3f,"
-        "\"wall_seconds\":%.6f,\"phase_seconds\":%.6f}",
+        "\"wall_seconds\":%.6f,\"phase_seconds\":%.6f,"
+        "\"slo_attainment_pct\":%.3f,\"pending_age_p99\":%lld}",
         static_cast<long long>(p.tick), p.pending, p.bindings, p.unschedulable,
         p.migrations, p.preemptions, p.used_machines, p.avg_util_pct,
-        p.frag_pct, p.wall_seconds, p.phase_seconds);
+        p.frag_pct, p.wall_seconds, p.phase_seconds, p.slo_attainment_pct,
+        static_cast<long long>(p.pending_age_p99));
     os_ << buf << '\n';
     return static_cast<bool>(os_);
   }
@@ -198,7 +258,8 @@ bool TimeSeriesWriter::Append(const TimeSeriesPoint& p) {
     for (const char* column :
          {"tick", "pending", "bindings", "unschedulable", "migrations",
           "preemptions", "used_machines", "avg_util_pct", "frag_pct",
-          "wall_seconds", "phase_seconds"}) {
+          "wall_seconds", "phase_seconds", "slo_attainment_pct",
+          "pending_age_p99"}) {
       writer.Field(std::string_view(column));
     }
     writer.EndRow();
@@ -213,7 +274,9 @@ bool TimeSeriesWriter::Append(const TimeSeriesPoint& p) {
       .Field(p.avg_util_pct)
       .Field(p.frag_pct)
       .Field(p.wall_seconds)
-      .Field(p.phase_seconds);
+      .Field(p.phase_seconds)
+      .Field(p.slo_attainment_pct)
+      .Field(p.pending_age_p99);
   writer.EndRow();
   return static_cast<bool>(os_);
 }

@@ -11,6 +11,7 @@
 #include "common/table.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "sim/metrics.h"
 
 namespace aladdin::sim {
@@ -60,6 +61,13 @@ Table BuildCauseTable(
 void PrintCauseTable(
     const std::vector<std::pair<obs::Cause, std::int64_t>>& counts);
 
+// SLO attainment table (obs/slo.h snapshot rows): per-app admitted /
+// within-objective / violation counts and exact wait-tick percentiles,
+// worst app first, plus a cumulative "(total)" row. Printed by
+// bench_online / trace_replay next to the cause histogram.
+Table BuildSloTable(const obs::SloSnapshot& snapshot);
+void PrintSloTable(const obs::SloSnapshot& snapshot);
+
 // One per-tick time-series sample (bench_online --timeseries).
 struct TimeSeriesPoint {
   std::int64_t tick = 0;
@@ -73,6 +81,9 @@ struct TimeSeriesPoint {
   double frag_pct = 0.0;       // 100 - avg_util_pct on used machines
   double wall_seconds = 0.0;   // resolve wall time
   double phase_seconds = 0.0;  // exclusive-phase coverage of the resolve
+  // Lifecycle / SLO columns (ResolverOptions::lifecycle; exact ticks).
+  double slo_attainment_pct = 100.0;   // cumulative within/(within+bad)
+  std::int64_t pending_age_p99 = 0;    // p99 age of still-open spans
 };
 
 // Streams one row per Append() to `path` (truncating on open). The format

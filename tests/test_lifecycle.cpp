@@ -1,0 +1,481 @@
+// Lifecycle ledger + admission-SLO engine (obs/lifecycle.h, obs/slo.h):
+// span state machine and wait math, once-per-epoch violation flagging,
+// exact nearest-rank percentiles, attainment/burn accounting, the
+// tick-determinism bar (per-tick SLO surfaces bit-identical across thread
+// counts and across shards 0/1 — the same bar as the decision journal),
+// and the listener's introspection endpoints (/healthz, /statusz, /slo,
+// Prometheus fallback) over a live socket.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/rng.h"
+#include "k8s/simulator.h"
+#include "obs/export.h"
+#include "obs/lifecycle.h"
+#include "obs/metrics.h"
+#include "obs/runtime.h"
+#include "obs/slo.h"
+
+namespace aladdin {
+namespace {
+
+// ------------------------------------------------------ lifecycle ledger ----
+
+TEST(LifecycleLedger, PlacementWaitMath) {
+  obs::LifecycleLedger ledger;
+  ledger.OnArrival(/*container=*/3, /*app=*/1, /*tick=*/4);
+  EXPECT_TRUE(ledger.HasOpenSpan(3));
+  EXPECT_EQ(ledger.open_spans(), 1u);
+
+  const obs::LifecycleSpan* span = ledger.SpanPtr(3);
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->arrival_tick, 4);
+  EXPECT_EQ(span->epoch, 0);
+  EXPECT_EQ(span->state, obs::SpanState::kPending);
+  EXPECT_EQ(span->PendingAge(4), 1);  // failed-resolve count at tick 4
+  EXPECT_EQ(span->PendingAge(6), 3);
+
+  ledger.OnAttempt(3, obs::Cause::kCapacityExhaustedCpu, 5);
+  ledger.OnAttempt(3, obs::Cause::kAntiAffinityIntraApp, 6);
+  EXPECT_EQ(ledger.SpanPtr(3)->attempts, 2);
+  EXPECT_EQ(ledger.SpanPtr(3)->last_cause, obs::Cause::kAntiAffinityIntraApp);
+
+  EXPECT_EQ(ledger.OnPlaced(3, /*machine=*/9, /*shard=*/-1, /*tick=*/7), 3);
+  EXPECT_EQ(ledger.SpanPtr(3)->state, obs::SpanState::kPlaced);
+  EXPECT_EQ(ledger.SpanPtr(3)->machine, 9);
+  EXPECT_EQ(ledger.SpanPtr(3)->WaitTicks(99), 3);
+  EXPECT_EQ(ledger.open_spans(), 0u);
+
+  // Placing a non-pending span is a no-op reporting "no wait".
+  EXPECT_EQ(ledger.OnPlaced(3, 2, -1, 8), -1);
+  EXPECT_EQ(ledger.OnPlaced(1234, 2, -1, 8), -1);
+}
+
+TEST(LifecycleLedger, ArrivalIdempotentWhilePending) {
+  obs::LifecycleLedger ledger;
+  ledger.OnArrival(0, 0, 2);
+  ledger.OnArrival(0, 0, 5);  // still pending: keeps the original arrival
+  EXPECT_EQ(ledger.SpanPtr(0)->arrival_tick, 2);
+  EXPECT_EQ(ledger.SpanPtr(0)->epoch, 0);
+  EXPECT_EQ(ledger.open_spans(), 1u);
+}
+
+TEST(LifecycleLedger, PreemptionReopensAsNewEpoch) {
+  obs::LifecycleLedger ledger;
+  ledger.OnArrival(7, 2, 1);
+  ASSERT_EQ(ledger.OnPlaced(7, 4, -1, 2), 1);
+
+  ledger.OnPreempted(7, 6);
+  const obs::LifecycleSpan* span = ledger.SpanPtr(7);
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->state, obs::SpanState::kPending);
+  EXPECT_EQ(span->epoch, 1);
+  EXPECT_EQ(span->arrival_tick, 6);
+  EXPECT_EQ(span->attempts, 0);
+  EXPECT_FALSE(span->slo_flagged);
+  EXPECT_EQ(ledger.open_spans(), 1u);
+
+  // Preempting an already-pending span changes nothing.
+  ledger.OnPreempted(7, 8);
+  EXPECT_EQ(ledger.SpanPtr(7)->epoch, 1);
+  EXPECT_EQ(ledger.SpanPtr(7)->arrival_tick, 6);
+}
+
+TEST(LifecycleLedger, RetirementClosesPendingAndPlacedSpans) {
+  obs::LifecycleLedger ledger;
+  ledger.OnArrival(0, 0, 1);  // stays pending
+  ledger.OnArrival(1, 0, 1);
+  ledger.OnPlaced(1, 3, -1, 1);
+  EXPECT_EQ(ledger.open_spans(), 1u);
+
+  ledger.OnRetired(0, 4);
+  ledger.OnRetired(1, 4);
+  EXPECT_EQ(ledger.open_spans(), 0u);
+  EXPECT_EQ(ledger.SpanPtr(0)->state, obs::SpanState::kRetired);
+  EXPECT_EQ(ledger.SpanPtr(1)->state, obs::SpanState::kRetired);
+
+  // A retired container resubmitted later opens a fresh epoch.
+  ledger.OnArrival(1, 0, 9);
+  EXPECT_EQ(ledger.SpanPtr(1)->epoch, 1);
+  EXPECT_EQ(ledger.SpanPtr(1)->arrival_tick, 9);
+}
+
+TEST(LifecycleLedger, OldestPendingOrderedByArrivalThenId) {
+  obs::LifecycleLedger ledger;
+  ledger.OnArrival(5, 0, 3);
+  ledger.OnArrival(2, 0, 1);
+  ledger.OnArrival(9, 0, 1);
+  ledger.OnArrival(4, 0, 2);
+  ledger.OnArrival(8, 0, 5);
+
+  const std::vector<obs::PendingRow> rows = ledger.OldestPending(6, 3);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].container, 2);  // arrival 1, lowest id first
+  EXPECT_EQ(rows[1].container, 9);  // arrival 1
+  EXPECT_EQ(rows[2].container, 4);  // arrival 2
+  EXPECT_EQ(rows[0].age_ticks, 6);
+  EXPECT_TRUE(ledger.OldestPending(6, 0).empty());
+}
+
+TEST(LifecycleLedger, PendingAgeCountsBucketByAge) {
+  obs::LifecycleLedger ledger;
+  ledger.OnArrival(0, 0, 0);  // age 5 at tick 4
+  ledger.OnArrival(1, 0, 3);  // age 2
+  ledger.OnArrival(2, 0, 4);  // age 1
+  ledger.OnArrival(3, 0, 4);  // age 1
+  ledger.OnPlaced(3, 0, -1, 4);
+
+  const std::vector<std::int64_t> counts = ledger.PendingAgeCounts(4);
+  ASSERT_EQ(counts.size(), 6u);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[5], 1);
+  const obs::PendingAgeStats stats = obs::SummarizePendingAges(counts);
+  EXPECT_EQ(stats.open, 3u);
+  EXPECT_EQ(stats.max, 5);
+  EXPECT_EQ(stats.p50, 2);
+}
+
+// ------------------------------------------------------------ SLO engine ----
+
+TEST(SloEngine, PercentileFromCountsIsNearestRank) {
+  // 50 zeros, 49 ones, 1 two.
+  const std::vector<std::int64_t> counts = {50, 49, 1};
+  EXPECT_EQ(obs::PercentileFromCounts(counts, 1, 2), 0);      // p50
+  EXPECT_EQ(obs::PercentileFromCounts(counts, 99, 100), 1);   // p99
+  EXPECT_EQ(obs::PercentileFromCounts(counts, 999, 1000), 2); // p999
+  EXPECT_EQ(obs::PercentileFromCounts({}, 1, 2), 0);
+}
+
+TEST(SloEngine, AttainmentCountsWithinAndViolations) {
+  obs::SloObjective objective;
+  objective.wait_ticks = 1;
+  objective.percent = 99.0;
+  objective.burn_window_ticks = 4;
+  obs::SloEngine slo(objective);
+  slo.RegisterApp(0, "web");
+  obs::LifecycleLedger ledger;
+
+  slo.BeginTick(0);
+  for (std::int32_t c = 0; c < 3; ++c) {
+    ledger.OnArrival(c, 0, 0);
+    const std::int64_t wait = ledger.OnPlaced(c, c, -1, 0);
+    slo.OnAdmitted(*ledger.MutableSpan(c), wait);
+  }
+  // One pod admitted late (wait 2 > objective 1): violation at admission.
+  ledger.OnArrival(3, 0, 0);
+  slo.BeginTick(2);
+  slo.OnAdmitted(*ledger.MutableSpan(3),
+                 ledger.OnPlaced(3, 0, -1, 2));
+
+  const obs::SloSnapshot snap = slo.Snapshot(8);
+  EXPECT_EQ(snap.admitted, 4);
+  EXPECT_EQ(snap.within, 3);
+  EXPECT_EQ(snap.violations, 1);
+  EXPECT_DOUBLE_EQ(snap.attainment_pct, 75.0);
+  EXPECT_EQ(snap.wait_max, 2);
+  ASSERT_EQ(snap.apps.size(), 1u);
+  EXPECT_EQ(snap.apps[0].name, "web");
+  EXPECT_EQ(snap.apps[0].violations, 1);
+}
+
+TEST(SloEngine, ViolationFlaggedOncePerEpoch) {
+  obs::SloObjective objective;
+  objective.wait_ticks = 2;
+  obs::SloEngine slo(objective);
+  obs::LifecycleLedger ledger;
+  ledger.OnArrival(0, 0, 0);
+
+  slo.BeginTick(0);
+  slo.ObservePending(*ledger.MutableSpan(0), 0);  // age 1 <= 2: fine
+  EXPECT_EQ(slo.violations(), 0);
+  slo.BeginTick(2);
+  slo.ObservePending(*ledger.MutableSpan(0), 2);  // age 3 > 2: flags
+  EXPECT_EQ(slo.violations(), 1);
+  slo.BeginTick(3);
+  slo.ObservePending(*ledger.MutableSpan(0), 3);  // already flagged
+  EXPECT_EQ(slo.violations(), 1);
+
+  // The eventual late admission does not double-count the violation, but
+  // still records the wait distribution.
+  slo.BeginTick(5);
+  slo.OnAdmitted(*ledger.MutableSpan(0), ledger.OnPlaced(0, 1, -1, 5));
+  EXPECT_EQ(slo.violations(), 1);
+  EXPECT_EQ(slo.admitted(), 1);
+
+  // A preemption re-opens a fresh epoch that can be flagged again.
+  ledger.OnPreempted(0, 6);
+  slo.BeginTick(9);
+  slo.ObservePending(*ledger.MutableSpan(0), 9);  // age 4 > 2: flags again
+  EXPECT_EQ(slo.violations(), 2);
+}
+
+TEST(SloEngine, BurnRateWindowsAndExpires) {
+  obs::SloObjective objective;
+  objective.wait_ticks = 0;   // any wait > 0 violates
+  objective.percent = 99.0;   // budget 1%
+  objective.burn_window_ticks = 4;
+  obs::SloEngine slo(objective);
+  obs::LifecycleLedger ledger;
+
+  slo.BeginTick(0);
+  for (std::int32_t c = 0; c < 3; ++c) {
+    ledger.OnArrival(c, 0, 0);
+    slo.OnAdmitted(*ledger.MutableSpan(c), ledger.OnPlaced(c, 0, -1, 0));
+  }
+  ledger.OnArrival(3, 0, 0);
+  slo.ObservePending(*ledger.MutableSpan(3), 0);  // age 1 > 0: bad
+  // Window: 3 good, 1 bad -> bad fraction 0.25, burn = 0.25 / 0.01 = 25.
+  EXPECT_DOUBLE_EQ(slo.Snapshot(0).burn_rate, 25.0);
+
+  // Rotating the full window out drops the burn to zero; the cumulative
+  // attainment keeps the violation forever.
+  slo.BeginTick(10);
+  const obs::SloSnapshot snap = slo.Snapshot(0);
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 0.0);
+  EXPECT_EQ(snap.violations, 1);
+}
+
+// --------------------------------------------- resolver tick-determinism ----
+
+void RunOverloadScript(k8s::ClusterSimulator& sim, int ticks) {
+  // Deliberately oversubscribed so pods queue across ticks and the SLO
+  // engine sees real waits, violations, and preemption epochs.
+  Rng rng(11);
+  std::int64_t apps = 0;
+  for (int t = 0; t < ticks; ++t) {
+    for (int d = 0; d < 4; ++d) {
+      k8s::PodSpec spec;
+      spec.requests = cluster::ResourceVector::Cores(rng.UniformInt(2, 8),
+                                                     rng.UniformInt(4, 16));
+      spec.priority = rng.Bernoulli(0.25)
+                          ? static_cast<cluster::Priority>(rng.UniformInt(1, 3))
+                          : 0;
+      spec.anti_affinity_within = rng.Bernoulli(0.5);
+      sim.SubmitDeployment("svc-" + std::to_string(apps++),
+                           static_cast<std::size_t>(rng.UniformInt(2, 8)),
+                           spec);
+    }
+    sim.SubmitBatchJob("job-" + std::to_string(t), 20,
+                       cluster::ResourceVector::Cores(1, 2),
+                       /*lifetime_ticks=*/2);
+    sim.Tick();
+  }
+}
+
+// Per-tick fingerprint of every SLO surface a run exposes via ResolveStats.
+std::string SloFingerprint(const k8s::ClusterSimulator& sim) {
+  std::string out;
+  char buf[256];
+  for (const k8s::ResolveStats& s : sim.history()) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "t=%lld adm=%lld w=%lld v=%lld att=%.9f burn=%.9f "
+        "wait=(%lld,%lld,%lld,%lld) open=%zu age=(%lld,%lld,%lld,%lld) "
+        "apps=%zu\n",
+        static_cast<long long>(s.tick),
+        static_cast<long long>(s.slo.admitted),
+        static_cast<long long>(s.slo.within),
+        static_cast<long long>(s.slo.violations), s.slo.attainment_pct,
+        s.slo.burn_rate, static_cast<long long>(s.slo.p50),
+        static_cast<long long>(s.slo.p99),
+        static_cast<long long>(s.slo.p999),
+        static_cast<long long>(s.slo.wait_max), s.pending_ages.open,
+        static_cast<long long>(s.pending_ages.p50),
+        static_cast<long long>(s.pending_ages.p99),
+        static_cast<long long>(s.pending_ages.p999),
+        static_cast<long long>(s.pending_ages.max), s.slo.apps_total);
+    out += buf;
+  }
+  return out;
+}
+
+k8s::ResolverOptions LifecycleOptions(int threads, int shards) {
+  k8s::ResolverOptions options;
+  options.aladdin = k8s::Resolver::DefaultOptions();
+  options.aladdin.threads = threads;
+  options.shards = shards;
+  options.slo.wait_ticks = 1;  // tight objective: violations guaranteed
+  return options;
+}
+
+// Runs the script and returns (per-tick fingerprint, final /slo JSON).
+std::pair<std::string, std::string> RunAndCapture(int threads, int shards) {
+  k8s::ClusterSimulator sim(LifecycleOptions(threads, shards));
+  sim.AddNodes(12, cluster::ResourceVector::Cores(16, 32), "node", 4, 2);
+  RunOverloadScript(sim, 8);
+  return {SloFingerprint(sim), obs::RenderSloJson(obs::IntrospectionSnapshot())};
+}
+
+TEST(LifecycleDeterminism, SloBitIdenticalAcrossThreadCounts) {
+  const auto serial = RunAndCapture(/*threads=*/1, /*shards=*/0);
+  const auto parallel = RunAndCapture(/*threads=*/8, /*shards=*/0);
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
+  // The run is genuinely overloaded: violations must have been flagged by
+  // the final tick, or the identity above proved nothing interesting.
+  const std::size_t last_v = serial.first.rfind(" v=");
+  ASSERT_NE(last_v, std::string::npos);
+  EXPECT_NE(serial.first.substr(last_v, 5), " v=0 ");
+}
+
+TEST(LifecycleDeterminism, SloBitIdenticalAcrossThreadCountsSharded) {
+  const auto serial = RunAndCapture(/*threads=*/1, /*shards=*/4);
+  const auto parallel = RunAndCapture(/*threads=*/8, /*shards=*/4);
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
+}
+
+TEST(LifecycleDeterminism, OneShardMatchesUnsharded) {
+  // Shards 0 vs 1 publish byte-identical snapshots (shard attribution is
+  // suppressed at K <= 1, matching the journal's convention).
+  const auto unsharded = RunAndCapture(/*threads=*/1, /*shards=*/0);
+  const auto one_shard = RunAndCapture(/*threads=*/1, /*shards=*/1);
+  EXPECT_EQ(unsharded.first, one_shard.first);
+  EXPECT_EQ(unsharded.second, one_shard.second);
+}
+
+TEST(LifecycleResolver, OverloadAccountsEveryPendingPod) {
+  k8s::ClusterSimulator sim(LifecycleOptions(/*threads=*/1, /*shards=*/0));
+  sim.AddNodes(8, cluster::ResourceVector::Cores(8, 16), "node", 2, 2);
+  RunOverloadScript(sim, 6);
+  const k8s::ResolveStats& last = sim.history().back();
+  // Every pod still pending is aged >= 1 and visible in the summary.
+  EXPECT_EQ(last.pending_ages.open, sim.adaptor().PendingPods().size());
+  if (last.pending_ages.open > 0) {
+    EXPECT_GE(last.pending_ages.p50, 1);
+    EXPECT_GE(last.pending_ages.max, last.pending_ages.p99);
+  }
+  // The introspection hub carries the same tick the stats reported.
+  ASSERT_TRUE(obs::IntrospectionPublished());
+  const obs::IntrospectionStatus status = obs::IntrospectionSnapshot();
+  EXPECT_EQ(status.tick, last.tick);
+  EXPECT_EQ(status.pending_ages.open, last.pending_ages.open);
+  EXPECT_EQ(status.oldest_pending.size(), status.oldest_pending_app.size());
+}
+
+TEST(LifecycleResolver, DisablingLifecycleZeroesTheSurfaces) {
+  k8s::ResolverOptions options = LifecycleOptions(1, 0);
+  options.lifecycle = false;
+  k8s::ClusterSimulator sim(options);
+  sim.AddNodes(8, cluster::ResourceVector::Cores(8, 16), "node", 2, 2);
+  RunOverloadScript(sim, 3);
+  const k8s::ResolveStats& last = sim.history().back();
+  EXPECT_EQ(last.slo.admitted, 0);
+  EXPECT_EQ(last.pending_ages.open, 0u);
+}
+
+// ------------------------------------------------- introspection + HTTP ----
+
+std::string HttpGet(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+obs::IntrospectionStatus SyntheticStatus() {
+  obs::IntrospectionStatus status;
+  status.tick = 42;
+  status.slo.tick = 42;
+  status.slo.admitted = 10;
+  status.slo.within = 9;
+  status.slo.violations = 1;
+  status.slo.attainment_pct = 90.0;
+  obs::SloAppRow app;
+  app.app = 0;
+  app.name = "web\"front/end\n";  // exercises the JSON escaper
+  app.admitted = 10;
+  app.within = 9;
+  app.violations = 1;
+  status.slo.apps_total = 1;
+  status.slo.apps.push_back(app);
+  obs::IntrospectionShard shard;
+  shard.shard = 0;
+  shard.machines = 4;
+  status.shards.push_back(shard);
+  obs::PendingRow pending;
+  pending.container = 7;
+  pending.app = 0;
+  pending.arrival_tick = 40;
+  pending.age_ticks = 3;
+  status.oldest_pending.push_back(pending);
+  status.oldest_pending_app.push_back("web\"front/end\n");
+  return status;
+}
+
+TEST(Introspection, EndpointsServeHealthStatusAndSlo) {
+  obs::PublishIntrospection(SyntheticStatus());
+  obs::SetMetricsEnabled(true);
+  obs::Registry::Get().ResetAll();
+  obs::Registry::Get().GetCounter("test/endpoint").Add(5);
+
+  obs::PrometheusListener listener;
+  ASSERT_TRUE(listener.Start(0));
+  const std::uint16_t port = listener.port();
+  ASSERT_GT(port, 0);
+
+  const std::string health = HttpGet(port, "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok\n"), std::string::npos);
+
+  const std::string statusz = HttpGet(port, "/statusz");
+  EXPECT_NE(statusz.find("aladdin statusz — tick 42"), std::string::npos);
+  EXPECT_NE(statusz.find("admitted=10 within=9 violations=1"),
+            std::string::npos);
+  EXPECT_NE(statusz.find("oldest pending"), std::string::npos);
+
+  const std::string slo = HttpGet(port, "/slo");
+  EXPECT_NE(slo.find("application/json"), std::string::npos);
+  EXPECT_NE(slo.find("\"attainment_pct\":90"), std::string::npos);
+  // The hostile app name survives as escaped JSON, never raw.
+  EXPECT_NE(slo.find("web\\\"front/end\\n"), std::string::npos);
+  EXPECT_EQ(slo.find("web\"front"), std::string::npos);
+
+  // Any other path stays the Prometheus scrape (back-compat).
+  const std::string prom = HttpGet(port, "/metrics");
+  EXPECT_NE(prom.find("aladdin_test_endpoint 5"), std::string::npos);
+
+  listener.Stop();
+  obs::SetMetricsEnabled(false);
+  obs::Registry::Get().ResetAll();
+}
+
+TEST(Introspection, RenderersAreDeterministicCopies) {
+  const obs::IntrospectionStatus status = SyntheticStatus();
+  obs::PublishIntrospection(status);
+  ASSERT_TRUE(obs::IntrospectionPublished());
+  const obs::IntrospectionStatus copy = obs::IntrospectionSnapshot();
+  EXPECT_EQ(obs::RenderStatusz(status), obs::RenderStatusz(copy));
+  EXPECT_EQ(obs::RenderSloJson(status), obs::RenderSloJson(copy));
+}
+
+}  // namespace
+}  // namespace aladdin

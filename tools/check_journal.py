@@ -20,7 +20,17 @@ Checks, in order:
     cause other than "none" — the acceptance bar behind
     `explain.py --why-unplaced`. With --no-catch-all, "no_admissible_path"
     and "baseline_unplaced" also fail (use on Aladdin runs, where the
-    terminal diagnosis must be specific).
+    terminal diagnosis must be specific);
+  * lifecycle event shapes (obs/lifecycle.h + obs/slo.h): pod_arrived
+    carries an app and an epoch, shard_routed/shard_spilled carry a target
+    shard with round 0 / round >= 1, slo_violated carries an age >= 1;
+  * lifecycle *span* checks — epochs per pod count up consecutively from
+    0, failed attempts never precede their epoch's arrival (pending-age is
+    monotone), at most one slo_violated per epoch with an age consistent
+    with the arrival tick, and no placement without a prior arrival. These
+    need every record of a pod's history, so they only run when the
+    journal is complete (seq 0..N-1, no gaps): per-thread rings drop
+    records under extreme load — raise --journal_ring on such runs.
 
 Exit status 0 = valid; 1 = violations (one per line).
 
@@ -43,6 +53,7 @@ CAUSES = {
     "no_admissible_path", "repair_attempt_budget", "migrated_for_repair",
     "migrated_for_rebalance", "preempted_by_priority", "depth_limit_stop",
     "isomorphism_prune", "pod_retired", "baseline_unplaced",
+    "pod_arrived", "shard_routed", "shard_spilled", "slo_violated",
 }
 CATCH_ALL = {"no_admissible_path", "baseline_unplaced"}
 FIELDS = ("seq", "tick", "kind", "cause", "container", "machine", "other",
@@ -58,6 +69,13 @@ def validate(lines: list[str], no_catch_all: bool = False) -> list[str]:
     last_seq_by_shard: dict[int, int] = {}
     final: dict[int, tuple[int, str, str]] = {}  # container -> (line, kind, cause)
     records = 0
+    # Lifecycle span state (container -> open-epoch bookkeeping). Span
+    # errors are collected apart and only reported when the journal is
+    # complete: a ring-dropped arrival would fabricate violations.
+    span_errors: list[str] = []
+    spans: dict[int, dict] = {}
+    first_seq = None
+    seq_ok = True
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -81,9 +99,12 @@ def validate(lines: list[str], no_catch_all: bool = False) -> list[str]:
             errors.append(f"{where}: unknown cause {cause!r}")
 
         seq = record["seq"]
+        if first_seq is None:
+            first_seq = seq
         if last_seq is not None and seq <= last_seq:
             errors.append(f"{where}: seq {seq} does not increase past "
                           f"{last_seq}")
+            seq_ok = False
         last_seq = seq
         tick = record["tick"]
         if last_tick is not None and tick < last_tick:
@@ -111,8 +132,77 @@ def validate(lines: list[str], no_catch_all: bool = False) -> list[str]:
         if container >= 0 and kind in TERMINAL_PLACED | TERMINAL_PENDING:
             final[container] = (lineno, kind, cause)
 
+        # Lifecycle event shapes (always on) and span bookkeeping (only
+        # reported when the journal turns out to be complete).
+        if kind == "event" and cause == "pod_arrived":
+            if record["other"] < 0:
+                errors.append(f"{where}: pod_arrived without an app")
+            span = spans.get(container)
+            expected = 0 if span is None else span["epoch"] + 1
+            if record["detail"] != expected:
+                span_errors.append(f"{where}: container {container} opens "
+                                   f"epoch {record['detail']} (expected "
+                                   f"{expected})")
+            spans[container] = {"arrival": tick, "epoch": record["detail"],
+                                "flagged": False}
+        elif kind == "event" and cause == "shard_routed":
+            if record["other"] < 0:
+                errors.append(f"{where}: shard_routed without a target "
+                              f"shard")
+            if record["detail"] != 0:
+                errors.append(f"{where}: shard_routed with round "
+                              f"{record['detail']} (spills use "
+                              f"shard_spilled)")
+        elif kind == "event" and cause == "shard_spilled":
+            if record["other"] < 0:
+                errors.append(f"{where}: shard_spilled without a target "
+                              f"shard")
+            if record["detail"] < 1:
+                errors.append(f"{where}: shard_spilled in round "
+                              f"{record['detail']} (first routing is "
+                              f"shard_routed)")
+        elif kind == "event" and cause == "slo_violated":
+            if record["detail"] < 1:
+                errors.append(f"{where}: slo_violated with age "
+                              f"{record['detail']}")
+            span = spans.get(container)
+            if span is None:
+                span_errors.append(f"{where}: slo_violated for container "
+                                   f"{container} with no open span")
+            else:
+                if span["flagged"]:
+                    span_errors.append(f"{where}: container {container} "
+                                       f"flagged twice in epoch "
+                                       f"{span['epoch']}")
+                span["flagged"] = True
+                age = record["detail"]
+                # Pending crossing: age = tick - arrival + 1; late-placement
+                # flag at admission: age = wait = tick - arrival.
+                if age not in (tick - span["arrival"],
+                               tick - span["arrival"] + 1):
+                    span_errors.append(f"{where}: container {container} "
+                                       f"slo_violated age {age} at tick "
+                                       f"{tick} inconsistent with arrival "
+                                       f"tick {span['arrival']}")
+        elif kind in ("reject", "unplaced") and container >= 0:
+            span = spans.get(container)
+            if span is not None and tick < span["arrival"]:
+                span_errors.append(f"{where}: container {container} attempt "
+                                   f"at tick {tick} precedes its arrival "
+                                   f"tick {span['arrival']} (pending-age "
+                                   f"regresses)")
+        elif kind == "place" and spans and container not in spans:
+            span_errors.append(f"{where}: container {container} placed "
+                               f"without a lifecycle arrival")
+
     if records == 0:
         errors.append("no records")
+    # Span checks need the full history: only meaningful when the seq space
+    # has no gaps (rings drop under extreme load; see --journal_ring).
+    complete = (records > 0 and seq_ok and first_seq == 0 and
+                last_seq == records - 1)
+    if spans and complete:
+        errors.extend(span_errors)
     for container, (lineno, kind, cause) in sorted(final.items()):
         if kind not in TERMINAL_PENDING:
             continue

@@ -25,6 +25,15 @@ Modes (default: summary of the whole journal):
                     by terminal cause — each one must carry a structured
                     cause (the acceptance bar: no kNone, and Aladdin runs
                     show no catch-alls)
+  --pod ID          lifecycle timeline of one container (obs/lifecycle.h
+                    spans): per-epoch arrival -> shard hops -> attempts ->
+                    placement/pending verdict, with every waited tick
+                    attributed to the cause of that tick's failed attempt
+                    (the attribution must account for 100% of the wait)
+  --app SELECTOR    the same span accounting aggregated over one
+                    application's pods; SELECTOR is a numeric app id, or a
+                    name resolved through --slo-report (the JSON written by
+                    bench_online --slo_report / served at /slo)
   --machine ID      everything that happened on one machine: placements,
                     arrivals/departures via migration, preemptions
   --shard S         restrict any mode to records stamped with shard S
@@ -34,6 +43,8 @@ Modes (default: summary of the whole journal):
 Usage:
   tools/explain.py RUN.journal.jsonl --why 1234
   tools/explain.py RUN.journal.jsonl --why-unplaced
+  tools/explain.py RUN.journal.jsonl --pod 1234
+  tools/explain.py RUN.journal.jsonl --app batch-3 --slo-report RUN.slo.json
   tools/explain.py RUN.journal.jsonl --machine 17
   tools/explain.py RUN.journal.jsonl --shard 3 --why-unplaced
 """
@@ -75,6 +86,10 @@ CAUSE_TEXT = {
     "isomorphism_prune": "searches skipped by isomorphism limiting (IL)",
     "pod_retired": "pod deleted / binding retired",
     "baseline_unplaced": "baseline scheduler gave up (no diagnosis)",
+    "pod_arrived": "lifecycle span opened (container first seen pending)",
+    "shard_routed": "routed to a shard by the coordinator",
+    "shard_spilled": "re-routed to another shard by a spill round",
+    "slo_violated": "pending-age crossed the admission SLO objective",
 }
 
 
@@ -120,6 +135,15 @@ def describe(record: dict) -> str:
             return f"{text}: {detail}"
         if cause == "pod_retired":
             return f"container {container} retired — {text}"
+        if cause == "pod_arrived":
+            return f"arrived (app {other}, epoch {detail})"
+        if cause == "shard_routed":
+            return f"routed to shard {other} (round {detail})"
+        if cause == "shard_spilled":
+            return f"spilled to shard {other} (spill round {detail})"
+        if cause == "slo_violated":
+            return f"admission SLO violated at pending-age {detail} " \
+                   f"(app {other})"
         return f"{cause}: detail={detail}"
     return f"{kind} — {text}"
 
@@ -160,6 +184,199 @@ def cmd_why(records: list[dict], container: int) -> int:
     else:
         cause = terminal.get("cause", "?")
         print(f"  verdict: unplaced — {CAUSE_TEXT.get(cause, cause)}")
+    return 0
+
+
+def split_epochs(history: list[dict]) -> list[list[dict]]:
+    """Splits one pod's records at each pod_arrived event: one sub-list per
+    lifecycle epoch. A leading sub-list without an arrival head collects
+    records from journals that predate the lifecycle ledger."""
+    epochs: list[list[dict]] = []
+    current: list[dict] = []
+    for record in history:
+        if record.get("kind") == "event" and \
+                record.get("cause") == "pod_arrived":
+            if current:
+                epochs.append(current)
+            current = [record]
+        else:
+            current.append(record)
+    if current:
+        epochs.append(current)
+    return epochs
+
+
+def attribute_wait(history: list[dict], arrival: int,
+                   end: int) -> Counter:
+    """Charges every waited tick in [arrival, end) to the cause of the
+    pod's last reject/unplaced record at that tick. The resolver journals
+    a failed-attempt record for every tick a pod stays pending, so the
+    per-cause tick counts sum to the full wait. Scans the pod's whole
+    history, not one epoch's slice: a same-tick preempt-and-reopen lands
+    the failed attempt just before the new epoch's arrival event in seq
+    order, but epoch windows never overlap so each tick is charged once."""
+    cause_by_tick: dict[int, str] = {}
+    for record in history:
+        tick = record.get("tick", -1)
+        if record.get("kind") in ("reject", "unplaced") and \
+                arrival <= tick < end:
+            cause_by_tick[tick] = record.get("cause", "?")
+    return Counter(cause_by_tick.values())
+
+
+def epoch_placement(epoch: list[dict]) -> dict | None:
+    """The record that first bound this epoch's pod, if any. Rebuild-mode
+    journals re-emit a place per tick for bound pods; the first one is the
+    real admission."""
+    for record in epoch:
+        if record.get("kind") == "place":
+            return record
+    for record in epoch:
+        if record.get("kind") == "migrate":
+            return record
+    return None
+
+
+def print_attribution(counts: Counter, wait: int, indent: str) -> bool:
+    """Prints the per-cause wait breakdown; True when every waited tick is
+    accounted for (the --pod acceptance bar)."""
+    accounted = sum(counts.values())
+    for cause, ticks in counts.most_common():
+        print(f"{indent}{cause:<28} {ticks:>6} tick(s)  "
+              f"({100.0 * ticks / wait:5.1f}%)  "
+              f"{CAUSE_TEXT.get(cause, cause)}")
+    print(f"{indent}-> {100.0 * accounted / wait:.1f}% of the wait "
+          f"accounted to attempts")
+    return accounted == wait
+
+
+def cmd_pod(records: list[dict], pod: int) -> int:
+    history = [r for r in records if r.get("container") == pod]
+    if not history:
+        print(f"pod {pod}: no journal records")
+        return 1
+    epochs = split_epochs(history)
+    eof_tick = max(r.get("tick", 0) for r in records)
+    print(f"pod {pod}: {len(history)} record(s), {len(epochs)} epoch(s)")
+    status = 0
+    for epoch in epochs:
+        head = epoch[0]
+        arrived = head.get("kind") == "event" and \
+            head.get("cause") == "pod_arrived"
+        if arrived:
+            arrival = head.get("tick", 0)
+            print(f"epoch {head.get('detail')}: arrived tick {arrival} "
+                  f"(app {head.get('other')})")
+        else:
+            arrival = min(r.get("tick", 0) for r in epoch)
+            print("epoch ?: records before the first arrival event "
+                  "(journal predates the lifecycle ledger)")
+        for record in epoch:
+            print(f"  seq {record.get('seq'):>8}  "
+                  f"tick {record.get('tick'):>5}  {describe(record)}")
+        hops = [r for r in epoch if r.get("kind") == "event" and
+                r.get("cause") in ("shard_routed", "shard_spilled")]
+        if hops:
+            path = " -> ".join(str(r.get("other")) for r in hops)
+            spills = sum(1 for r in hops
+                         if r.get("cause") == "shard_spilled")
+            print(f"  shard hops: {path} ({spills} spill(s))")
+        placed = epoch_placement(epoch)
+        if placed is not None:
+            end = placed.get("tick", arrival)
+            print(f"  verdict: placed on machine {placed.get('machine')} "
+                  f"at tick {end} (wait {end - arrival} tick(s))")
+        else:
+            end = eof_tick + 1
+            print(f"  verdict: still pending at end of journal "
+                  f"(age {end - arrival} tick(s))")
+        wait = end - arrival
+        if wait > 0:
+            print(f"  wait attribution ({wait} tick(s)):")
+            if not print_attribution(attribute_wait(history, arrival, end),
+                                     wait, "    "):
+                status = 1
+    return status
+
+
+def cmd_app(records: list[dict], selector: str,
+            slo_report: Path | None) -> int:
+    app: int | None = None
+    if selector.lstrip("-").isdigit():
+        app = int(selector)
+    elif slo_report is not None:
+        try:
+            report = json.loads(slo_report.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"explain: {slo_report}: {error}", file=sys.stderr)
+            return 1
+        for row in report.get("apps", []):
+            if row.get("name") == selector:
+                app = row.get("app")
+                break
+    if app is None:
+        print(f"explain: cannot resolve app {selector!r} — pass a numeric "
+              f"app id, or --slo-report FILE (bench_online --slo_report "
+              f"output; only its listed worst apps are resolvable by name)",
+              file=sys.stderr)
+        return 1
+    pods = sorted({r.get("container") for r in records
+                   if r.get("kind") == "event"
+                   and r.get("cause") == "pod_arrived"
+                   and r.get("other") == app})
+    if not pods:
+        print(f"app {app}: no lifecycle spans in this journal")
+        return 1
+    pod_set = set(pods)
+    by_pod: dict[int, list[dict]] = defaultdict(list)
+    for record in records:
+        if record.get("container") in pod_set:
+            by_pod[record.get("container")].append(record)
+    eof_tick = max(r.get("tick", 0) for r in records)
+    waits: list[int] = []
+    pending = 0
+    cause_ticks: Counter = Counter()
+    lines: list[str] = []
+    for pod in pods:
+        for epoch in split_epochs(by_pod[pod]):
+            head = epoch[0]
+            if not (head.get("kind") == "event" and
+                    head.get("cause") == "pod_arrived"):
+                continue
+            arrival = head.get("tick", 0)
+            placed = epoch_placement(epoch)
+            if placed is not None:
+                end = placed.get("tick", arrival)
+                waits.append(end - arrival)
+                verdict = (f"placed tick {end} on machine "
+                           f"{placed.get('machine')} "
+                           f"(wait {end - arrival})")
+            else:
+                end = eof_tick + 1
+                pending += 1
+                verdict = f"still pending (age {end - arrival})"
+            cause_ticks.update(attribute_wait(by_pod[pod], arrival, end))
+            lines.append(f"  pod {pod:>6}  epoch {head.get('detail')}  "
+                         f"arrived tick {arrival:>5}  {verdict}")
+    print(f"app {app}: {len(pods)} pod(s), {len(waits) + pending} "
+          f"lifecycle span(s) — {len(waits)} admitted, {pending} pending")
+    limit = 32
+    for line in lines[:limit]:
+        print(line)
+    if len(lines) > limit:
+        print(f"  ... ({len(lines) - limit} more spans)")
+    if waits:
+        ranked = sorted(waits)
+        pick = lambda q: ranked[min(len(ranked) - 1,  # noqa: E731
+                                    int(q * len(ranked)))]
+        print(f"  admission wait ticks: p50={pick(0.50)} p99={pick(0.99)} "
+              f"max={ranked[-1]}")
+    total = sum(cause_ticks.values())
+    if total > 0:
+        print(f"  waited ticks by cause ({total} total):")
+        for cause, ticks in cause_ticks.most_common():
+            print(f"    {cause:<28} {ticks:>6}  "
+                  f"({100.0 * ticks / total:5.1f}%)")
     return 0
 
 
@@ -256,11 +473,20 @@ def main() -> int:
                        help="decision history + verdict for one container")
     group.add_argument("--why-unplaced", action="store_true",
                        help="group finally-unplaced containers by cause")
+    group.add_argument("--pod", type=int, metavar="ID",
+                       help="lifecycle timeline + per-cause wait "
+                            "attribution for one container")
+    group.add_argument("--app", metavar="SELECTOR",
+                       help="aggregate span accounting for one application "
+                            "(numeric id, or a name with --slo-report)")
     group.add_argument("--machine", type=int, metavar="ID",
                        help="placements/arrivals/departures on one machine")
     parser.add_argument("--shard", type=int, metavar="S",
                         help="only records stamped with this shard id "
                              "(-1 = emitted outside a shard solver)")
+    parser.add_argument("--slo-report", type=Path, metavar="FILE",
+                        help="SLO JSON (bench_online --slo_report / the "
+                             "/slo endpoint) used to resolve --app names")
     args = parser.parse_args()
 
     records = load_journal(args.journal)
@@ -278,6 +504,10 @@ def main() -> int:
         return cmd_why(records, args.why)
     if args.why_unplaced:
         return cmd_why_unplaced(records)
+    if args.pod is not None:
+        return cmd_pod(records, args.pod)
+    if args.app is not None:
+        return cmd_app(records, args.app, args.slo_report)
     if args.machine is not None:
         return cmd_machine(records, args.machine)
     return cmd_summary(records)
