@@ -8,11 +8,14 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/scheduler.h"
 #include "flow/max_flow.h"
 #include "flow/min_cost_flow.h"
 #include "flow/multidim.h"
 #include "flow/shortest_path.h"
 #include "flow/workspace.h"
+#include "sim/experiment.h"
+#include "trace/arrival.h"
 
 using namespace aladdin;
 
@@ -282,6 +285,90 @@ void BM_AggregatedNetworkResolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AggregatedNetworkResolve)->Arg(2000)->Arg(10000);
+
+// ------------------------------------- batch-incremental refresh ----
+// The ISSUE 9 hot path in isolation: a solved network absorbs a micro-batch
+// of capacity retargets in one RefreshCapacities call. Warm = cancel only
+// the excess flow on shrunk arcs and re-augment from the surviving flow;
+// Cold = reset all flows, set capacities directly, re-solve from zero. Same
+// mutation schedule on both, so the ratio is the warm-start win the batched
+// scheduler banks once per micro-batch.
+std::vector<flow::CapacityUpdate> MakeRefreshBatch(
+    const std::vector<ArcId>& sink_arcs, Rng& rng) {
+  const auto width = static_cast<std::int64_t>(sink_arcs.size());
+  std::vector<flow::CapacityUpdate> updates;
+  updates.reserve(static_cast<std::size_t>(width / 16 + 1));
+  for (std::int64_t k = 0; k < width / 16 + 1; ++k) {
+    flow::CapacityUpdate update;
+    update.arc =
+        sink_arcs[static_cast<std::size_t>(rng.UniformInt(0, width - 1))];
+    update.capacity = rng.UniformInt(0, 32);
+    updates.push_back(update);
+  }
+  return updates;
+}
+
+void BM_BatchRefreshWarm(benchmark::State& state) {
+  const std::int64_t width = state.range(0);
+  VertexId s, t;
+  flow::Graph graph = MakeLayeredGraph(width, 8, s, t, 1);
+  const std::vector<ArcId> sink_arcs = SinkArcs(graph, width);
+  flow::Dinic(graph, s, t);
+  flow::Workspace ws;
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto updates = MakeRefreshBatch(sink_arcs, rng);
+    flow::RefreshCapacities(graph, updates, s, t, ws);
+    benchmark::DoNotOptimize(flow::Dinic(graph, s, t, ws));  // warm start
+  }
+}
+BENCHMARK(BM_BatchRefreshWarm)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BatchRefreshCold(benchmark::State& state) {
+  const std::int64_t width = state.range(0);
+  VertexId s, t;
+  flow::Graph graph = MakeLayeredGraph(width, 8, s, t, 1);
+  const std::vector<ArcId> sink_arcs = SinkArcs(graph, width);
+  flow::Dinic(graph, s, t);
+  flow::Workspace ws;
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto updates = MakeRefreshBatch(sink_arcs, rng);
+    graph.ResetFlows();  // no flow to respect: capacities set directly
+    for (const flow::CapacityUpdate& update : updates) {
+      graph.SetCapacity(update.arc, update.capacity);
+    }
+    benchmark::DoNotOptimize(flow::Dinic(graph, s, t, ws));  // cold solve
+  }
+}
+BENCHMARK(BM_BatchRefreshCold)->Arg(256)->Arg(1024)->Arg(4096);
+
+// ------------------------------- group waterfall vs per-pod search ----
+// End-to-end A/B of the group-decomposed pathfinder: one whole-trace
+// Aladdin solve with the sorted-capacity waterfall on (arg 1) vs the
+// per-container best-fit walk (arg 0). Placements are bit-identical by
+// construction (the waterfall replays the walk exactly); the delta is the
+// grouped scan over flat free/fits arrays vs one IL/DL search per pod.
+void BM_GroupWaterfallVsDinic(benchmark::State& state) {
+  const trace::Workload workload = sim::MakeBenchWorkload(0.02, 42);
+  const cluster::Topology topology =
+      trace::MakeAlibabaCluster(sim::BenchMachineCount(0.02));
+  const auto arrival = trace::MakeArrivalSequence(
+      workload, trace::ArrivalOrder::kRandom, 1);
+  core::AladdinOptions options;
+  options.group_waterfall = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cluster::ClusterState cluster_state = workload.MakeState(topology);
+    core::AladdinScheduler scheduler(options);
+    sim::ScheduleRequest request;
+    request.workload = &workload;
+    request.arrival = &arrival;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(scheduler.Schedule(request, cluster_state));
+  }
+}
+BENCHMARK(BM_GroupWaterfallVsDinic)->Arg(0)->Arg(1);
 
 void BM_MultiDimMaxFlow(benchmark::State& state) {
   const auto width = static_cast<std::int64_t>(state.range(0));

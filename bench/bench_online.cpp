@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -106,6 +107,14 @@ int main(int argc, char** argv) {
   auto& routing = flags.String("routing", "least-utilized",
                                "shard routing policy: hash, least-utilized, "
                                "constraint-driven");
+  auto& batch = flags.Int64("batch", 0,
+                            "micro-batch size for the long-lived solve "
+                            "(0 = one solve per tick; a size covering the "
+                            "whole tick is bit-identical to 0)");
+  auto& batch_deadline =
+      flags.Int64("batch_deadline_ticks", 1,
+                  "with --batch, solve long-lived pods only every N ticks "
+                  "(deferred ticks park them under batch_deferred)");
   auto& slo_ticks = flags.Int64("slo_ticks", 4,
                                 "admission SLO objective: this share of pods "
                                 "must bind within this many ticks");
@@ -136,6 +145,8 @@ int main(int argc, char** argv) {
   }
   options.slo.wait_ticks = slo_ticks;
   options.slo.percent = slo_pct;
+  options.batch = static_cast<int>(batch);
+  options.batch_deadline_ticks = static_cast<int>(batch_deadline);
   k8s::ClusterSimulator sim(options);
   sim.AddNodes(static_cast<std::size_t>(nodes),
                cluster::ResourceVector::Cores(32, 64));
@@ -151,6 +162,11 @@ int main(int argc, char** argv) {
 
   // Per-shard totals across all ticks (--shards only).
   std::vector<core::ShardTickStats> shard_totals;
+
+  // Micro-batch size histogram across all ticks (--batch only): how the
+  // long-lived waves actually chunked, size -> number of batches.
+  std::map<std::size_t, std::int64_t> batch_histogram;
+  std::int64_t batches_solved = 0;
 
   Rng rng(static_cast<std::uint64_t>(seed));
   Sample resolve_ms;
@@ -205,6 +221,10 @@ int main(int argc, char** argv) {
     for (const auto& [cause, n] : stats.unschedulable_causes) {
       cause_totals[static_cast<std::size_t>(cause)] +=
           static_cast<std::int64_t>(n);
+    }
+    for (std::size_t size : stats.batch_sizes) {
+      ++batch_histogram[size];
+      ++batches_solved;
     }
     if (!stats.shards.empty()) {
       if (shard_totals.size() < stats.shards.size()) {
@@ -261,6 +281,19 @@ int main(int argc, char** argv) {
                 total_tick_seconds > 0.0
                     ? covered / total_tick_seconds * 100.0
                     : 0.0);
+  }
+
+  // Micro-batch size histogram (--batch): one row per observed chunk size.
+  if (!batch_histogram.empty()) {
+    std::printf("\nmicro-batch size histogram (%lld batches over %lld "
+                "ticks):\n",
+                static_cast<long long>(batches_solved),
+                static_cast<long long>(ticks));
+    Table batch_table({"batch size", "batches"});
+    for (const auto& [size, count] : batch_histogram) {
+      batch_table.Cell(static_cast<std::int64_t>(size)).Cell(count).EndRow();
+    }
+    batch_table.Print();
   }
 
   // Per-shard activity (--shards): how evenly the routing spread the work
@@ -377,6 +410,10 @@ int main(int argc, char** argv) {
     out.Tag("threads", threads);
     out.Tag("shards", shards);
     if (shards > 0) out.Tag("routing", routing);
+    if (batch > 0) {
+      out.Tag("batch", batch);
+      out.Tag("batch_deadline_ticks", batch_deadline);
+    }
     out.Percentiles("resolve_ms", resolve_ms);
     out.Metric("total_resolve_s", total_seconds, "s");
     out.Metric("bindings_per_s",
@@ -404,6 +441,16 @@ int main(int argc, char** argv) {
                  "pct");
       out.Metric("admission_wait_p99_ticks",
                  static_cast<double>(introspection.slo.p99), "count");
+    }
+    if (batch > 0) {
+      out.Metric("batches_solved", static_cast<double>(batches_solved),
+                 "count");
+      std::size_t batch_size_max = 0;
+      for (const auto& [size, count] : batch_histogram) {
+        batch_size_max = std::max(batch_size_max, size);
+      }
+      out.Metric("batch_size_max", static_cast<double>(batch_size_max),
+                 "count");
     }
     if (!shard_totals.empty()) {
       double max_solve = 0.0;

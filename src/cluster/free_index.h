@@ -55,6 +55,31 @@ class FreeIndex {
     return false;
   }
 
+  // Resume a best-fit scan strictly after the key (free_cpu, machine):
+  // same ascending (free, id) order as ScanAscending, but every key <= the
+  // given one is skipped. The task run placer (core::TaskScheduler::
+  // PlaceRun) resumes where the previous winner was discovered — the
+  // skipped prefix is exactly the machines that already rejected this
+  // request shape and have not changed since, plus exhausted ex-winners
+  // re-keyed to smaller keys.
+  template <typename Fn>
+  bool ScanAscendingFrom(std::int64_t free_cpu, std::int32_t machine,
+                         Fn&& fn) const {
+    const std::size_t first = BucketOf(free_cpu);
+    for (std::size_t b = first; b < buckets_.size(); ++b) {
+      const Bucket& bucket = buckets_[b];
+      auto it = bucket.begin();
+      if (b == first) {
+        it = std::lower_bound(bucket.begin(), bucket.end(),
+                              Key{free_cpu, machine + 1});
+      }
+      for (; it != bucket.end(); ++it) {
+        if (fn(MachineId(it->second))) return true;
+      }
+    }
+    return false;
+  }
+
   // Visit machines in descending free order (emptiest first).
   template <typename Fn>
   bool ScanDescending(Fn&& fn) const {

@@ -11,6 +11,9 @@
 // linear combination of flow values.
 #pragma once
 
+#include <cstdint>
+#include <span>
+
 #include "cluster/state.h"
 
 namespace aladdin::core {
@@ -43,6 +46,21 @@ class CapacityFunction {
                      cluster::ContainerId container,
                      cluster::MachineId machine) {
     return Evaluate(state, container, machine).Admits();
+  }
+
+  // Batched Eq. 6 over a flat machine array: one fit bit per machine for a
+  // single request tuple. The loop body is a dependency-free componentwise
+  // compare against consecutive candidates — the structure-of-arrays form
+  // the group waterfall feeds its frozen snapshot chunks through. Each bit
+  // equals CapacityCheck::fits for that (container, machine) pair.
+  static void BatchFits(const cluster::ClusterState& state,
+                        cluster::ContainerId container,
+                        std::span<const std::int32_t> machines,
+                        std::span<std::uint8_t> out) {
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      out[i] =
+          state.Fits(container, cluster::MachineId(machines[i])) ? 1 : 0;
+    }
   }
 };
 

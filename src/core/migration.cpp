@@ -25,8 +25,9 @@ RepairEngine::RepairEngine(AggregatedNetwork& network,
 int& RepairEngine::AttemptCount(cluster::ContainerId c) {
   const auto i = static_cast<std::size_t>(c.value());
   if (i >= scratch_.attempt_stamp.size()) {
+    // analyze:allow(A103) high-water growth, amortised over the workload
     scratch_.attempt_stamp.resize(i + 1, 0);
-    scratch_.attempt_count.resize(i + 1, 0);
+    scratch_.attempt_count.resize(i + 1, 0);  // analyze:allow(A103) high-water growth
   }
   if (scratch_.attempt_stamp[i] != scratch_.attempt_epoch) {
     scratch_.attempt_stamp[i] = scratch_.attempt_epoch;
@@ -253,6 +254,7 @@ std::vector<cluster::ContainerId> RepairEngine::Repair(
   // bounded, see Scratch::queue). The moved-in `pending` buffer is recycled
   // as the unplaced output, so a steady-state Repair() allocates nothing.
   std::vector<cluster::ContainerId>& queue = scratch_.queue;
+  // analyze:allow(A103) pooled scratch, capacity retained across ticks
   queue.assign(pending.begin(), pending.end());
   std::size_t head = 0;
   pending.clear();  // reused below as the unplaced list
@@ -317,6 +319,7 @@ int RepairEngine::Compact(const SearchOptions& search,
         continue;
       }
       std::vector<cluster::ContainerId>& tenants = scratch_.tenants;
+      // analyze:allow(A103) pooled scratch, capacity retained across ticks
       tenants.assign(tenants_span.begin(), tenants_span.end());
       std::sort(tenants.begin(), tenants.end(),
                 [&](cluster::ContainerId a, cluster::ContainerId b) {

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/analysis.h"
 #include "common/check.h"
 #include "obs/trace.h"
 
@@ -73,6 +74,14 @@ void AggregatedNetwork::Sync() {
     Attach(state_);  // cursor fell off the retained window; full rebuild
     return;
   }
+  if (dirty.empty()) {
+    // Noop fast path: nothing changed behind our back since the last
+    // replay, so the aggregates are already coherent — skip the phase
+    // scope and the replay loop entirely. Witnessed by the counter so the
+    // batch path's "one Refresh per micro-batch" claim is testable.
+    ALADDIN_METRIC_ADD("core/net_sync_noop", 1);
+    return;
+  }
   // Scoped below the overflow branch so the exclusive net_build phase the
   // rebuild records never nests inside net_sync (exclusive phases must stay
   // disjoint for the tick-coverage sum).
@@ -88,9 +97,16 @@ std::int64_t AggregatedNetwork::FreeCpu(cluster::MachineId m) const {
 }
 
 void AggregatedNetwork::Reindex(cluster::MachineId m) {
+  // The epoch bump happens even when the free CPU is unchanged (a machine
+  // can mutate without its residual moving — e.g. equal-sized evict+deploy
+  // between Syncs), so memoised IL failures never outlive a real change.
+  ++epoch_[Idx(m)];
+  ReindexKeys(m);
+}
+
+void AggregatedNetwork::ReindexKeys(cluster::MachineId m) {
   const std::int64_t old_free = indexed_free_[Idx(m)];
   const std::int64_t new_free = FreeCpu(m);
-  ++epoch_[Idx(m)];
   if (old_free == new_free) return;
 
   // Re-key via node extraction: erase+insert would free and re-malloc a
@@ -154,6 +170,226 @@ void AggregatedNetwork::Preempt(cluster::ContainerId c) {
   if (dirty_cursor_ == before) dirty_cursor_ = state_->DirtyLogEnd();
 }
 
+void AggregatedNetwork::DeployKeyDeferred(cluster::ContainerId c,
+                                          cluster::MachineId m) {
+  // Same contract as Deploy(), except the sorted-key update is deferred:
+  // the epoch bump (IL memo invalidation) is taken eagerly so memo
+  // semantics match the serial wrapper exactly, while by_free_/rack
+  // aggregates stay frozen until the group flush re-keys the moved set.
+  const std::uint64_t before = state_->DirtyLogEnd();
+  state_->Deploy(c, m);
+  ++epoch_[Idx(m)];
+  if (dirty_cursor_ == before) dirty_cursor_ = state_->DirtyLogEnd();
+}
+
+ALADDIN_HOT std::size_t AggregatedNetwork::PlaceGroupRun(
+    std::span<const cluster::ContainerId> run, const SearchOptions& options,
+    SearchCounters& counters, std::span<cluster::MachineId> out) {
+  ALADDIN_TRACE_SCOPE("core/group_walk");
+  ALADDIN_CHECK(state_ != nullptr);
+  ALADDIN_DCHECK(run.size() >= 2 && run.size() == out.size());
+  const cluster::ApplicationId app = state_->containers()[Idx(run[0])].app;
+  const cluster::ResourceVector& request =
+      state_->containers()[Idx(run[0])].request;
+  const std::int64_t need = request.cpu_millis();
+  ALADDIN_DCHECK(need > 0);
+#if ALADDIN_DCHECK_IS_ON()
+  for (cluster::ContainerId c : run) {
+    ALADDIN_DCHECK(state_->containers()[Idx(c)].app == app);
+    ALADDIN_DCHECK(state_->containers()[Idx(c)].request == request);
+    ALADDIN_DCHECK(!state_->IsPlaced(c));
+  }
+#endif
+  const bool use_il =
+      options.enable_il &&
+      state_->applications()[Idx(app)].containers.size() > 1;
+
+  group_snapshot_.clear();
+  group_touched_.clear();
+  group_moved_.clear();
+  group_prefix_failed_.clear();
+
+  // No re-key touches by_free_ until the flush, so this iterator survives
+  // the whole run: the frozen snapshot extends lazily, chunk by chunk, only
+  // as far as the merged walks actually reach. Machines deployed mid-run
+  // are only ever ones the walk already materialised, so chunks past the
+  // frontier never hold a stale key.
+  auto snap_it = by_free_.lower_bound({need, -1});
+  bool snap_done = (snap_it == by_free_.end());
+  auto extend_snapshot = [&] {
+    if (snap_done) return;
+    constexpr std::size_t kChunk = 64;
+    auto& machines = group_chunk_machines_;
+    machines.clear();
+    const std::size_t base = group_snapshot_.size();
+    for (std::size_t n = 0; snap_it != by_free_.end() && n < kChunk;
+         ++snap_it, ++n) {
+      group_snapshot_.push_back(
+          GroupEntry{snap_it->first, snap_it->second, kGroupFresh, 0});
+      machines.push_back(snap_it->second);
+    }
+    snap_done = (snap_it == by_free_.end());
+    // analyze:allow(A103) pooled scratch, capacity retained across runs
+    group_chunk_fits_.resize(machines.size());
+    // Batched Eq. 6 over the chunk: one shared request tuple against a flat
+    // machine array. Valid for the entire run — a snapshot entry stays
+    // kGroupFresh only while its machine is untouched.
+    CapacityFunction::BatchFits(*state_, run[0], machines, group_chunk_fits_);
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      group_snapshot_[base + i].fit = group_chunk_fits_[i];
+    }
+  };
+  const auto entry_less = [](const GroupEntry& a, const GroupEntry& b) {
+    return a.free != b.free ? a.free < b.free : a.machine < b.machine;
+  };
+
+  std::size_t placed = 0;
+  std::size_t failed_from = run.size();
+  // Snapshot entries in [0, prefix_end) are settled (failed or moved) by
+  // earlier siblings; later walks start past them. The failed ones live in
+  // group_prefix_failed_ (sorted, appended in snapshot order), and the
+  // serial walk's counter bumps for re-visiting them — memo-prune under IL,
+  // re-probe-and-fail without — are charged wholesale per sibling via one
+  // binary search: the serial merge stops at the winner, so only failed
+  // keys strictly below the winner's key would have been visited.
+  std::size_t prefix_end = 0;
+  for (std::size_t s = 0; s < run.size(); ++s) {
+    const cluster::ContainerId c = run[s];
+    cluster::MachineId winner = cluster::MachineId::Invalid();
+    GroupEntry winner_key{0, 0, 0, 0};
+    // Two-pointer merge of the frozen snapshot and the re-inserted winners:
+    // candidates stream by ascending (free, machine), exactly the order the
+    // serial per-sibling walk would visit live keys in.
+    std::size_t si = prefix_end;
+    std::size_t ti = 0;
+    while (true) {
+      if (si == group_snapshot_.size()) extend_snapshot();
+      const bool have_snap = si < group_snapshot_.size();
+      const bool have_touch = ti < group_touched_.size();
+      if (!have_snap && !have_touch) break;
+      const bool take_snap =
+          have_snap && (!have_touch ||
+                        entry_less(group_snapshot_[si], group_touched_[ti]));
+      if (take_snap) {
+        GroupEntry& e = group_snapshot_[si];
+        ++si;
+        // Beyond the settled prefix every snapshot entry is fresh: a walk
+        // only ever marks entries it visits, and the prefix advances past
+        // everything visited before the next walk starts.
+        ALADDIN_DCHECK(e.state == kGroupFresh);
+        const cluster::MachineId m(e.machine);
+        // Untouched machine: a pre-run IL memo is still valid.
+        if (use_il && IlPruned(app, m)) {
+          ++counters.il_prunes;
+          e.state = kGroupFailed;
+          continue;
+        }
+        ++counters.explored_paths;
+        if (e.fit == 0 || state_->Blacklisted(c, m)) {
+          if (use_il) RecordIlFailure(app, m);
+          e.state = kGroupFailed;
+          continue;
+        }
+        winner = m;
+        winner_key = e;
+        e.state = kGroupMoved;
+        break;
+      }
+      GroupEntry& e = group_touched_[ti];
+      if (e.state == kGroupFailed) {
+        use_il ? ++counters.il_prunes : ++counters.explored_paths;
+        ++ti;
+        continue;
+      }
+      // Re-inserted winner: its epoch was bumped at deploy time, so any
+      // pre-run memo is stale — full live evaluation, like the serial walk.
+      ++counters.explored_paths;
+      const cluster::MachineId m(e.machine);
+      const CapacityCheck check = CapacityFunction::Evaluate(*state_, c, m);
+      if (!check.Admits()) {
+        if (use_il) RecordIlFailure(app, m);
+        e.state = kGroupFailed;
+        ++ti;
+        continue;
+      }
+      winner = m;
+      winner_key = e;
+      group_touched_.erase(group_touched_.begin() +
+                           static_cast<std::ptrdiff_t>(ti));
+      break;
+    }
+    // Charge the skipped failed-prefix visits. On a win, only keys the
+    // serial merge would have reached (strictly below the winner's key — a
+    // touched winner can sit below failed snapshot keys) count; on
+    // exhaustion the serial walk would have re-visited the whole prefix.
+    const std::int64_t skipped =
+        winner.valid()
+            ? std::lower_bound(group_prefix_failed_.begin(),
+                               group_prefix_failed_.end(), winner_key,
+                               entry_less) -
+                  group_prefix_failed_.begin()
+            : static_cast<std::int64_t>(group_prefix_failed_.size());
+    if (skipped > 0) {
+      use_il ? counters.il_prunes += skipped
+             : counters.explored_paths += skipped;
+    }
+    if (!winner.valid()) {
+      failed_from = s;
+      break;
+    }
+    // Settle this walk's snapshot range: entries it failed were counted
+    // live above and now join the prefix list (still in ascending key
+    // order) so later siblings skip them in O(log).
+    for (std::size_t i = prefix_end; i < si; ++i) {
+      if (group_snapshot_[i].state == kGroupFailed) {
+        group_prefix_failed_.push_back(group_snapshot_[i]);
+      }
+    }
+    prefix_end = si;
+    out[s] = winner;
+    ++counters.dl_stops;
+    DeployKeyDeferred(c, winner);
+    group_moved_.push_back(winner.value());
+    const std::int64_t new_free = FreeCpu(winner);
+    if (new_free >= need) {
+      // Still a candidate for later siblings, at its live (smaller) key.
+      const GroupEntry fresh{new_free, winner.value(), kGroupFresh, 0};
+      group_touched_.insert(std::upper_bound(group_touched_.begin(),
+                                             group_touched_.end(), fresh,
+                                             entry_less),
+                            fresh);
+    }
+    ++placed;
+  }
+
+  if (failed_from < run.size()) {
+    // The failing sibling exhausted (and fully materialised) the candidate
+    // space, memoising every probe; siblings are isomorphic and nothing
+    // mutates after a failure, so each later sibling would repeat the same
+    // fruitless walk. Charge those walks wholesale.
+    std::int64_t candidates =
+        static_cast<std::int64_t>(group_touched_.size());
+    for (const GroupEntry& e : group_snapshot_) {
+      if (e.state != kGroupMoved) ++candidates;
+    }
+    for (std::size_t s = failed_from; s < run.size(); ++s) {
+      out[s] = cluster::MachineId::Invalid();
+      if (s > failed_from) {
+        use_il ? counters.il_prunes += candidates
+               : counters.explored_paths += candidates;
+      }
+    }
+  }
+
+  // Flush the deferred re-keys before any caller-side diagnosis or search
+  // reads the aggregates. Idempotent per machine: a double winner re-keys
+  // straight to its final residual once, then early-outs.
+  for (std::int32_t m : group_moved_) ReindexKeys(cluster::MachineId(m));
+  ALADDIN_METRIC_ADD("core/group_runs", 1);
+  ALADDIN_METRIC_ADD("core/group_placed", placed);
+  return placed;
+}
+
 bool AggregatedNetwork::IlPruned(cluster::ApplicationId app,
                                  cluster::MachineId m) const {
   const auto& memo = il_memo_[Idx(app)];
@@ -164,6 +400,7 @@ bool AggregatedNetwork::IlPruned(cluster::ApplicationId app,
 void AggregatedNetwork::RecordIlFailure(cluster::ApplicationId app,
                                         cluster::MachineId m) {
   auto& memo = il_memo_[Idx(app)];
+  // analyze:allow(A103) lazy once-per-app materialisation, then reused
   if (memo.empty()) memo.assign(topology_->machine_count(), 0);
   memo[Idx(m)] = epoch_[Idx(m)] + 1;
 }
@@ -356,6 +593,7 @@ cluster::MachineId AggregatedNetwork::BestFitWalkParallel(
       items.push_back(WalkItem{m.value(), pruned});
       if (!pruned) eval.push_back(items.size() - 1);
     }
+    // analyze:allow(A103) pooled scratch, capacity retained across walks
     admitted.assign(eval.size(), 0);
     ParallelFor(*options.pool, 0, eval.size(), [&](std::size_t i) {
       const cluster::MachineId m(items[eval[i]].machine);
@@ -415,6 +653,7 @@ cluster::MachineId AggregatedNetwork::EnumerateParallel(
   // the exact serial order. SubResult slots (and their il_failures buffers)
   // persist in enum_results_; each task clears only its own slot.
   std::vector<SubResult>& results = enum_results_;
+  // analyze:allow(A103) pooled slots, sized once per topology then reused
   results.resize(subcluster_free_.size());
   ParallelFor(*options.pool, 0, subcluster_free_.size(), [&](std::size_t g) {
     SubResult& out = results[g];

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "cluster/state.h"
@@ -75,6 +76,11 @@ class AggregatedNetwork {
   // so memoised IL failures for them are naturally invalidated.
   void Sync();
 
+  // Batch-refresh alias (ROADMAP item 4 / ISSUE 9 vocabulary): apply all of
+  // a micro-batch's accumulated arrivals/departures in one replay of the
+  // dirty log. Identical to Sync(); the name marks batch call sites.
+  void Refresh() { Sync(); }
+
   // Algorithm 1's getShortestPath for one container: returns the tightest
   // machine admitted by the capacity function, or Invalid. The same machine
   // is returned for every option combination; options only change how much
@@ -85,6 +91,29 @@ class AggregatedNetwork {
       cluster::ContainerId c, const SearchOptions& options,
       SearchCounters& counters,
       cluster::MachineId exclude = cluster::MachineId::Invalid());
+
+  // Group-decomposed placement (ISSUE 9 tentpole): places a *run* of
+  // isomorphic siblings — same application, identical request tuple, all
+  // currently unplaced — in one sorted-capacity waterfall over flat arrays
+  // instead of `run.size()` independent best-fit walks over the by_free_
+  // tree. Requires enable_dl (the waterfall IS the first-admissible walk)
+  // and run.size() >= 2; callers route other cases through FindMachine.
+  //
+  // The walk replays the serial per-sibling search *exactly*: machines are
+  // considered in the same (free cpu, machine) order each sibling would see,
+  // Eq. 6 fit bits are batch-evaluated once per frozen snapshot chunk (the
+  // tuple is shared by the whole run), blacklist probes stay live (self-
+  // anti-affinity flips mid-run), and IL memo reads/writes land exactly
+  // where the serial walk would put them. Deploys happen inside (epoch
+  // bumped eagerly, by_free_ re-key deferred to one flush at the end), so
+  // placements, SearchCounters, IL memo contents and machine epochs are all
+  // bit-identical to calling FindMachine+Deploy per sibling. out[i] gets
+  // the machine for run[i] (Invalid = unplaced; failures are a suffix).
+  // Returns the number placed.
+  std::size_t PlaceGroupRun(std::span<const cluster::ContainerId> run,
+                            const SearchOptions& options,
+                            SearchCounters& counters,
+                            std::span<cluster::MachineId> out);
 
   // Terminal failure diagnosis for the provenance journal: explains,
   // against the current state, why no admissible path exists for `c`.
@@ -137,6 +166,14 @@ class AggregatedNetwork {
   using Key = std::pair<std::int64_t, std::int32_t>;  // (free cpu, machine)
 
   void Reindex(cluster::MachineId m);
+  // The key-only half of Reindex: re-keys by_free_ / rack / sub-cluster
+  // aggregates to the machine's live free CPU *without* bumping its change
+  // epoch. Early-outs when the key already matches, so a deferred flush may
+  // call it once per deploy of the same machine. PlaceGroupRun pairs it
+  // with DeployKeyDeferred, which bumps the epoch at deploy time (matching
+  // the serial wrapper) but leaves the sorted keys frozen for the walk.
+  void ReindexKeys(cluster::MachineId m);
+  void DeployKeyDeferred(cluster::ContainerId c, cluster::MachineId m);
   [[nodiscard]] std::int64_t FreeCpu(cluster::MachineId m) const;
 
   // Full enumeration through the aggregation vertices (plain / +IL modes).
@@ -187,6 +224,27 @@ class AggregatedNetwork {
   std::vector<std::size_t> walk_eval_;
   std::vector<std::uint8_t> walk_admitted_;
   std::vector<SubResult> enum_results_;
+
+  // Group-waterfall scratch (PlaceGroupRun), hoisted so steady-state runs
+  // allocate nothing. The snapshot is the frozen (free, machine) prefix of
+  // by_free_ materialised lazily in chunks; `touched` holds winners
+  // re-inserted at their live keys; `moved` collects machines whose by_free_
+  // re-key is deferred to the end-of-run flush.
+  struct GroupEntry {
+    std::int64_t free;
+    std::int32_t machine;
+    std::uint8_t state;  // kGroupFresh / kGroupFailed / kGroupMoved
+    std::uint8_t fit;    // Eq. 6 bit, batch-evaluated (snapshot entries)
+  };
+  static constexpr std::uint8_t kGroupFresh = 0;
+  static constexpr std::uint8_t kGroupFailed = 1;
+  static constexpr std::uint8_t kGroupMoved = 2;
+  std::vector<GroupEntry> group_snapshot_;
+  std::vector<GroupEntry> group_touched_;
+  std::vector<GroupEntry> group_prefix_failed_;
+  std::vector<std::int32_t> group_moved_;
+  std::vector<std::int32_t> group_chunk_machines_;
+  std::vector<std::uint8_t> group_chunk_fits_;
 
   // IL memo: (app, machine) -> machine epoch at failure. A probe is skipped
   // while the machine has not changed since the recorded failure. Only

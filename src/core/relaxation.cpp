@@ -140,18 +140,20 @@ void IncrementalRelaxation::Refresh(const trace::Workload& workload,
   flow::Graph& g = net_.graph;
   const cluster::Topology& topology = state.topology();
 
-  // Machine arcs: free CPU moved; cancel any flow above the new capacity
-  // before lowering it so invariants hold throughout.
+  // Machine and container retargets accumulate into one micro-batch and go
+  // through flow::RefreshCapacities: each arc whose capacity moved keeps
+  // the previous solve's flow as a warm start, cancelling only the excess
+  // above its new capacity (the "cancel only invalidated arcs" rule).
+  updates_.clear();
+
+  // Machine arcs: free CPU moved.
   for (const auto& machine : topology.machines()) {
     const ArcId arc = net_.machine_arcs[static_cast<std::size_t>(
         machine.id.value())];
     const flow::Capacity want = state.Free(machine.id).cpu_millis();
-    if (g.arc(arc).capacity == want) continue;
-    if (g.Flow(arc) > want) {
-      flow::CancelArcFlow(g, arc, g.Flow(arc) - want, net_.source, net_.sink,
-                          ws_);
+    if (g.arc(arc).capacity != want) {
+      updates_.push_back(flow::CapacityUpdate{arc, want});
     }
-    g.SetCapacity(arc, want);
   }
 
   // Container arcs: placed containers close (capacity 0), evicted ones
@@ -171,13 +173,11 @@ void IncrementalRelaxation::Refresh(const trace::Workload& workload,
       continue;
     }
     const flow::Capacity want = placed ? 0 : c.request.cpu_millis();
-    if (g.arc(arc).capacity == want) continue;
-    if (g.Flow(arc) > want) {
-      flow::CancelArcFlow(g, arc, g.Flow(arc) - want, net_.source, net_.sink,
-                          ws_);
+    if (g.arc(arc).capacity != want) {
+      updates_.push_back(flow::CapacityUpdate{arc, want});
     }
-    g.SetCapacity(arc, want);
   }
+  flow::RefreshCapacities(g, updates_, net_.source, net_.sink, ws_);
   net_.edge_count = g.arc_count() / 2;
 
 #if ALADDIN_DCHECK_IS_ON()

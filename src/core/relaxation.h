@@ -21,6 +21,7 @@
 
 #include "cluster/state.h"
 #include "flow/graph.h"
+#include "flow/max_flow.h"
 #include "flow/workspace.h"
 #include "trace/workload.h"
 
@@ -84,8 +85,11 @@ class IncrementalRelaxation {
 
   RelaxationNetwork net_;
   // Long-lived solver scratch: with the network reused across ticks, a
-  // steady-state Solve() (CancelArcFlow + warm Dinic) allocates nothing.
+  // steady-state Solve() (RefreshCapacities + warm Dinic) allocates
+  // nothing. `updates_` stages each tick's capacity retargets for the one
+  // flow::RefreshCapacities micro-batch.
   flow::Workspace ws_;
+  std::vector<flow::CapacityUpdate> updates_;
   bool built_ = false;
   bool reused_last_ = false;
   std::uint64_t state_instance_ = 0;

@@ -58,6 +58,7 @@ ThreadPool* AladdinScheduler::SearchPool() {
             ? std::max<std::size_t>(std::thread::hardware_concurrency(), 1)
             : static_cast<std::size_t>(std::max(options_.threads, 1));
     // A one-worker pool would serialise through the queue for nothing.
+    // analyze:allow(A101) pool constructed once, then reused for the run
     if (want > 1) pool_ = std::make_unique<ThreadPool>(want);
   }
   return pool_.get();
@@ -93,44 +94,113 @@ std::string AladdinScheduler::name() const {
   return n;
 }
 
+void AladdinScheduler::PrepareWeights(const trace::Workload& workload) {
+  // Fingerprint everything the weight derivation (and the Eq. 5 audit)
+  // reads: per-app priority, per-container request CPU and replica count,
+  // plus the knob itself. Content-hashing (FNV-1a) rather than caching on
+  // the workload address alone means a recycled address can never serve
+  // stale weights. Applications are append-only while a workload is live,
+  // so the common steady-state tick hashes a few thousand small ints —
+  // orders cheaper than re-deriving class ranges and re-auditing Eq. 5.
+  std::uint64_t fp = 1469598103934665603ull;
+  const auto mix = [&fp](std::uint64_t v) {
+    fp ^= v;
+    fp *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(options_.weight_base));
+  mix(static_cast<std::uint64_t>(workload.container_count()));
+  for (const cluster::Application& app : workload.applications()) {
+    mix(static_cast<std::uint64_t>(app.priority));
+    mix(static_cast<std::uint64_t>(app.request.cpu_millis()));
+    mix(static_cast<std::uint64_t>(app.containers.size()));
+  }
+  if (weights_ready_ && fp == weights_fingerprint_) {
+    ALADDIN_METRIC_ADD("core/weights_cached", 1);
+    return;
+  }
+  // Eq. 3–5: priority weights. The evaluation's knob is a geometric base;
+  // base 0 derives the minimal valid weights from the workload itself.
+  ALADDIN_PHASE_SCOPE("core/weights");
+  weights_ = options_.weight_base > 0
+                 ? MakeGeometricWeights(cluster::kPriorityClasses,
+                                        options_.weight_base)
+                 : ComputeMinimalWeights(workload);
+  if (!SatisfiesEq5(weights_, workload)) {
+    LOG_WARN << name() << ": weights violate Eq. 5 for this workload; "
+             << "priority safety of preemption is not guaranteed";
+  }
+  weights_fingerprint_ = fp;
+  weights_ready_ = true;
+}
+
 ALADDIN_HOT sim::ScheduleOutcome AladdinScheduler::Schedule(
     const sim::ScheduleRequest& request, cluster::ClusterState& state) {
-  const trace::Workload& workload = *request.workload;
-  sim::ScheduleOutcome outcome;
   const std::vector<obs::PhaseDelta> phases_before =
       obs::MetricsEnabled() ? obs::CapturePhases()
                             : std::vector<obs::PhaseDelta>{};
+  PrepareWeights(*request.workload);
+  return ScheduleOne(request, state, PrepareNetwork(state), phases_before);
+}
+
+ALADDIN_HOT std::vector<sim::ScheduleOutcome> AladdinScheduler::ScheduleBatch(
+    std::span<const sim::ScheduleRequest> requests,
+    cluster::ClusterState& state) {
+  std::vector<sim::ScheduleOutcome> outcomes;
+  outcomes.reserve(requests.size());
+  if (requests.empty()) return outcomes;
+  // One warm prep for the whole micro-batch: weights once (every request
+  // shares the workload) and one Refresh() of the aggregated network. The
+  // per-request solves below fold their own mutations in eagerly, so no
+  // further sync is needed between requests — this is what makes the batch
+  // bit-identical to sequential Schedule() calls modulo the
+  // net_syncs/net_sync_noop/weights_cached prep counters.
+  std::vector<obs::PhaseDelta> phases_before =
+      obs::MetricsEnabled() ? obs::CapturePhases()
+                            : std::vector<obs::PhaseDelta>{};
+  PrepareWeights(*requests.front().workload);
+  AggregatedNetwork& network = PrepareNetwork(state);
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    ALADDIN_DCHECK(requests[r].workload == requests.front().workload);
+    outcomes.push_back(
+        ScheduleOne(requests[r], state, network, phases_before));
+    if (obs::JournalEnabled()) {
+      // Per-request batch marker: machine = request index within the batch,
+      // detail = arrival size. check_journal.py uses these to pin the
+      // "terminal records in request order" contract.
+      obs::EmitDecision(obs::DecisionKind::kEvent,
+                        obs::Cause::kBatchScheduled, -1,
+                        static_cast<std::int32_t>(r), -1,
+                        static_cast<std::int64_t>(
+                            requests[r].arrival->size()));
+    }
+    if (obs::MetricsEnabled()) phases_before = obs::CapturePhases();
+  }
+  return outcomes;
+}
+
+ALADDIN_HOT sim::ScheduleOutcome AladdinScheduler::ScheduleOne(
+    const sim::ScheduleRequest& request,
+    [[maybe_unused]] cluster::ClusterState& state,  // DCHECK-build audits
+    AggregatedNetwork& network,
+    const std::vector<obs::PhaseDelta>& phases_before) {
+  const trace::Workload& workload = *request.workload;
+  sim::ScheduleOutcome outcome;
 
 #if ALADDIN_DCHECK_IS_ON()
   // Violations already present on entry (online mode re-schedules into a
   // populated cluster) are not ours to answer for. The full-cluster audit
   // scans are debug-build work, but they still get their own exclusive
   // phase so the tick-coverage sum stays honest in DCHECK builds.
+  // analyze:allow(A102) DCHECK-build audit snapshot, compiled out of release
   const std::vector<cluster::ContainerId> pre_existing_violations = [&] {
     ALADDIN_PHASE_SCOPE("core/verify");
     return cluster::CollectColocationViolations(state);
   }();
 #endif
 
-  // Eq. 3–5: priority weights. The evaluation's knob is a geometric base;
-  // base 0 derives the minimal valid weights from the workload itself.
-  {
-    ALADDIN_PHASE_SCOPE("core/weights");
-    weights_ = options_.weight_base > 0
-                   ? MakeGeometricWeights(cluster::kPriorityClasses,
-                                          options_.weight_base)
-                   : ComputeMinimalWeights(workload);
-    if (!SatisfiesEq5(weights_, workload)) {
-      LOG_WARN << name() << ": weights violate Eq. 5 for this workload; "
-               << "priority safety of preemption is not guaranteed";
-    }
-  }
-
   SearchOptions search{options_.enable_il, options_.enable_dl};
   search.pool = SearchPool();
   SearchCounters counters;
-
-  AggregatedNetwork& network = PrepareNetwork(state);
 
   // --- Phase 1: flow augmentation in weighted-flow order. ----------------
   // Eq. 9 maximises Σ w_k·f(i,j): the solver augments the largest weighted
@@ -172,9 +242,69 @@ ALADDIN_HOT sim::ScheduleOutcome AladdinScheduler::Schedule(
                 return a.arrival_pos < b.arrival_pos;
               });
 
-    for (const SortKey& k : keyed) {
+    // Group-decomposed augmentation: an application's containers are
+    // isomorphic (identical requests), so siblings share one weighted flow
+    // and — the sort being stable over their consecutive submission — sit
+    // contiguous in `keyed`. Each maximal same-app stretch of length >= 2
+    // goes through one sorted-capacity waterfall (PlaceGroupRun) instead of
+    // per-container best-fit walks; the waterfall replays the serial walks
+    // exactly, so everything downstream (journal order included) is
+    // bit-identical. Groups always solve serially — the parallel pool keeps
+    // accelerating singleton walks, which are themselves serial-identical.
+    const bool use_groups = options_.group_waterfall && options_.enable_dl;
+    std::size_t i = 0;
+    while (i < keyed.size()) {
       const cluster::ContainerId c =
-          (*request.arrival)[static_cast<std::size_t>(k.arrival_pos)];
+          (*request.arrival)[static_cast<std::size_t>(keyed[i].arrival_pos)];
+      const auto& cont =
+          workload.containers()[static_cast<std::size_t>(c.value())];
+      std::size_t j = i + 1;
+      if (use_groups && cont.request.cpu_millis() > 0) {
+        while (j < keyed.size()) {
+          const cluster::ContainerId d =
+              (*request
+                    .arrival)[static_cast<std::size_t>(keyed[j].arrival_pos)];
+          if (workload.containers()[static_cast<std::size_t>(d.value())]
+                  .app != cont.app) {
+            break;
+          }
+          ++j;
+        }
+      }
+      if (j - i >= 2) {
+        group_run_.clear();
+        for (std::size_t k = i; k < j; ++k) {
+          group_run_.push_back(
+              (*request
+                    .arrival)[static_cast<std::size_t>(keyed[k].arrival_pos)]);
+        }
+        // analyze:allow(A103) pooled scratch, capacity retained across ticks
+        group_out_.assign(group_run_.size(), cluster::MachineId::Invalid());
+        network.PlaceGroupRun(group_run_, search, counters, group_out_);
+        // Deploys already happened inside the run (in sibling order);
+        // failures form a suffix during which nothing mutated, so emitting
+        // the per-sibling records here reproduces the serial interleave —
+        // and the post-flush diagnosis equals the serial mid-stream one.
+        for (std::size_t k = 0; k < group_run_.size(); ++k) {
+          const cluster::ContainerId cc = group_run_[k];
+          const cluster::MachineId m = group_out_[k];
+          if (m.valid()) {
+            if (obs::JournalEnabled()) {
+              obs::EmitDecision(obs::DecisionKind::kPlace,
+                                obs::Cause::kAdmittedDirect, cc.value(),
+                                m.value());
+            }
+          } else {
+            pending.push_back(cc);
+            if (obs::JournalEnabled()) {
+              obs::EmitDecision(obs::DecisionKind::kReject,
+                                network.DiagnoseFailure(cc), cc.value());
+            }
+          }
+        }
+        i = j;
+        continue;
+      }
       const cluster::MachineId m = network.FindMachine(c, search, counters);
       if (m.valid()) {
         network.Deploy(c, m);
@@ -191,6 +321,7 @@ ALADDIN_HOT sim::ScheduleOutcome AladdinScheduler::Schedule(
                             network.DiagnoseFailure(c), c.value());
         }
       }
+      ++i;
     }
   }
   outcome.rounds = 1;
@@ -227,11 +358,13 @@ ALADDIN_HOT sim::ScheduleOutcome AladdinScheduler::Schedule(
 
   // Copy (not move): the outcome's vector escapes the tick, the scratch
   // buffer's capacity stays pooled for the next one.
+  // analyze:allow(A103) per-tick output that escapes the solve
   outcome.unplaced.assign(pending.begin(), pending.end());
   // Terminal diagnosis, always on: cost is O(feasible machines) *per
   // unplaced container*, zero on the perf-gated configs where everything
   // places. Consumers (resolver stats, bench cause tables) need the causes
   // even when the journal itself is off.
+  // analyze:allow(A103) per-tick output that escapes the solve
   outcome.unplaced_causes.reserve(outcome.unplaced.size());
   for (cluster::ContainerId c : outcome.unplaced) {
     const obs::Cause cause = network.DiagnoseFailure(c);

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "core/migration.h"
 #include "core/network.h"
 #include "core/weights.h"
+#include "obs/metrics.h"
 #include "sim/scheduler.h"
 
 namespace aladdin::core {
@@ -67,6 +69,16 @@ struct AladdinOptions {
   // concurrency, 1 = serial (no pool). Any value yields identical
   // placements and search counters — see SearchOptions::pool.
   int threads = 0;
+
+  // Group-decomposed pathfinding (ISSUE 9): place runs of isomorphic
+  // siblings (same app, identical request, consecutive in weighted-flow
+  // order) through one sorted-capacity waterfall instead of per-container
+  // best-fit walks. Placements, counters, journal and IL memo state are
+  // bit-identical to the per-container path (the waterfall replays it
+  // exactly); the knob exists for A/B tests and as a fallback switch.
+  // Only engages alongside enable_dl — without DL the search is a full
+  // enumeration, which the waterfall does not model.
+  bool group_waterfall = true;
 };
 
 class AladdinScheduler : public sim::Scheduler {
@@ -77,6 +89,18 @@ class AladdinScheduler : public sim::Scheduler {
 
   sim::ScheduleOutcome Schedule(const sim::ScheduleRequest& request,
                                 cluster::ClusterState& state) override;
+
+  // Batch-incremental entry point (ISSUE 9 tentpole): solves a micro-batch
+  // of requests against one warm network — weights prepared once, one
+  // Refresh() up front, each request's own mutations folded in eagerly.
+  // Outcomes are emitted in request order and are bit-identical to calling
+  // Schedule() per request (journal/ledger/SLO streams included); only the
+  // core/net_syncs, core/net_sync_noop and core/weights_cached counters
+  // differ, because the batch pays the prep once. After each request a
+  // kBatchScheduled journal marker records the request's index and size.
+  std::vector<sim::ScheduleOutcome> ScheduleBatch(
+      std::span<const sim::ScheduleRequest> requests,
+      cluster::ClusterState& state);
 
   [[nodiscard]] const AladdinOptions& options() const { return options_; }
   // Weights used by the last Schedule() call (for tests/ablation).
@@ -89,11 +113,25 @@ class AladdinScheduler : public sim::Scheduler {
   // state's dirty log) when it is still attached to this exact state
   // object, else a freshly attached rebuild.
   AggregatedNetwork& PrepareNetwork(cluster::ClusterState& state);
+  // Eq. 3–5 weights with a content-fingerprint cache: recomputation (and
+  // the Eq. 5 audit) is skipped when the workload's priority/request
+  // population is unchanged — the common case for every request after the
+  // first in a micro-batch and for no-arrival ticks.
+  void PrepareWeights(const trace::Workload& workload);
+  // The per-request pipeline (augment → repair → compact) against an
+  // already-prepared network; Schedule() and ScheduleBatch() both land
+  // here. `phases_before` is the capture the outcome's phase diff closes.
+  sim::ScheduleOutcome ScheduleOne(
+      const sim::ScheduleRequest& request, cluster::ClusterState& state,
+      AggregatedNetwork& network,
+      const std::vector<obs::PhaseDelta>& phases_before);
   // Lazily creates the search pool per options_.threads (null when serial).
   [[nodiscard]] ThreadPool* SearchPool();
 
   AladdinOptions options_;
   PriorityWeights weights_;
+  std::uint64_t weights_fingerprint_ = 0;
+  bool weights_ready_ = false;
 
   // Incremental reuse state: the network survives Schedule() calls; the
   // instance id (not just the address — states are frequently stack- or
@@ -111,6 +149,10 @@ class AladdinScheduler : public sim::Scheduler {
   Arena arena_;
   RepairEngine::Scratch repair_scratch_;
   std::vector<cluster::ContainerId> pending_;
+  // Group-waterfall staging: the current sibling run and its per-container
+  // results (capacity retained across ticks, like pending_).
+  std::vector<cluster::ContainerId> group_run_;
+  std::vector<cluster::MachineId> group_out_;
 };
 
 }  // namespace aladdin::core

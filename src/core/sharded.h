@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,15 @@ class ShardedScheduler : public sim::Scheduler {
   // (keyed on instance_id); a different state re-attaches from scratch.
   sim::ScheduleOutcome Schedule(const sim::ScheduleRequest& request,
                                 cluster::ClusterState& state) override;
+
+  // Batch counterpart of AladdinScheduler::ScheduleBatch: the coordinator
+  // already keeps shard mirrors warm across calls (SyncShards replays only
+  // the scoped dirty deltas), so a micro-batch is the per-request loop plus
+  // the same kBatchScheduled journal markers the unsharded path emits —
+  // outcome streams stay bit-identical between shard counts.
+  std::vector<sim::ScheduleOutcome> ScheduleBatch(
+      std::span<const sim::ScheduleRequest> requests,
+      cluster::ClusterState& state);
 
   [[nodiscard]] const ShardedOptions& options() const { return options_; }
   // Valid after the first Schedule() call.

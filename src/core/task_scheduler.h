@@ -10,6 +10,8 @@
 // placement with LLA scheduling (the k8s resolver).
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <string>
 
 #include "cluster/free_index.h"
@@ -44,6 +46,24 @@ class TaskScheduler : public sim::Scheduler {
                                      cluster::FreeIndex& index,
                                      cluster::ContainerId task,
                                      TaskPlacementPolicy policy);
+
+  // Best-fit run placer (ISSUE 9): places a run of tasks with identical
+  // resource requests, bit-identically to calling PlaceOne(kBestFit) per
+  // task but without the per-task rescan. The current winner absorbs tasks
+  // while the request keeps fitting (deferring its index re-key); when it
+  // stops fitting the scan resumes strictly after the winner's discovery
+  // key (FreeIndex::ScanAscendingFrom) — every earlier key is a machine
+  // that already rejected this request shape and is unchanged, or an
+  // exhausted ex-winner re-keyed below its discovery position. Once a
+  // resumed scan comes up empty, all remaining tasks are unplaced (state
+  // unchanged, so a serial rescan would fail identically). out[i] receives
+  // the machine for tasks[i] (Invalid when unplaced); failures form a
+  // suffix. Returns the number placed. Requires tasks.size() == out.size()
+  // and all tasks unplaced with equal request vectors.
+  static std::size_t PlaceRun(cluster::ClusterState& state,
+                              cluster::FreeIndex& index,
+                              std::span<const cluster::ContainerId> tasks,
+                              std::span<cluster::MachineId> out);
 
  private:
   TaskSchedulerOptions options_;

@@ -311,4 +311,29 @@ Capacity CancelArcFlow(Graph& graph, ArcId a, Capacity amount,
                        ThreadLocalWorkspace());
 }
 
+Capacity RefreshCapacities(Graph& graph,
+                           std::span<const CapacityUpdate> updates,
+                           VertexId source, VertexId sink, Workspace& ws) {
+  Capacity cancelled = 0;
+  for (const CapacityUpdate& u : updates) {
+    const Arc& arc = graph.arc(u.arc);
+    if (arc.capacity == u.capacity) continue;  // warm flow survives as-is
+    if (arc.flow > u.capacity) {
+      // Shrinking below the carried flow: cancel exactly the excess so the
+      // graph stays a valid flow at every step, then retarget.
+      cancelled +=
+          CancelArcFlow(graph, u.arc, arc.flow - u.capacity, source, sink, ws);
+    }
+    graph.SetCapacity(u.arc, u.capacity);
+  }
+  return cancelled;
+}
+
+Capacity RefreshCapacities(Graph& graph,
+                           std::span<const CapacityUpdate> updates,
+                           VertexId source, VertexId sink) {
+  return RefreshCapacities(graph, updates, source, sink,
+                           ThreadLocalWorkspace());
+}
+
 }  // namespace aladdin::flow

@@ -12,6 +12,8 @@
 // per-thread default workspace. Both are bit-identical in results.
 #pragma once
 
+#include <span>
+
 #include "flow/graph.h"
 #include "flow/workspace.h"
 
@@ -68,5 +70,28 @@ Capacity CancelArcFlow(Graph& graph, ArcId a, Capacity amount,
                        VertexId source, VertexId sink, Workspace& ws);
 Capacity CancelArcFlow(Graph& graph, ArcId a, Capacity amount,
                        VertexId source, VertexId sink);
+
+// One capacity retarget of a warm-started refresh batch.
+struct CapacityUpdate {
+  ArcId arc = ArcId::Invalid();
+  Capacity capacity = 0;
+};
+
+// Batch-incremental capacity refresh (ISSUE 9): applies a micro-batch of
+// capacity retargets to a graph that still carries the previous solve's
+// flow, preserving it as a warm start. Per update: arcs whose capacity
+// already matches are skipped, arcs whose current flow exceeds the new
+// capacity get exactly the excess cancelled (CancelArcFlow unwinds whole
+// source→…→sink segments, so conservation holds after every step), then the
+// capacity is set. Invariants hold on return and the surviving flow is a
+// valid (possibly non-maximum) flow — re-run Dinic/EdmondsKarp to
+// re-augment only the changed frontier. Returns the total flow cancelled
+// (0 means the warm flow survived intact).
+Capacity RefreshCapacities(Graph& graph,
+                           std::span<const CapacityUpdate> updates,
+                           VertexId source, VertexId sink, Workspace& ws);
+Capacity RefreshCapacities(Graph& graph,
+                           std::span<const CapacityUpdate> updates,
+                           VertexId source, VertexId sink);
 
 }  // namespace aladdin::flow

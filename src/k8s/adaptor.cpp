@@ -26,11 +26,15 @@ void ModelAdaptor::OnEvent(const Event& event) {
             (pod.phase != PodPhase::kBound || pod.node != it->second.node)) {
           RetireContainer(pod.uid);
         }
+        ReindexPhase(pod.uid, it->second.phase, pod.phase);
         it->second = std::move(pod);
         break;
       }
       const PodUid uid = pod.uid;
+      const PodPhase phase = pod.phase;
       pods_.emplace(uid, std::move(pod));
+      if (phase == PodPhase::kPending) pending_index_.insert(uid);
+      if (phase == PodPhase::kBound) bound_index_.insert(uid);
       pending_materialise_.push_back(uid);
       workload_dirty_ = true;
       break;
@@ -47,6 +51,12 @@ void ModelAdaptor::OnEvent(const Event& event) {
         pod_of_container_[static_cast<std::size_t>(cit->second.value())] = -1;
         container_of_pod_.erase(cit);
       }
+      if (it->second.phase == PodPhase::kPending) {
+        pending_index_.erase(event.pod.uid);
+      }
+      if (it->second.phase == PodPhase::kBound) {
+        bound_index_.erase(event.pod.uid);
+      }
       pods_.erase(it);
       break;
     }
@@ -62,8 +72,8 @@ void ModelAdaptor::OnEvent(const Event& event) {
       // Pods bound to the lost node fall back to Pending (the controller
       // would recreate them; we keep the same uid for simplicity).
       for (auto& [uid, pod] : pods_) {
-        (void)uid;
         if (pod.phase == PodPhase::kBound && pod.node == event.node.name) {
+          ReindexPhase(uid, pod.phase, PodPhase::kPending);
           pod.phase = PodPhase::kPending;
           pod.node.clear();
         }
@@ -94,21 +104,33 @@ Pod* ModelAdaptor::MutablePod(PodUid uid) {
 }
 
 std::vector<PodUid> ModelAdaptor::PendingPods() const {
-  // analyze:allow(A102) materialised once per resolve; size bounded by arrival churn
-  std::vector<PodUid> out;
-  for (const auto& [uid, pod] : pods_) {
-    if (pod.phase == PodPhase::kPending) out.push_back(uid);
-  }
-  return out;
+  return {pending_index_.begin(), pending_index_.end()};
 }
 
 std::vector<PodUid> ModelAdaptor::BoundPods() const {
-  // analyze:allow(A102) materialised once per resolve; size bounded by the bound set
-  std::vector<PodUid> out;
-  for (const auto& [uid, pod] : pods_) {
-    if (pod.phase == PodPhase::kBound) out.push_back(uid);
-  }
-  return out;
+  return {bound_index_.begin(), bound_index_.end()};
+}
+
+void ModelAdaptor::ReindexPhase(PodUid uid, PodPhase from, PodPhase to) {
+  if (from == to) return;
+  if (from == PodPhase::kPending) pending_index_.erase(uid);
+  if (from == PodPhase::kBound) bound_index_.erase(uid);
+  if (to == PodPhase::kPending) pending_index_.insert(uid);
+  if (to == PodPhase::kBound) bound_index_.insert(uid);
+}
+
+void ModelAdaptor::BindPod(Pod& pod, const std::string& node,
+                           std::int64_t tick) {
+  ReindexPhase(pod.uid, pod.phase, PodPhase::kBound);
+  pod.phase = PodPhase::kBound;
+  pod.node = node;
+  pod.bound_at_tick = tick;
+}
+
+void ModelAdaptor::UnbindPod(Pod& pod) {
+  ReindexPhase(pod.uid, pod.phase, PodPhase::kPending);
+  pod.phase = PodPhase::kPending;
+  pod.node.clear();
 }
 
 // Either accessor syncs both views: the translation tables (ContainerOf,

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -45,11 +46,24 @@ class ModelAdaptor {
 
   // --- live object store ---------------------------------------------
   [[nodiscard]] const Pod* FindPod(PodUid uid) const;
+  // Callers may mutate any field EXCEPT `phase` through this pointer: the
+  // pending/bound indices are keyed on it, so phase transitions must go
+  // through BindPod()/UnbindPod() (or an OnEvent).
   Pod* MutablePod(PodUid uid);
   [[nodiscard]] std::size_t pod_count() const { return pods_.size(); }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  // Materialised from the phase indices: O(result), uid-ascending — the
+  // same order the historical full-map scans produced.
   [[nodiscard]] std::vector<PodUid> PendingPods() const;
   [[nodiscard]] std::vector<PodUid> BoundPods() const;
+  // Whole store, uid-ascending, for consumers that sweep every pod anyway
+  // (one ordered scan instead of a uid list plus a FindPod per entry).
+  [[nodiscard]] const std::map<PodUid, Pod>& pods() const { return pods_; }
+
+  // Phase transitions, keeping the pending/bound indices in sync. The pod
+  // reference must point into this adaptor's store.
+  void BindPod(Pod& pod, const std::string& node, std::int64_t tick);
+  void UnbindPod(Pod& pod);
 
   // --- scheduling-side snapshot (lazily synced) -----------------------
   const trace::Workload& workload();
@@ -79,9 +93,15 @@ class ModelAdaptor {
   void SyncTopologyIfDirty();  // full rebuild; node changes are structural
   void SyncWorkloadIfDirty();  // appends containers for newly seen pods
   void RetireContainer(PodUid uid);
+  // Moves `uid` between the pending/bound indices on a phase change.
+  void ReindexPhase(PodUid uid, PodPhase from, PodPhase to);
 
   std::map<PodUid, Pod> pods_;          // ordered: deterministic scans
   std::map<std::string, Node> nodes_;
+  // Phase indices over pods_: uid-sorted so PendingPods()/BoundPods() keep
+  // the deterministic ascending order without rescanning the whole store.
+  std::set<PodUid> pending_index_;
+  std::set<PodUid> bound_index_;
 
   bool topology_dirty_ = true;
   bool workload_dirty_ = false;

@@ -65,6 +65,12 @@ struct ResolveStats {
   // ResolverOptions::shards > 0).
   std::vector<core::ShardTickStats> shards;
 
+  // Micro-batch sizes the long-lived arm solved this resolve (empty unless
+  // ResolverOptions::batch > 0 and the deadline elapsed). One entry per
+  // chunk handed to ScheduleBatch; the benches fold these into the batch
+  // size histogram.
+  std::vector<std::size_t> batch_sizes;
+
   // Lifecycle / SLO view after this resolve (ResolverOptions::lifecycle).
   // Exact tick integers mutated only from serial sections, so both are
   // bit-identical across thread counts and across shards 0/1 — the same
@@ -91,6 +97,23 @@ struct ResolverOptions {
   // Admission objective: `slo.percent`% of containers placed within
   // `slo.wait_ticks` ticks of arrival.
   obs::SloObjective slo;
+  // Micro-batch size for the long-lived arm (ISSUE 9). 0 keeps the classic
+  // one-solve-per-tick path. >0 splits each tick's long-lived arrival into
+  // chunks of this size, solved via AladdinScheduler::ScheduleBatch (one
+  // warm network refresh, weights hoisted once per batch). A chunk covering
+  // the whole tick is bit-identical to batch = 0; smaller chunks reorder
+  // the weight sort per chunk, which is the point of micro-batching.
+  // Incremental path only (the full-rebuild arm stays the historical
+  // baseline).
+  int batch = 0;
+  // With batch > 0, long-lived pods are only solved on ticks where
+  // (tick + 1) is a multiple of this deadline; other ticks defer them
+  // (cause kBatchDeferred, SLO clocks keep running). 1 = solve every tick.
+  int batch_deadline_ticks = 1;
+  // Place runs of consecutive short-lived pods with identical requests via
+  // core::TaskScheduler::PlaceRun (bit-identical to per-pod best fit,
+  // without the per-task rescan). A/B knob for the equivalence tests.
+  bool task_run_placement = true;
 };
 
 class Resolver {
@@ -156,6 +179,16 @@ class Resolver {
   Arena arena_;
   std::vector<cluster::ContainerId> long_lived_;
   std::vector<PodUid> short_lived_;
+  // Micro-batch scratch (options_.batch > 0): chunk vectors are built in
+  // full *before* any ScheduleRequest takes a pointer to one — the outer
+  // vector may reallocate while chunks are appended, so interleaving the
+  // two would leave dangling arrival pointers. Inner vectors keep their
+  // capacity across resolves.
+  std::vector<std::vector<cluster::ContainerId>> batch_chunks_;
+  std::vector<sim::ScheduleRequest> batch_requests_;
+  // Short-lived run-placement scratch (options_.task_run_placement).
+  std::vector<cluster::ContainerId> task_run_;
+  std::vector<cluster::MachineId> task_out_;
 
   // Lifecycle ledger + SLO engine (options_.lifecycle). Shared by both
   // resolve arms and mutated only from their serial sections.

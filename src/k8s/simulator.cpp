@@ -122,11 +122,13 @@ ResolveStats ClusterSimulator::Tick(std::vector<Binding>* bindings) {
     // resolver, kept exclusive so the tick breakdown separates event
     // handling from scheduling.
     ALADDIN_PHASE_SCOPE("k8s/events");
-    for (PodUid uid : adaptor_.BoundPods()) {
-      const Pod* pod = adaptor_.FindPod(uid);
-      if (!pod->spec.short_lived()) continue;
-      if (pod->bound_at_tick >= 0 &&
-          now_ >= pod->bound_at_tick + pod->spec.lifetime_ticks) {
+    // One uid-ascending sweep of the store (same visit order as the old
+    // BoundPods() + FindPod-per-uid pair). DeletePod only queues an event,
+    // so the store is not mutated until the drain below.
+    for (const auto& [uid, pod] : adaptor_.pods()) {
+      if (pod.phase != PodPhase::kBound || !pod.spec.short_lived()) continue;
+      if (pod.bound_at_tick >= 0 &&
+          now_ >= pod.bound_at_tick + pod.spec.lifetime_ticks) {
         ++completed_tasks_;
         DeletePod(uid);
       }

@@ -39,6 +39,8 @@ const char* const kCauseNames[] = {
     "shard_routed",
     "shard_spilled",
     "slo_violated",
+    "batch_scheduled",
+    "batch_deferred",
 };
 static_assert(sizeof(kCauseNames) / sizeof(kCauseNames[0]) ==
                   static_cast<std::size_t>(Cause::kCount),

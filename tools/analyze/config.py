@@ -48,6 +48,12 @@ A1_EXEMPT_CLASSES = {
 A1_EXEMPT_CALLEES = {
     "CheckFail": "failure path — allocation while dying is fine",
     "DcheckFail": "failure path — allocation while dying is fine",
+    "CrossCheckOutcome": "post-solve audit, compiled out of release builds "
+                         "(ALADDIN_DCHECK_IS_ON regions)",
+    "CheckConsistency": "full-state validation scan, run under DCHECK "
+                        "builds / --audit only",
+    "ValidateInvariants": "graph validation, run under DCHECK builds / "
+                          "explicit test calls only",
 }
 
 # Files (exact path or trailing-slash prefix) whose functions the walk does
