@@ -31,6 +31,7 @@
 #include "obs/cli.h"
 #include "obs/slo.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "sim/report.h"
 
 using namespace aladdin;
@@ -147,6 +148,7 @@ int main(int argc, char** argv) {
   options.slo.percent = slo_pct;
   options.batch = static_cast<int>(batch);
   options.batch_deadline_ticks = static_cast<int>(batch_deadline);
+  options.watchdog = obs_cli.watchdog_requested();
   k8s::ClusterSimulator sim(options);
   sim.AddNodes(static_cast<std::size_t>(nodes),
                cluster::ResourceVector::Cores(32, 64));
@@ -258,6 +260,12 @@ int main(int argc, char** argv) {
       point.phase_seconds = obs::ExclusiveSeconds(stats.phases);
       point.slo_attainment_pct = stats.slo.attainment_pct;
       point.pending_age_p99 = stats.pending_ages.p99;
+      if (options.watchdog) {
+        const obs::WatchdogSnapshot alerts =
+            sim.resolver().watchdog().Snapshot();
+        point.alerts_open = alerts.open_now;
+        point.alerts_open_by_kind = alerts.open_by_kind;
+      }
       if (!timeseries->Append(point)) {
         LOG_ERROR << "failed writing " << obs_cli.timeseries_path();
         return 1;
@@ -353,6 +361,15 @@ int main(int argc, char** argv) {
       }
       std::printf("slo report written to %s\n", slo_report.c_str());
     }
+  }
+  // Watchdog alert stream (--watchdog): the same snapshot /alertz renders,
+  // summarised one row per alert. `alert_stream` also feeds the bench json.
+  const obs::WatchdogSnapshot alert_stream =
+      options.watchdog ? sim.resolver().watchdog().Snapshot()
+                       : obs::WatchdogSnapshot{};
+  if (options.watchdog) {
+    std::printf("\nwatchdog alert stream (final tick snapshot):\n");
+    sim::PrintAlertTable(alert_stream);
   }
   if (timeseries.has_value()) {
     std::printf("timeseries written to %s\n",
@@ -451,6 +468,12 @@ int main(int argc, char** argv) {
       }
       out.Metric("batch_size_max", static_cast<double>(batch_size_max),
                  "count");
+    }
+    if (options.watchdog) {
+      out.Metric("alerts_opened_total",
+                 static_cast<double>(alert_stream.opened_total), "count");
+      out.Metric("alerts_resolved_total",
+                 static_cast<double>(alert_stream.resolved_total), "count");
     }
     if (!shard_totals.empty()) {
       double max_solve = 0.0;

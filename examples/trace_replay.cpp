@@ -20,6 +20,7 @@
 #include "obs/cli.h"
 #include "obs/lifecycle.h"
 #include "obs/slo.h"
+#include "obs/watchdog.h"
 #include "core/scheduler.h"
 #include "common/timer.h"
 #include "sim/experiment.h"
@@ -260,6 +261,34 @@ int main(int argc, char** argv) {
     std::printf(
         "\nadmission SLO (one-shot: placed = wait 0, unplaced = violation):\n");
     sim::PrintSloTable(slo.Snapshot(32));
+
+    // One-shot watchdog (--watchdog): a replay has no tick stream, so the
+    // windowed detectors degenerate to a single sample. Only the SLO burn
+    // detector is meaningful here — both windows shrink to one tick and the
+    // hysteresis to one breach — judging "did this replay burn the
+    // admission error budget" (placed = good, unplaced = bad). The column
+    // layout matches bench_online's streaming alert table.
+    if (obs_cli.watchdog_requested()) {
+      obs::WatchdogOptions wd;
+      wd.open_after = 1;
+      wd.resolve_after = 1;
+      wd.burn_fast_window = 1;
+      wd.burn_slow_window = 1;
+      wd.pending_drift = false;
+      wd.app_flapping = false;
+      wd.shard_imbalance = false;
+      wd.solve_regression = false;
+      wd.cause_mix = false;
+      obs::Watchdog watchdog(wd);
+      obs::WatchdogTickInput input;
+      input.tick = 0;
+      input.slo_good = static_cast<std::int64_t>(metrics.audit.placed);
+      input.slo_bad = static_cast<std::int64_t>(metrics.audit.unplaced);
+      input.slo_budget_bp = slo.budget_bp();
+      watchdog.ObserveTick(input);
+      std::printf("\nwatchdog alert stream (one-shot burn check):\n");
+      sim::PrintAlertTable(watchdog.Snapshot());
+    }
   }
 
   // --timeseries degenerates to a single sample in one-shot mode; the

@@ -274,6 +274,7 @@ void ShardedScheduler::RouteRound(const cluster::ClusterState& state,
     rt.free_cpu -= applications[Idx(ra.app)].request.cpu_millis() *
                    static_cast<std::int64_t>(ra.count);
     rt.stats.routed += ra.count;
+    if (round > 0) rt.stats.spilled += ra.count;
     if (rt.routed_counter != nullptr) {
       rt.routed_counter->Add(static_cast<std::int64_t>(ra.count));
     }
@@ -508,6 +509,24 @@ sim::ScheduleOutcome ShardedScheduler::Schedule(
     app_tried_[Idx(app)] = 0;
   }
   tick_touched_.clear();
+
+  // End-of-tick cpu occupancy per shard (exact integers, from the merged
+  // shard views) — the imbalance-detector input. One pass over each
+  // shard's machine span, serial on the coordinator.
+  for (int s = 0; s < k; ++s) {
+    ShardRuntime& rt = shards_[static_cast<std::size_t>(s)];
+    const cluster::ClusterState& st = rt.view->state();
+    const std::size_t machines = st.topology().machine_count();
+    std::int64_t free = 0;
+    std::int64_t capacity = 0;
+    for (std::size_t m = 0; m < machines; ++m) {
+      const cluster::MachineId machine(static_cast<std::int32_t>(m));
+      free += st.Free(machine).cpu_millis();
+      capacity += st.topology().machine(machine).capacity.cpu_millis();
+    }
+    rt.stats.free_cpu_millis = free;
+    rt.stats.capacity_cpu_millis = capacity;
+  }
 
   last_shard_stats_.clear();
   last_shard_stats_.reserve(static_cast<std::size_t>(k));

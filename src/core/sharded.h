@@ -87,8 +87,13 @@ struct ShardTickStats {
   int shard = 0;
   std::size_t machines = 0;
   std::size_t routed = 0;    // containers assigned (incl. spill retries)
+  std::size_t spilled = 0;   // routed arrivals from spill rounds (>= 1)
   std::size_t placed = 0;    // containers admitted by this shard's solver
   std::size_t unplaced = 0;  // terminal give-ups attributed to this shard
+  // End-of-tick cpu occupancy of the shard's machines, exact cpu-millis —
+  // the watchdog's imbalance detector divides these into permille.
+  std::int64_t free_cpu_millis = 0;
+  std::int64_t capacity_cpu_millis = 0;
   double solve_seconds = 0.0;
 };
 

@@ -57,6 +57,22 @@ obs::Cause DiagnoseShortLived(const cluster::ClusterState& state,
                       : obs::Cause::kCapacityExhaustedCpu;
 }
 
+// Exact-integer cpu occupancy of a shard in permille, for the watchdog's
+// imbalance detector and the /statusz shard table.
+std::int64_t ShardUtilPermille(const core::ShardTickStats& s) {
+  if (s.capacity_cpu_millis <= 0) return 0;
+  return (s.capacity_cpu_millis - s.free_cpu_millis) * 1000 /
+         s.capacity_cpu_millis;
+}
+
+// Deterministic solve effort of one outcome — the watchdog's regression
+// signal. Bit-identical across thread counts (the equivalence tests pin
+// the individual counters); wall time never feeds it.
+std::int64_t SolveEffort(const sim::ScheduleOutcome& outcome) {
+  return outcome.explored_paths + outcome.rounds + outcome.il_prunes +
+         outcome.dl_stops;
+}
+
 // Shared epilogue of both Resolve() arms: stamp the wall time, surface the
 // unschedulable breakdown, diff the phase registry into stats.phases, and
 // feed the per-resolve metrics.
@@ -100,7 +116,8 @@ Resolver::Resolver(ModelAdaptor& adaptor, ResolverOptions options)
     : adaptor_(adaptor),
       options_(options),
       scheduler_(options.aladdin),
-      slo_(options.slo) {
+      slo_(options.slo),
+      watchdog_(options.watchdog_options) {
   if (options_.shards > 0) {
     sharded_ = std::make_unique<core::ShardedScheduler>(ShardedConfig());
   }
@@ -194,7 +211,8 @@ void Resolver::TrackArrivals(const std::vector<PodUid>& pending,
 
 void Resolver::FinishLifecycle(ResolveStats& stats,
                                const cluster::ClusterState& state,
-                               std::int64_t tick) {
+                               std::int64_t tick, std::int64_t solve_cost,
+                               std::int64_t solve_wall_micros) {
   if (!options_.lifecycle) return;
   // Once-per-tick summary work, O(tracked spans + apps), never per-pod.
   stats.pending_ages =
@@ -214,8 +232,42 @@ void Resolver::FinishLifecycle(ResolveStats& stats,
     shard.routed = s.routed;
     shard.placed = s.placed;
     shard.unplaced = s.unplaced;
+    shard.spilled = s.spilled;
+    shard.util_permille = ShardUtilPermille(s);
     shard.solve_seconds = s.solve_seconds;
     status.shards.push_back(shard);
+  }
+
+  if (options_.watchdog) {
+    obs::WatchdogTickInput input;
+    input.tick = tick;
+    input.slo_good = slo_.tick_good();
+    input.slo_bad = slo_.tick_bad();
+    input.slo_budget_bp = slo_.budget_bp();
+    input.pending_age_p99 = stats.pending_ages.p99;
+    input.pending_open = static_cast<std::int64_t>(stats.pending_ages.open);
+    input.app_reopens = ledger_.TakeReopens();
+    // analyze:allow(A103) once-per-tick input, bounded by the shard count
+    input.shards.reserve(stats.shards.size());
+    for (const core::ShardTickStats& s : stats.shards) {
+      obs::WatchdogShardLoad load;
+      load.shard = s.shard;
+      load.machines = static_cast<std::int64_t>(s.machines);
+      load.routed = static_cast<std::int64_t>(s.routed);
+      load.spilled = static_cast<std::int64_t>(s.spilled);
+      load.placed = static_cast<std::int64_t>(s.placed);
+      load.util_permille = ShardUtilPermille(s);
+      input.shards.push_back(load);
+    }
+    input.solve_cost = solve_cost;
+    input.solve_wall_micros = solve_wall_micros;
+    // analyze:allow(A103) once-per-tick input, bounded by the cause vocabulary
+    input.giveup_causes.reserve(stats.unschedulable_causes.size());
+    for (const auto& [cause, n] : stats.unschedulable_causes) {
+      input.giveup_causes.emplace_back(cause, static_cast<std::int64_t>(n));
+    }
+    watchdog_.ObserveTick(input);
+    status.watchdog = watchdog_.Snapshot();
   }
   status.oldest_pending = ledger_.OldestPending(tick, kOldestPendingRows);
   // analyze:allow(A103) once-per-tick, bounded by kOldestPendingRows
@@ -240,6 +292,8 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
   // sink configured this also drains the previous tick's rings.
   if (obs::JournalEnabled()) obs::SetJournalTick(tick);
   CauseCounts causes;
+  // This tick's deterministic long-lived solve effort (watchdog signal).
+  std::int64_t solve_cost = 0;
   // Terminal cause per unplaced container, filled by the scheduling
   // sections and consumed by reconcile (which owns the unschedulable
   // count, so the breakdown always sums to it).
@@ -319,6 +373,7 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
         core::AladdinScheduler scheduler(options_.aladdin);
         outcome = scheduler.Schedule(request, state);
       }
+      solve_cost += SolveEffort(outcome);
       for (std::size_t i = 0; i < outcome.unplaced.size(); ++i) {
         unplaced_cause[outcome.unplaced[i].value()] =
             outcome.unplaced_causes[i];
@@ -406,8 +461,9 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
       }
     }
 
-    FinishLifecycle(stats, state, tick);
     causes.FillStats(stats);
+    FinishLifecycle(stats, state, tick, solve_cost,
+                    static_cast<std::int64_t>(timer.ElapsedSeconds() * 1e6));
     FinishStats(stats, timer, phases_before);
     return stats;
   }
@@ -501,6 +557,7 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
               : scheduler_.ScheduleBatch(batch_requests_, state);
       if (sharded_ != nullptr) stats.shards = sharded_->last_shard_stats();
       for (const sim::ScheduleOutcome& outcome : outcomes) {
+        solve_cost += SolveEffort(outcome);
         for (std::size_t i = 0; i < outcome.unplaced.size(); ++i) {
           unplaced_cause[outcome.unplaced[i].value()] =
               outcome.unplaced_causes[i];
@@ -515,6 +572,7 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
       } else {
         outcome = scheduler_.Schedule(request, state);
       }
+      solve_cost += SolveEffort(outcome);
       for (std::size_t i = 0; i < outcome.unplaced.size(); ++i) {
         unplaced_cause[outcome.unplaced[i].value()] =
             outcome.unplaced_causes[i];
@@ -663,8 +721,9 @@ ALADDIN_HOT ResolveStats Resolver::Resolve(std::int64_t tick,
   if (obs::MetricsEnabled()) {
     ALADDIN_METRIC_ADD("k8s/arena_bytes", arena_.bytes_used());
   }
-  FinishLifecycle(stats, state, tick);
   causes.FillStats(stats);
+  FinishLifecycle(stats, state, tick, solve_cost,
+                  static_cast<std::int64_t>(timer.ElapsedSeconds() * 1e6));
   FinishStats(stats, timer, phases_before);
   return stats;
 }

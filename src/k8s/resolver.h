@@ -37,6 +37,7 @@
 #include "obs/lifecycle.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
+#include "obs/watchdog.h"
 
 namespace aladdin::k8s {
 
@@ -114,6 +115,13 @@ struct ResolverOptions {
   // core::TaskScheduler::PlaceRun (bit-identical to per-pod best fit,
   // without the per-task rescan). A/B knob for the equivalence tests.
   bool task_run_placement = true;
+  // Run the cluster health watchdog (obs/watchdog.h): six anomaly
+  // detectors evaluated once per resolve from the serial epilogue, feeding
+  // typed alerts into the journal, metrics and the /alertz endpoint.
+  // Requires `lifecycle` (the detectors consume its SLO / pending-age /
+  // epoch signals); placements are unaffected either way.
+  bool watchdog = false;
+  obs::WatchdogOptions watchdog_options;
 };
 
 class Resolver {
@@ -125,6 +133,10 @@ class Resolver {
   // One scheduling pass over the current snapshot. `tick` stamps bindings.
   ResolveStats Resolve(std::int64_t tick, std::vector<Binding>* bindings =
                                               nullptr);
+
+  // The health watchdog (alerts, counters, determinism fingerprint). Only
+  // fed when ResolverOptions::watchdog is set; snapshotting is always safe.
+  [[nodiscard]] const obs::Watchdog& watchdog() const { return watchdog_; }
 
   // Resolver defaults: compaction off — in the live integration a
   // "compaction" is a disruptive pod restart, so the resolver only
@@ -151,9 +163,15 @@ class Resolver {
   void TrackArrivals(const std::vector<PodUid>& pending,
                      const cluster::ClusterState& state, std::int64_t tick);
   // Shared lifecycle epilogue of both arms: pending-age summary, SLO
-  // snapshot into `stats`, introspection publish for /statusz + /slo.
+  // snapshot into `stats`, watchdog tick (options_.watchdog), introspection
+  // publish for /statusz + /slo + /alertz. Expects
+  // stats.unschedulable_causes to be filled already (the cause-mix
+  // detector's input). `solve_cost` is the tick's deterministic solve
+  // effort; `solve_wall_micros` is wall-clock evidence only.
   void FinishLifecycle(ResolveStats& stats,
-                       const cluster::ClusterState& state, std::int64_t tick);
+                       const cluster::ClusterState& state, std::int64_t tick,
+                       std::int64_t solve_cost,
+                       std::int64_t solve_wall_micros);
 
   // The sharded-coordinator configuration derived from `options` (inner
   // solver options, pool size, routing policy).
@@ -190,10 +208,12 @@ class Resolver {
   std::vector<cluster::ContainerId> task_run_;
   std::vector<cluster::MachineId> task_out_;
 
-  // Lifecycle ledger + SLO engine (options_.lifecycle). Shared by both
-  // resolve arms and mutated only from their serial sections.
+  // Lifecycle ledger + SLO engine (options_.lifecycle) and the health
+  // watchdog (options_.watchdog). Shared by both resolve arms and mutated
+  // only from their serial sections.
   obs::LifecycleLedger ledger_;
   obs::SloEngine slo_;
+  obs::Watchdog watchdog_;
 };
 
 }  // namespace aladdin::k8s

@@ -67,6 +67,7 @@ class ClusterSimulator {
   }
   [[nodiscard]] ModelAdaptor& adaptor() { return adaptor_; }
   [[nodiscard]] EventsHandlingCenter& ehc() { return ehc_; }
+  [[nodiscard]] const Resolver& resolver() const { return resolver_; }
   [[nodiscard]] const std::vector<ResolveStats>& history() const {
     return history_;
   }

@@ -34,6 +34,10 @@ ObsCli::ObsCli(Flags& flags, bool with_obs) {
     timeseries_path_ = &flags.String(
         "timeseries", "",
         "write per-tick time-series snapshots (.csv or .jsonl) to this path");
+    watchdog_ = &flags.Bool(
+        "watchdog", false,
+        "run the cluster health watchdog (typed alerts on /alertz, in the "
+        "journal and the aladdin_alerts_* metrics)");
     prom_path_ = &flags.String(
         "prom", "",
         "write a Prometheus text-format metrics snapshot to this path at exit");

@@ -56,6 +56,11 @@ class ObsCli {
   // --timeseries is registered here for uniformity but the per-tick writer
   // lives with the binary's tick loop (sim::TimeSeriesWriter).
   [[nodiscard]] const std::string& timeseries_path() const;
+  // --watchdog is registered here for uniformity; the engine itself is
+  // owned by the binary's resolver (k8s::ResolverOptions::watchdog).
+  [[nodiscard]] bool watchdog_requested() const {
+    return watchdog_ != nullptr && *watchdog_;
+  }
 
  private:
   std::string* log_level_ = nullptr;
@@ -64,6 +69,7 @@ class ObsCli {
   std::string* timeseries_path_ = nullptr;
   std::string* prom_path_ = nullptr;
   bool* metrics_ = nullptr;
+  bool* watchdog_ = nullptr;
   std::int64_t* trace_ring_ = nullptr;
   std::int64_t* journal_ring_ = nullptr;
   std::int64_t* prom_port_ = nullptr;

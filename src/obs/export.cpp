@@ -13,6 +13,7 @@
 #include "common/log.h"
 #include "common/thread_pool.h"
 #include "obs/slo.h"
+#include "obs/watchdog.h"
 
 namespace aladdin::obs {
 namespace {
@@ -199,6 +200,11 @@ void PrometheusListener::ServeLoop() {
       body = RenderStatusz(IntrospectionSnapshot());
     } else if (path == "/slo") {
       body = RenderSloJson(IntrospectionSnapshot());
+      content_type = "application/json";
+    } else if (path == "/alertz") {
+      body = RenderAlertz(IntrospectionSnapshot().watchdog);
+    } else if (path == "/alertz.json") {
+      body = RenderAlertsJson(IntrospectionSnapshot().watchdog);
       content_type = "application/json";
     } else {
       // Any other path (/, /metrics, scrapers with odd queries) keeps the

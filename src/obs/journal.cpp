@@ -41,6 +41,8 @@ const char* const kCauseNames[] = {
     "slo_violated",
     "batch_scheduled",
     "batch_deferred",
+    "alert_opened",
+    "alert_resolved",
 };
 static_assert(sizeof(kCauseNames) / sizeof(kCauseNames[0]) ==
                   static_cast<std::size_t>(Cause::kCount),

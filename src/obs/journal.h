@@ -70,6 +70,12 @@ enum class Cause : std::uint8_t {  // analyze:closed_enum
                     // within the batch, detail = arrival size)
   kBatchDeferred,   // long-lived arrivals held past an off-deadline tick
                     // (k8s resolver --batch_deadline_ticks)
+  // Watchdog alert lifecycle (obs/watchdog). Both ride on kEvent:
+  // container = alert id, machine = AlertKind, other = subject (app for
+  // flapping, shard for imbalance, -1 cluster-wide), detail = observed
+  // fixed-point value at open / open duration in ticks at resolve.
+  kAlertOpened,
+  kAlertResolved,
   kCount
 };
 

@@ -48,6 +48,13 @@ void LifecycleLedger::OnArrival(std::int32_t container, std::int32_t app,
   LifecycleSpan& span = Slot(container);
   if (span.state == SpanState::kPending) return;  // already open
   const bool reopen = span.state != SpanState::kNever;
+  if (reopen && app >= 0) {
+    const auto i = static_cast<std::size_t>(app);
+    if (i >= reopen_counts_.size()) reopen_counts_.resize(i + 1, 0);
+    // analyze:allow(A103) one entry per flapping app per tick
+    if (reopen_counts_[i] == 0) reopen_apps_.push_back(app);
+    ++reopen_counts_[i];
+  }
   span.container = container;
   span.app = app;
   span.machine = -1;
@@ -129,6 +136,21 @@ std::vector<PendingRow> LifecycleLedger::OldestPending(
     if (rows.size() > limit) rows.pop_back();
   }
   return rows;
+}
+
+std::vector<std::pair<std::int32_t, std::int64_t>>
+LifecycleLedger::TakeReopens() {
+  // analyze:allow(A102) once-per-tick drain, proportional to flapping apps
+  std::vector<std::pair<std::int32_t, std::int64_t>> out;
+  out.reserve(reopen_apps_.size());  // analyze:allow(A103) bounded drain
+  std::sort(reopen_apps_.begin(), reopen_apps_.end());
+  for (const std::int32_t app : reopen_apps_) {
+    const auto i = static_cast<std::size_t>(app);
+    out.emplace_back(app, reopen_counts_[i]);
+    reopen_counts_[i] = 0;
+  }
+  reopen_apps_.clear();
+  return out;
 }
 
 std::vector<std::int64_t> LifecycleLedger::PendingAgeCounts(

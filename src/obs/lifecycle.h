@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "obs/journal.h"
@@ -119,6 +120,13 @@ class LifecycleLedger {
   [[nodiscard]] std::vector<std::int64_t> PendingAgeCounts(
       std::int64_t now) const;
 
+  // Epoch re-opens (preemptions / stale-binding re-arrivals) recorded
+  // since the last drain, as exact (app, count) pairs in ascending app
+  // order — the watchdog's flapping-detector input. Drained once per tick
+  // from the resolver's serial section; clears the accumulator.
+  [[nodiscard]] std::vector<std::pair<std::int32_t, std::int64_t>>
+  TakeReopens();
+
  private:
   LifecycleSpan& Slot(std::int32_t container);
 
@@ -126,6 +134,10 @@ class LifecycleLedger {
   // a vector keeps iteration deterministic (analyzer rule D1) and O(1).
   std::vector<LifecycleSpan> spans_;
   std::size_t open_spans_ = 0;
+  // Re-opens since the last TakeReopens: dense count by app plus the list
+  // of touched apps (kept so the drain is proportional to activity).
+  std::vector<std::int64_t> reopen_counts_;
+  std::vector<std::int32_t> reopen_apps_;
 };
 
 }  // namespace aladdin::obs

@@ -1,6 +1,7 @@
 #include "obs/slo.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <utility>
@@ -194,6 +195,13 @@ void SloEngine::ObservePending(LifecycleSpan& span, std::int64_t now) {
   if (age > objective_.wait_ticks) CountViolation(span, age);
 }
 
+std::int64_t SloEngine::budget_bp() const {
+  const auto bp =
+      static_cast<std::int64_t>(std::llround((100.0 - objective_.percent) *
+                                             100.0));
+  return std::max<std::int64_t>(bp, 1);
+}
+
 SloSnapshot SloEngine::Snapshot(std::size_t app_rows) const {
   SloSnapshot snap;
   snap.objective = objective_;
@@ -230,7 +238,6 @@ SloSnapshot SloEngine::Snapshot(std::size_t app_rows) const {
     ++snap.apps_total;
     SloAppRow row;
     row.app = static_cast<std::int32_t>(i);
-    // analyze:allow(A102) once-per-tick snapshot row
     row.name = i < app_names_.size() ? app_names_[i] : std::string{};
     row.admitted = app.admitted;
     row.within = app.within;
@@ -251,7 +258,6 @@ SloSnapshot SloEngine::Snapshot(std::size_t app_rows) const {
               if (a.admitted != b.admitted) return a.admitted > b.admitted;
               return a.app < b.app;
             });
-  // analyze:allow(A103) truncation to the row cap, never growth
   if (snap.apps.size() > app_rows) snap.apps.resize(app_rows);
 
   for (std::size_t s = 0; s < shards_.size(); ++s) {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "obs/lifecycle.h"
+#include "obs/watchdog.h"
 
 namespace aladdin::obs {
 
@@ -125,6 +126,21 @@ class SloEngine {
   [[nodiscard]] std::int64_t admitted() const { return admitted_; }
   [[nodiscard]] std::int64_t violations() const { return violations_; }
 
+  // This tick's burn-slot counts (good = admitted within objective, bad =
+  // newly-flagged violations) — exact-integer inputs for the watchdog's
+  // dual-window burn detector. Read after the tick's OnAdmitted /
+  // ObservePending calls.
+  [[nodiscard]] std::int64_t tick_good() const {
+    return burn_ring_[burn_head_].good;
+  }
+  [[nodiscard]] std::int64_t tick_bad() const {
+    return burn_ring_[burn_head_].bad;
+  }
+  // The objective's error budget in basis points: round((100 - percent) *
+  // 100), floored at 1. Fixed at configure time, so firing decisions built
+  // on it stay exact-integer.
+  [[nodiscard]] std::int64_t budget_bp() const;
+
  private:
   struct AppSlo {
     std::int64_t admitted = 0;
@@ -174,6 +190,8 @@ struct IntrospectionShard {
   std::size_t routed = 0;
   std::size_t placed = 0;
   std::size_t unplaced = 0;
+  std::size_t spilled = 0;          // containers re-routed by spill rounds
+  std::int64_t util_permille = 0;   // used cpu / capacity, exact permille
   double solve_seconds = 0.0;
 };
 
@@ -184,6 +202,9 @@ struct IntrospectionStatus {
   std::vector<IntrospectionShard> shards;       // per-shard load (K > 0)
   std::vector<PendingRow> oldest_pending;       // worst queue residents
   std::vector<std::string> oldest_pending_app;  // app names, same order
+  // Watchdog alert state (enabled=false when the resolver runs without
+  // --watchdog); rendered by the listener's /alertz endpoint.
+  WatchdogSnapshot watchdog;
 };
 
 void PublishIntrospection(IntrospectionStatus status);

@@ -1,0 +1,332 @@
+// Cluster health watchdog: a deterministic online anomaly-detection engine
+// evaluated once per tick from serial resolver sections.
+//
+// Six detectors over the signals the observability plane already records
+// (SLO burn, pending ages, lifecycle epochs, shard load, solve effort,
+// give-up causes) turn raw streams into typed alerts with provenance: a
+// closed AlertKind vocabulary, an open/update/resolve lifecycle with
+// hysteresis, a severity, and a structured integer evidence payload.
+//
+// Determinism bar (same as the journal / SLO engine): every firing
+// decision is exact integer or fixed-point window math — comparisons are
+// cross-multiplications, never divisions, and no float ever feeds a
+// threshold. ObserveTick must only be called from serial sections, so the
+// alert stream (ids, open/resolve ticks, journal events) is bit-identical
+// across `--threads 1` vs N and, for a fixed shard count K, across any
+// thread count. Wall-clock time appears only as *evidence* on the
+// solve-regression alert; the firing signal is the solver's deterministic
+// effort counters (explored paths + rounds + prunes), which the
+// equivalence tests already pin across thread counts.
+//
+// Alerts are first-class journal events (Cause::kAlertOpened /
+// kAlertResolved), export as aladdin_alerts_* Prometheus metrics, and
+// render on the listener's /alertz endpoint (RenderAlertz / JSON).
+//
+// Layering: obs sits below cluster/core/k8s, so the engine consumes a
+// plain-integer WatchdogTickInput assembled by the k8s resolver.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/journal.h"
+
+namespace aladdin::obs {
+
+// Closed detector vocabulary. tools/explain.py and check_journal.py key on
+// the names; extend only together with kAlertKindNames in watchdog.cpp.
+enum class AlertKind : std::uint8_t {  // analyze:closed_enum
+  kSloBurnRate = 0,   // fast+slow window burn >= multiple x error budget
+  kPendingAgeDrift,   // pending-age p99 >= multiple x trailing baseline
+  kAppFlapping,       // lifecycle-epoch re-opens per app over a window
+  kShardImbalance,    // max/median shard utilization or spill ratio
+  kSolveRegression,   // solve effort >= multiple x trailing baseline
+  kCauseMixShift,     // give-up cause histogram L1 vs trailing window
+  kCount
+};
+
+[[nodiscard]] const char* AlertKindName(AlertKind kind);
+// Inverse of AlertKindName; returns kCount for unknown names.
+[[nodiscard]] AlertKind AlertKindFromName(const std::string& name);
+
+enum class AlertSeverity : std::uint8_t {  // analyze:closed_enum
+  kWarning = 0,  // breached the configured threshold
+  kCritical,     // breached twice the configured threshold
+  kCount
+};
+
+[[nodiscard]] const char* AlertSeverityName(AlertSeverity severity);
+
+enum class AlertState : std::uint8_t {  // analyze:closed_enum
+  kOpen = 0,
+  kResolved,
+  kCount
+};
+
+// Exact-integer evidence snapshot, refreshed on every breaching tick while
+// the alert is open. `observed` / `threshold` / `baseline` share one
+// detector-specific fixed-point scale (documented per detector in
+// WatchdogOptions); `window` is the tick span the math ran over; `extra`
+// is detector-specific context (wall micros for kSolveRegression, spill
+// permille for kShardImbalance) that never feeds a firing decision.
+struct AlertEvidence {
+  std::int64_t observed = 0;
+  std::int64_t threshold = 0;
+  std::int64_t baseline = 0;
+  std::int64_t window = 0;
+  std::int64_t extra = 0;
+};
+
+struct Alert {
+  std::int32_t id = -1;  // assigned in open order (deterministic)
+  AlertKind kind = AlertKind::kCount;
+  AlertSeverity severity = AlertSeverity::kWarning;
+  // Alert scope: app id for kAppFlapping, shard id for kShardImbalance,
+  // -1 for cluster-wide detectors.
+  std::int32_t subject = -1;
+  std::int64_t opened_tick = -1;
+  std::int64_t last_update_tick = -1;
+  std::int64_t resolved_tick = -1;  // -1 while open
+  std::int64_t breach_ticks = 0;    // ticks in breach while open
+  AlertEvidence evidence;           // latest breaching observation
+  AlertState state = AlertState::kOpen;
+};
+
+// All thresholds are exact integers; percentages are *_pct (100 = 1x),
+// ratios are permille or basis points as named. Detectors fire only after
+// `open_after` consecutive breaching ticks and resolve only after
+// `resolve_after` consecutive clear ticks (hysteresis), so a signal riding
+// the boundary cannot flap the alert stream.
+struct WatchdogOptions {
+  std::int64_t open_after = 2;
+  std::int64_t resolve_after = 2;
+
+  // (1) kSloBurnRate: fire when BOTH the fast and the slow trailing window
+  // burn the error budget at >= burn_multiple x the sustainable rate:
+  //   bad * 10000 >= burn_multiple * budget_bp * (good + bad)
+  // with budget_bp = (100 - objective.percent) in basis points. The dual
+  // window is the standard SRE pattern: the slow window proves the spike
+  // is sustained, the fast window makes detection and resolution prompt.
+  bool slo_burn = true;
+  std::int64_t burn_fast_window = 4;
+  std::int64_t burn_slow_window = 16;
+  std::int64_t burn_multiple = 8;
+  std::int64_t burn_min_judged = 16;  // min good+bad in the slow window
+
+  // (2) kPendingAgeDrift: fire when the per-tick pending-age p99 crosses a
+  // multiple of its trailing-window mean:
+  //   p99 * 100 * n >= drift_multiple_pct * sum(window)
+  // requiring a full window and an absolute floor so an idle cluster
+  // (baseline ~0) cannot trip on the first queued pod.
+  bool pending_drift = true;
+  std::int64_t drift_window = 16;
+  std::int64_t drift_multiple_pct = 300;  // p99 >= 3x trailing mean
+  std::int64_t drift_min_p99 = 4;         // absolute floor, in ticks
+
+  // (3) kAppFlapping: fire per app when lifecycle-epoch re-opens
+  // (preemptions / stale-binding re-arrivals) within the trailing window
+  // reach the threshold. Subject = app id.
+  bool app_flapping = true;
+  std::int64_t flap_window = 8;
+  std::int64_t flap_threshold = 3;  // re-opens per window
+
+  // (4) kShardImbalance: fire when the hottest shard's utilization crosses
+  // a multiple of the median (max_util * 100 >= multiple_pct * median) or
+  // the routing spill ratio crosses spill_permille
+  // (spilled * 1000 >= spill_permille * routed). Volume floors keep a
+  // near-empty cluster quiet. Subject = the hottest / spill-heaviest shard.
+  bool shard_imbalance = true;
+  std::int64_t imbalance_multiple_pct = 200;      // max >= 2x median
+  std::int64_t imbalance_min_util_permille = 200; // hot-shard floor
+  std::int64_t spill_permille = 250;              // spilled/routed ratio
+  std::int64_t imbalance_min_routed = 16;         // spill volume floor
+
+  // (5) kSolveRegression: fire when the tick's deterministic solve effort
+  // (explored paths + rounds + prunes, bit-identical across threads)
+  // crosses a multiple of its trailing-window mean:
+  //   cost * 100 * n >= latency_multiple_pct * sum(window)
+  // Wall micros ride along as evidence only.
+  bool solve_regression = true;
+  std::int64_t latency_window = 16;
+  std::int64_t latency_multiple_pct = 300;
+  std::int64_t latency_min_cost = 256;  // absolute effort floor
+
+  // (6) kCauseMixShift: fire when the tick's give-up cause histogram
+  // diverges from the trailing window by L1 distance (over exact counts,
+  // cross-multiplied so no normalization is needed):
+  //   sum_c |cur[c]*base_total - base[c]*cur_total| * 1000
+  //       >= causemix_l1_permille * cur_total * base_total
+  // L1 over distributions lives in [0, 2000] permille.
+  bool cause_mix = true;
+  std::int64_t causemix_window = 16;
+  std::int64_t causemix_l1_permille = 600;
+  std::int64_t causemix_min_count = 32;  // floor on both totals
+};
+
+// Per-shard load sample for the imbalance detector. util_permille is
+// used-cpu / capacity-cpu in exact integer permille, computed by the
+// supplier (core::ShardedScheduler) from cpu-millis.
+struct WatchdogShardLoad {
+  std::int32_t shard = -1;
+  std::int64_t machines = 0;
+  std::int64_t routed = 0;
+  std::int64_t spilled = 0;
+  std::int64_t placed = 0;
+  std::int64_t util_permille = 0;
+};
+
+// One tick's detector inputs, assembled by the k8s resolver from the SLO
+// engine, lifecycle ledger, shard stats and schedule outcome. Everything
+// is an exact integer; vectors are in ascending key order (the supplier's
+// obligation) so window state updates deterministically.
+struct WatchdogTickInput {
+  std::int64_t tick = 0;
+  // kSloBurnRate: this tick's burn-slot counts + the objective's budget.
+  std::int64_t slo_good = 0;
+  std::int64_t slo_bad = 0;
+  std::int64_t slo_budget_bp = 100;
+  // kPendingAgeDrift.
+  std::int64_t pending_age_p99 = 0;
+  std::int64_t pending_open = 0;
+  // kAppFlapping: (app, re-opens this tick), ascending by app.
+  std::vector<std::pair<std::int32_t, std::int64_t>> app_reopens;
+  // kShardImbalance: ascending by shard; empty when K <= 1.
+  std::vector<WatchdogShardLoad> shards;
+  // kSolveRegression: deterministic effort + wall-clock evidence.
+  std::int64_t solve_cost = 0;
+  std::int64_t solve_wall_micros = 0;  // evidence only, never a signal
+  // kCauseMixShift: give-up causes this tick, ascending by cause.
+  std::vector<std::pair<Cause, std::int64_t>> giveup_causes;
+};
+
+struct WatchdogSnapshot {
+  bool enabled = false;
+  std::int64_t tick = -1;
+  std::int64_t opened_total = 0;
+  std::int64_t resolved_total = 0;
+  std::int64_t open_now = 0;
+  std::array<std::int64_t, static_cast<std::size_t>(AlertKind::kCount)>
+      open_by_kind{};
+  std::array<std::int64_t, static_cast<std::size_t>(AlertKind::kCount)>
+      opened_by_kind{};
+  // Every alert ever opened, in id order (open and resolved).
+  std::vector<Alert> alerts;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options = {});
+
+  [[nodiscard]] const WatchdogOptions& options() const { return options_; }
+
+  // Runs every detector over one tick's inputs and steps each alert's
+  // open/update/resolve lifecycle. Serial-section contract as EmitDecision:
+  // journal events and alert ids are assigned in call order.
+  void ObserveTick(const WatchdogTickInput& input);
+
+  [[nodiscard]] WatchdogSnapshot Snapshot() const;
+
+  [[nodiscard]] std::int64_t opened_total() const { return opened_total_; }
+  [[nodiscard]] std::int64_t resolved_total() const { return resolved_total_; }
+  [[nodiscard]] std::int64_t open_now() const { return open_now_; }
+
+  // FNV-1a over every alert transition (open/resolve tick, kind, subject,
+  // severity, evidence) — the bit-identity fingerprint the determinism
+  // tests compare across thread and shard counts.
+  [[nodiscard]] std::uint64_t Fingerprint() const { return fingerprint_; }
+
+ private:
+  // Hysteresis state for one (kind, subject) signal.
+  struct SignalState {
+    std::int32_t subject = -1;
+    std::int64_t breach_streak = 0;
+    std::int64_t clear_streak = 0;
+    std::int32_t open_alert = -1;  // index into alerts_, -1 when closed
+  };
+
+  // Advances one signal's hysteresis given this tick's breach verdict.
+  void StepSignal(AlertKind kind, SignalState& signal, bool breached,
+                  bool critical, const AlertEvidence& evidence,
+                  std::int64_t tick);
+  void OpenAlert(AlertKind kind, SignalState& signal, bool critical,
+                 const AlertEvidence& evidence, std::int64_t tick);
+  void ResolveAlert(SignalState& signal, std::int64_t tick);
+  SignalState& SubjectSignal(std::vector<SignalState>& signals,
+                             std::int32_t subject);
+  void Fold(std::uint64_t value);
+
+  void CheckSloBurn(const WatchdogTickInput& input);
+  void CheckPendingDrift(const WatchdogTickInput& input);
+  void CheckAppFlapping(const WatchdogTickInput& input);
+  void CheckShardImbalance(const WatchdogTickInput& input);
+  void CheckSolveRegression(const WatchdogTickInput& input);
+  void CheckCauseMix(const WatchdogTickInput& input);
+
+  WatchdogOptions options_;
+  std::int64_t tick_ = -1;
+  std::int64_t opened_total_ = 0;
+  std::int64_t resolved_total_ = 0;
+  std::int64_t open_now_ = 0;
+  std::array<std::int64_t, static_cast<std::size_t>(AlertKind::kCount)>
+      open_by_kind_{};
+  std::array<std::int64_t, static_cast<std::size_t>(AlertKind::kCount)>
+      opened_by_kind_{};
+  std::vector<Alert> alerts_;  // full history, dense by alert id
+  std::uint64_t fingerprint_ = 14695981039346656037ull;  // FNV-1a offset
+
+  // (1) dual burn windows: rings of per-tick (good, bad).
+  struct BurnSlot {
+    std::int64_t good = 0;
+    std::int64_t bad = 0;
+  };
+  std::vector<BurnSlot> burn_fast_ring_;
+  std::vector<BurnSlot> burn_slow_ring_;
+  std::size_t burn_head_fast_ = 0;
+  std::size_t burn_head_slow_ = 0;
+  std::int64_t burn_seen_ = 0;  // ticks observed (window warm-up)
+  SignalState burn_signal_;
+
+  // (2) trailing p99 baseline ring (previous ticks, current excluded).
+  std::vector<std::int64_t> drift_ring_;
+  std::size_t drift_head_ = 0;
+  std::int64_t drift_seen_ = 0;
+  SignalState drift_signal_;
+
+  // (3) per-app re-open windows: ring of per-tick (app, count) deltas;
+  // window sums kept dense by app. Signals keyed by app subject.
+  std::vector<std::vector<std::pair<std::int32_t, std::int64_t>>> flap_ring_;
+  std::size_t flap_head_ = 0;
+  std::vector<std::int64_t> flap_window_sum_;  // dense by app id
+  std::vector<SignalState> flap_signals_;      // ascending by subject
+
+  // (4) imbalance: stateless per tick bar the hysteresis signal. The
+  // signal is cluster-wide (one imbalance alert at a time); the subject
+  // records the hottest shard at open.
+  SignalState imbalance_signal_;
+
+  // (5) trailing solve-cost baseline ring.
+  std::vector<std::int64_t> latency_ring_;
+  std::size_t latency_head_ = 0;
+  std::int64_t latency_seen_ = 0;
+  SignalState latency_signal_;
+
+  // (6) trailing cause histogram: ring of per-tick dense histograms.
+  using CauseCounts =
+      std::array<std::int64_t, static_cast<std::size_t>(Cause::kCount)>;
+  std::vector<CauseCounts> causemix_ring_;
+  std::size_t causemix_head_ = 0;
+  std::int64_t causemix_seen_ = 0;
+  CauseCounts causemix_base_{};  // running window sum
+  SignalState causemix_signal_;
+};
+
+// /alertz renderers (human table / JSON) over the published snapshot —
+// called from the listener's HTTP thread on a copy, same contract as
+// RenderStatusz / RenderSloJson.
+[[nodiscard]] std::string RenderAlertz(const WatchdogSnapshot& snapshot);
+[[nodiscard]] std::string RenderAlertsJson(const WatchdogSnapshot& snapshot);
+
+}  // namespace aladdin::obs

@@ -222,6 +222,44 @@ void PrintSloTable(const obs::SloSnapshot& snapshot) {
   BuildSloTable(snapshot).Print();
 }
 
+Table BuildAlertTable(const obs::WatchdogSnapshot& snapshot) {
+  Table table({"id", "kind", "severity", "subject", "state", "opened",
+               "resolved", "observed", "threshold"});
+  for (const obs::Alert& alert : snapshot.alerts) {
+    table.Cell(static_cast<std::int64_t>(alert.id))
+        .Cell(obs::AlertKindName(alert.kind))
+        .Cell(obs::AlertSeverityName(alert.severity))
+        .Cell(static_cast<std::int64_t>(alert.subject))
+        .Cell(alert.state == obs::AlertState::kOpen ? "open" : "resolved")
+        .Cell(alert.opened_tick)
+        .Cell(alert.resolved_tick)
+        .Cell(alert.evidence.observed)
+        .Cell(alert.evidence.threshold)
+        .EndRow();
+  }
+  if (snapshot.alerts.empty()) {
+    table.Cell("(no alerts)")
+        .Cell("")
+        .Cell("")
+        .Cell("")
+        .Cell("")
+        .Cell("")
+        .Cell("")
+        .Cell("")
+        .Cell("")
+        .EndRow();
+  }
+  return table;
+}
+
+void PrintAlertTable(const obs::WatchdogSnapshot& snapshot) {
+  std::printf("watchdog alerts: %lld opened, %lld resolved, %lld open\n",
+              static_cast<long long>(snapshot.opened_total),
+              static_cast<long long>(snapshot.resolved_total),
+              static_cast<long long>(snapshot.open_now));
+  BuildAlertTable(snapshot).Print();
+}
+
 TimeSeriesWriter::TimeSeriesWriter(const std::string& path)
     : os_(path, std::ios::out | std::ios::trunc) {
   if (!os_) {
@@ -237,18 +275,29 @@ TimeSeriesWriter::TimeSeriesWriter(const std::string& path)
 bool TimeSeriesWriter::Append(const TimeSeriesPoint& p) {
   if (!os_) return false;
   if (jsonl_) {
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "{\"tick\":%lld,\"pending\":%zu,\"bindings\":%zu,"
         "\"unschedulable\":%zu,\"migrations\":%zu,\"preemptions\":%zu,"
         "\"used_machines\":%zu,\"avg_util_pct\":%.3f,\"frag_pct\":%.3f,"
         "\"wall_seconds\":%.6f,\"phase_seconds\":%.6f,"
-        "\"slo_attainment_pct\":%.3f,\"pending_age_p99\":%lld}",
+        "\"slo_attainment_pct\":%.3f,\"pending_age_p99\":%lld,"
+        "\"alerts_open\":%lld,\"alerts_slo_burn_rate\":%lld,"
+        "\"alerts_pending_age_drift\":%lld,\"alerts_app_flapping\":%lld,"
+        "\"alerts_shard_imbalance\":%lld,\"alerts_solve_regression\":%lld,"
+        "\"alerts_cause_mix_shift\":%lld}",
         static_cast<long long>(p.tick), p.pending, p.bindings, p.unschedulable,
         p.migrations, p.preemptions, p.used_machines, p.avg_util_pct,
         p.frag_pct, p.wall_seconds, p.phase_seconds, p.slo_attainment_pct,
-        static_cast<long long>(p.pending_age_p99));
+        static_cast<long long>(p.pending_age_p99),
+        static_cast<long long>(p.alerts_open),
+        static_cast<long long>(p.alerts_open_by_kind[0]),
+        static_cast<long long>(p.alerts_open_by_kind[1]),
+        static_cast<long long>(p.alerts_open_by_kind[2]),
+        static_cast<long long>(p.alerts_open_by_kind[3]),
+        static_cast<long long>(p.alerts_open_by_kind[4]),
+        static_cast<long long>(p.alerts_open_by_kind[5]));
     os_ << buf << '\n';
     return static_cast<bool>(os_);
   }
@@ -259,7 +308,10 @@ bool TimeSeriesWriter::Append(const TimeSeriesPoint& p) {
          {"tick", "pending", "bindings", "unschedulable", "migrations",
           "preemptions", "used_machines", "avg_util_pct", "frag_pct",
           "wall_seconds", "phase_seconds", "slo_attainment_pct",
-          "pending_age_p99"}) {
+          "pending_age_p99", "alerts_open", "alerts_slo_burn_rate",
+          "alerts_pending_age_drift", "alerts_app_flapping",
+          "alerts_shard_imbalance", "alerts_solve_regression",
+          "alerts_cause_mix_shift"}) {
       writer.Field(std::string_view(column));
     }
     writer.EndRow();
@@ -276,7 +328,9 @@ bool TimeSeriesWriter::Append(const TimeSeriesPoint& p) {
       .Field(p.wall_seconds)
       .Field(p.phase_seconds)
       .Field(p.slo_attainment_pct)
-      .Field(p.pending_age_p99);
+      .Field(p.pending_age_p99)
+      .Field(p.alerts_open);
+  for (const std::int64_t open : p.alerts_open_by_kind) writer.Field(open);
   writer.EndRow();
   return static_cast<bool>(os_);
 }

@@ -2,6 +2,7 @@
 // EXPERIMENTS.md can be assembled straight from bench stdout.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <fstream>
 #include <string>
@@ -12,6 +13,7 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
+#include "obs/watchdog.h"
 #include "sim/metrics.h"
 
 namespace aladdin::sim {
@@ -68,6 +70,13 @@ void PrintCauseTable(
 Table BuildSloTable(const obs::SloSnapshot& snapshot);
 void PrintSloTable(const obs::SloSnapshot& snapshot);
 
+// Watchdog alert summary (obs/watchdog.h snapshot): one row per alert in
+// id order — kind, severity, subject, open/resolve ticks and the latest
+// evidence. Printed by bench_online / drill_runner end-of-run with
+// --watchdog; empty snapshots render a single "(no alerts)" row.
+Table BuildAlertTable(const obs::WatchdogSnapshot& snapshot);
+void PrintAlertTable(const obs::WatchdogSnapshot& snapshot);
+
 // One per-tick time-series sample (bench_online --timeseries).
 struct TimeSeriesPoint {
   std::int64_t tick = 0;
@@ -84,6 +93,11 @@ struct TimeSeriesPoint {
   // Lifecycle / SLO columns (ResolverOptions::lifecycle; exact ticks).
   double slo_attainment_pct = 100.0;   // cumulative within/(within+bad)
   std::int64_t pending_age_p99 = 0;    // p99 age of still-open spans
+  // Watchdog columns (--watchdog): alerts open after this tick, total and
+  // per kind (obs::AlertKind order).
+  std::int64_t alerts_open = 0;
+  std::array<std::int64_t, static_cast<std::size_t>(obs::AlertKind::kCount)>
+      alerts_open_by_kind{};
 };
 
 // Streams one row per Append() to `path` (truncating on open). The format

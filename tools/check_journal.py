@@ -37,7 +37,15 @@ Checks, in order:
     with the arrival tick, and no placement without a prior arrival. These
     need every record of a pod's history, so they only run when the
     journal is complete (seq 0..N-1, no gaps): per-thread rings drop
-    records under extreme load — raise --journal_ring on such runs.
+    records under extreme load — raise --journal_ring on such runs;
+  * watchdog alert shapes (obs/watchdog.h): alert_opened carries an
+    alert id (`container` >= 0) and a kind index (`machine`) inside the
+    closed AlertKind vocabulary. Pairing checks run on complete journals
+    only (same bar as the span checks): an alert id opens at most once and
+    resolves at most once, a resolve always follows its open with matching
+    kind and subject and a duration (`detail`) equal to resolve tick minus
+    open tick, and at most one alert per (kind, subject) is open at a time
+    — the hysteresis contract behind `explain.py --alerts`.
 
 Exit status 0 = valid; 1 = violations (one per line).
 
@@ -61,8 +69,12 @@ CAUSES = {
     "migrated_for_rebalance", "preempted_by_priority", "depth_limit_stop",
     "isomorphism_prune", "pod_retired", "baseline_unplaced",
     "pod_arrived", "shard_routed", "shard_spilled", "slo_violated",
-    "batch_scheduled", "batch_deferred",
+    "batch_scheduled", "batch_deferred", "alert_opened", "alert_resolved",
 }
+# Closed AlertKind vocabulary (obs/watchdog.h); alert_opened/alert_resolved
+# records carry the kind as an index in `machine`.
+ALERT_KINDS = ("slo_burn_rate", "pending_age_drift", "app_flapping",
+               "shard_imbalance", "solve_regression", "cause_mix_shift")
 CATCH_ALL = {"no_admissible_path", "baseline_unplaced"}
 FIELDS = ("seq", "tick", "kind", "cause", "container", "machine", "other",
           "detail")
@@ -87,6 +99,14 @@ def validate(lines: list[str], no_catch_all: bool = False) -> list[str]:
     # (tick, index) of the last batch_scheduled marker, for the
     # request-order contiguity check.
     last_batch: tuple[int, int] | None = None
+    # Watchdog alert pairing state. Like the span checks, pairing errors
+    # are only reported on complete journals: a ring-dropped open would
+    # fabricate an "resolved without an open" violation.
+    alert_errors: list[str] = []
+    open_alerts: dict[int, tuple[int, int, int]] = {}  # id -> (kind, subj, tick)
+    closed_alerts: set[int] = set()
+    open_alert_keys: dict[tuple[int, int], int] = {}  # (kind, subj) -> id
+    alerts_seen = False
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -214,6 +234,54 @@ def validate(lines: list[str], no_catch_all: bool = False) -> list[str]:
             if record["detail"] < 1:
                 errors.append(f"{where}: batch_deferred with count "
                               f"{record['detail']}")
+        elif kind == "event" and cause == "alert_opened":
+            alerts_seen = True
+            alert_id = record["container"]
+            kind_index = record["machine"]
+            subject = record["other"]
+            if alert_id < 0:
+                errors.append(f"{where}: alert_opened without an alert id")
+            if not 0 <= kind_index < len(ALERT_KINDS):
+                errors.append(f"{where}: alert_opened with kind index "
+                              f"{kind_index} outside the AlertKind "
+                              f"vocabulary")
+                continue
+            if alert_id in open_alerts or alert_id in closed_alerts:
+                alert_errors.append(f"{where}: alert {alert_id} opened "
+                                    f"twice")
+                continue
+            key = (kind_index, subject)
+            if key in open_alert_keys:
+                alert_errors.append(f"{where}: second open "
+                                    f"{ALERT_KINDS[kind_index]} alert for "
+                                    f"subject {subject} (alert "
+                                    f"{open_alert_keys[key]} is still open)")
+            open_alerts[alert_id] = (kind_index, subject, tick)
+            open_alert_keys[key] = alert_id
+        elif kind == "event" and cause == "alert_resolved":
+            alerts_seen = True
+            alert_id = record["container"]
+            opened = open_alerts.pop(alert_id, None)
+            if opened is None:
+                alert_errors.append(f"{where}: alert {alert_id} resolved "
+                                    f"without an open")
+                continue
+            closed_alerts.add(alert_id)
+            kind_index, subject, opened_tick = opened
+            open_alert_keys.pop((kind_index, subject), None)
+            if record["machine"] != kind_index:
+                alert_errors.append(f"{where}: alert {alert_id} resolved "
+                                    f"with kind index {record['machine']} "
+                                    f"but opened as {ALERT_KINDS[kind_index]}")
+            if record["other"] != subject:
+                alert_errors.append(f"{where}: alert {alert_id} resolved "
+                                    f"with subject {record['other']} but "
+                                    f"opened on subject {subject}")
+            if record["detail"] != tick - opened_tick:
+                alert_errors.append(f"{where}: alert {alert_id} resolved "
+                                    f"with duration {record['detail']} but "
+                                    f"opened at tick {opened_tick} and "
+                                    f"resolved at tick {tick}")
         elif kind in ("reject", "unplaced") and container >= 0:
             span = spans.get(container)
             if span is not None and tick < span["arrival"]:
@@ -233,6 +301,8 @@ def validate(lines: list[str], no_catch_all: bool = False) -> list[str]:
                 last_seq == records - 1)
     if spans and complete:
         errors.extend(span_errors)
+    if alerts_seen and complete:
+        errors.extend(alert_errors)
     for container, (lineno, kind, cause) in sorted(final.items()):
         if kind not in TERMINAL_PENDING:
             continue

@@ -36,6 +36,10 @@ Modes (default: summary of the whole journal):
                     bench_online --slo_report / served at /slo)
   --machine ID      everything that happened on one machine: placements,
                     arrivals/departures via migration, preemptions
+  --alerts          watchdog alert timeline (--watchdog runs): one block
+                    per alert id with its open/resolve transitions and a
+                    cross-link to the mode that drills into the subject
+                    (app_flapping -> --app, shard_imbalance -> --shard)
   --shard S         restrict any mode to records stamped with shard S
                     (composes with the modes above; S=-1 selects records
                     emitted outside a shard solver)
@@ -90,7 +94,22 @@ CAUSE_TEXT = {
     "shard_routed": "routed to a shard by the coordinator",
     "shard_spilled": "re-routed to another shard by a spill round",
     "slo_violated": "pending-age crossed the admission SLO objective",
+    "alert_opened": "watchdog opened a typed health alert",
+    "alert_resolved": "watchdog resolved a health alert (signal cleared)",
 }
+
+# Closed AlertKind vocabulary (obs/watchdog.h); alert_opened/alert_resolved
+# records carry the kind as an index in `machine` and the alert id in
+# `container` — an id space separate from the pod/container ids, so the
+# per-container modes below skip alert records.
+ALERT_KINDS = ("slo_burn_rate", "pending_age_drift", "app_flapping",
+               "shard_imbalance", "solve_regression", "cause_mix_shift")
+ALERT_CAUSES = {"alert_opened", "alert_resolved"}
+
+
+def alert_kind_name(index: int) -> str:
+    return ALERT_KINDS[index] if 0 <= index < len(ALERT_KINDS) \
+        else f"kind?{index}"
 
 
 def load_journal(path: Path) -> list[dict]:
@@ -144,6 +163,12 @@ def describe(record: dict) -> str:
         if cause == "slo_violated":
             return f"admission SLO violated at pending-age {detail} " \
                    f"(app {other})"
+        if cause == "alert_opened":
+            return (f"alert {container} opened: {alert_kind_name(machine)} "
+                    f"on subject {other} (observed {detail})")
+        if cause == "alert_resolved":
+            return (f"alert {container} resolved: {alert_kind_name(machine)} "
+                    f"on subject {other} after {detail} tick(s)")
         return f"{cause}: detail={detail}"
     return f"{kind} — {text}"
 
@@ -161,8 +186,11 @@ def final_states(records: list[dict]) -> dict[int, dict]:
 
 
 def cmd_why(records: list[dict], container: int) -> int:
-    history = [r for r in records if r.get("container") == container
-               or (r.get("kind") == "preempt" and r.get("other") == container)]
+    history = [r for r in records
+               if r.get("cause") not in ALERT_CAUSES
+               and (r.get("container") == container
+                    or (r.get("kind") == "preempt"
+                        and r.get("other") == container))]
     if not history:
         print(f"container {container}: no journal records")
         return 1
@@ -251,7 +279,8 @@ def print_attribution(counts: Counter, wait: int, indent: str) -> bool:
 
 
 def cmd_pod(records: list[dict], pod: int) -> int:
-    history = [r for r in records if r.get("container") == pod]
+    history = [r for r in records if r.get("container") == pod
+               and r.get("cause") not in ALERT_CAUSES]
     if not history:
         print(f"pod {pod}: no journal records")
         return 1
@@ -296,6 +325,14 @@ def cmd_pod(records: list[dict], pod: int) -> int:
             if not print_attribution(attribute_wait(history, arrival, end),
                                      wait, "    "):
                 status = 1
+    apps = {e[0].get("other") for e in epochs
+            if e[0].get("kind") == "event"
+            and e[0].get("cause") == "pod_arrived"}
+    flapping = [r for app in sorted(apps)
+                for r in flapping_alerts_for_app(records, app)]
+    if flapping:
+        print(f"watchdog: this pod's app was flagged as flapping — "
+              f"{len(flapping)} alert(s), see --alerts")
     return status
 
 
@@ -330,7 +367,8 @@ def cmd_app(records: list[dict], selector: str,
     pod_set = set(pods)
     by_pod: dict[int, list[dict]] = defaultdict(list)
     for record in records:
-        if record.get("container") in pod_set:
+        if record.get("container") in pod_set and \
+                record.get("cause") not in ALERT_CAUSES:
             by_pod[record.get("container")].append(record)
     eof_tick = max(r.get("tick", 0) for r in records)
     waits: list[int] = []
@@ -377,6 +415,59 @@ def cmd_app(records: list[dict], selector: str,
         for cause, ticks in cause_ticks.most_common():
             print(f"    {cause:<28} {ticks:>6}  "
                   f"({100.0 * ticks / total:5.1f}%)")
+    flapping = flapping_alerts_for_app(records, app)
+    if flapping:
+        opened_at = ", ".join(str(r.get("tick")) for r in flapping)
+        print(f"  watchdog: app_flapping alert(s) opened at tick(s) "
+              f"{opened_at} — see --alerts")
+    return 0
+
+
+def alert_records(records: list[dict]) -> list[dict]:
+    return [r for r in records if r.get("kind") == "event"
+            and r.get("cause") in ALERT_CAUSES]
+
+
+def flapping_alerts_for_app(records: list[dict], app: int) -> list[dict]:
+    """alert_opened records of kind app_flapping whose subject is `app`."""
+    flap = ALERT_KINDS.index("app_flapping")
+    return [r for r in alert_records(records)
+            if r.get("cause") == "alert_opened"
+            and r.get("machine") == flap and r.get("other") == app]
+
+
+def cmd_alerts(records: list[dict]) -> int:
+    """Watchdog alert timeline: one block per alert id with its open /
+    resolve transitions and a cross-link to the drill-down mode that
+    explains the subject (app-flapping -> --app, shard-imbalance ->
+    --shard)."""
+    events = alert_records(records)
+    if not events:
+        print("no watchdog alerts in this journal (run with --watchdog)")
+        return 0
+    by_id: dict[int, list[dict]] = defaultdict(list)
+    for record in events:
+        by_id[record.get("container", -1)].append(record)
+    opened = sum(1 for r in events if r.get("cause") == "alert_opened")
+    resolved = sum(1 for r in events if r.get("cause") == "alert_resolved")
+    print(f"{opened} alert(s) opened, {resolved} resolved, "
+          f"{opened - resolved} still open at end of journal")
+    for alert_id in sorted(by_id):
+        history = by_id[alert_id]
+        head = history[0]
+        kind = alert_kind_name(head.get("machine", -1))
+        subject = head.get("other", -1)
+        print(f"alert {alert_id}: {kind} on subject {subject}")
+        for record in history:
+            print(f"  seq {record.get('seq'):>8}  "
+                  f"tick {record.get('tick'):>5}  {describe(record)}")
+        if not any(r.get("cause") == "alert_resolved" for r in history):
+            print("  still open at end of journal")
+        if kind == "app_flapping":
+            print(f"  drill down: --app {subject} (per-pod reopen spans)")
+        elif kind == "shard_imbalance":
+            print(f"  drill down: --shard {subject} (the hot shard's "
+                  f"records)")
     return 0
 
 
@@ -481,6 +572,9 @@ def main() -> int:
                             "(numeric id, or a name with --slo-report)")
     group.add_argument("--machine", type=int, metavar="ID",
                        help="placements/arrivals/departures on one machine")
+    group.add_argument("--alerts", action="store_true",
+                       help="watchdog alert timeline with open/resolve "
+                            "transitions per alert id")
     parser.add_argument("--shard", type=int, metavar="S",
                         help="only records stamped with this shard id "
                              "(-1 = emitted outside a shard solver)")
@@ -510,6 +604,8 @@ def main() -> int:
         return cmd_app(records, args.app, args.slo_report)
     if args.machine is not None:
         return cmd_machine(records, args.machine)
+    if args.alerts:
+        return cmd_alerts(records)
     return cmd_summary(records)
 
 
